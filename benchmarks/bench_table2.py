@@ -1,0 +1,14 @@
+"""Table 2 bench: regenerate the model feature matrix."""
+
+from repro.experiments import table2
+
+
+def test_table2(benchmark, capsys):
+    rows = benchmark.pedantic(table2.rows, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n" + table2.render(rows))
+    by_model = {row.model: row for row in rows}
+    assert [row.model for row in rows] == ["A", "B", "B+", "C"]
+    assert by_model["C"].instruction_aware
+    assert by_model["C"].timing_data == "DTA"
+    assert by_model["B+"].vdd_noise

@@ -1,0 +1,35 @@
+"""Shared context for the per-table/per-figure benchmark drivers.
+
+The benches default to the ``quick`` scale so a full
+``pytest benchmarks/ --benchmark-only`` run finishes in minutes; set
+``REPRO_BENCH_SCALE=default`` or ``=paper`` to regenerate the figures at
+higher fidelity (the paper preset takes hours).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.scale import get_scale
+
+
+def bench_scale():
+    return get_scale(os.environ.get("REPRO_BENCH_SCALE", "quick"))
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def ctx(scale) -> ExperimentContext:
+    context = ExperimentContext.create(scale, seed=2016)
+    # Pre-build the expensive shared substrate outside the timed region.
+    context.alu
+    context.vdd_model
+    context.characterization(0.7)
+    return context

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Bring your own kernel: write OR1K assembly, compare all four models.
+
+Defines a small dot-product kernel from scratch (assembly source, golden
+Python reference, quality metric), then runs it under fault-injection
+models A, B, B+ and C at the same operating point and contrasts their
+behavior -- the reproduction of the paper's central argument that only
+the statistical, instruction-aware model C exposes a usable transition
+region.
+
+Run:
+    python examples/custom_kernel_fi.py
+"""
+
+import numpy as np
+
+from repro.bench import assemble_kernel, source_header, words_directive
+from repro.bench.metrics import relative_difference
+from repro.fi import (
+    FixedProbabilityInjector,
+    StaInjector,
+    StaNoiseInjector,
+    StatisticalInjector,
+)
+from repro.mc import run_point
+from repro.netlist import calibrated_alu
+from repro.timing import (
+    VddDelayModel,
+    VoltageNoise,
+    get_characterization,
+)
+
+DOT_PRODUCT_ASM = """\
+{header}
+.equ N, {n}
+
+start:
+    l.movhi r4, hi(vec_a)
+    l.ori   r4, r4, lo(vec_a)
+    l.movhi r5, hi(vec_b)
+    l.ori   r5, r5, lo(vec_b)
+    l.addi  r6, r0, N
+    l.nop   FI_ON
+    l.addi  r7, r0, 0              # acc
+    l.addi  r8, r0, 0              # i
+loop:
+    l.lwz   r9, 0(r4)
+    l.lwz   r10, 0(r5)
+    l.mul   r11, r9, r10
+    l.add   r7, r7, r11
+    l.addi  r4, r4, 4
+    l.addi  r5, r5, 4
+    l.addi  r8, r8, 1
+    l.sflts r8, r6
+    l.bf    loop
+    l.nop
+    l.addi  r3, r7, 0
+    l.nop   FI_OFF
+    l.movhi r12, hi(result)
+    l.ori   r12, r12, lo(result)
+    l.sw    0(r12), r3
+    l.nop   0x1
+
+.org DATA
+vec_a:
+{a_words}
+vec_b:
+{b_words}
+result:
+    .space 4
+"""
+
+
+def build_dot_product(n: int = 64, seed: int = 3):
+    """Assemble the kernel and compute its golden reference."""
+    rng = np.random.default_rng(seed)
+    a = [int(v) for v in rng.integers(0, 1 << 12, n)]
+    b = [int(v) for v in rng.integers(0, 1 << 12, n)]
+    golden = sum(x * y for x, y in zip(a, b)) & 0xFFFFFFFF
+
+    def error(outputs, reference):
+        return relative_difference(outputs[0], reference[0])
+
+    return assemble_kernel(
+        name="dot_product",
+        source=DOT_PRODUCT_ASM.format(
+            header=source_header(), n=n,
+            a_words=words_directive(a), b_words=words_directive(b)),
+        entry="start",
+        output_symbol="result",
+        output_count=1,
+        golden=[golden],
+        metric_name="relative difference",
+        error_value=error,
+        relative_error=error,
+        params={"n": n, "seed": seed},
+    )
+
+
+def main() -> None:
+    kernel = build_dot_product()
+    alu = calibrated_alu()
+    characterization = get_characterization(alu)
+    vdd_model = VddDelayModel.from_alu_sta(alu)
+    noise = VoltageNoise(0.010)
+    sta_mhz = alu.sta_limit_hz(0.7) / 1e6
+
+    factories = {
+        "A (p=1e-5)": lambda f, rng: FixedProbabilityInjector(1e-5, rng),
+        "B": lambda f, rng: StaInjector(alu, f),
+        "B+": lambda f, rng: StaNoiseInjector(
+            alu, f, noise, vdd_model=vdd_model, rng=rng),
+        "C": lambda f, rng: StatisticalInjector(
+            characterization, f, noise, vdd_model=vdd_model, rng=rng),
+    }
+
+    print(f"dot-product kernel, STA limit {sta_mhz:.1f} MHz @ 0.7 V\n")
+    header = f"{'f [MHz]':>8s}"
+    for name in factories:
+        header += f" | {name:^22s}"
+    print(header)
+    print(f"{'':8s}" + " | ".join([f"{'corr':>6s} {'FI/kCyc':>8s} {'err':>6s}"
+                                   for _ in factories]).join(["  ", ""]))
+    for f_mhz in (640, 660, 680, 700, 720, 750, 800):
+        row = f"{f_mhz:8.0f}"
+        for name, factory in factories.items():
+            point = run_point(
+                kernel,
+                lambda rng, fn=factory: fn(f_mhz * 1e6, rng),
+                n_trials=15, seed=42)
+            s = point.summary()
+            row += (f" | {s['p_correct']:6.0%} "
+                    f"{s['fi_rate_per_kcycle']:8.2f} "
+                    f"{s['mean_relative_error']:6.1%}")
+        print(row)
+
+    print("\nModel B collapses exactly at the STA limit, B+ collapses at "
+          "its noise-shifted onset, while model C degrades gradually and "
+          "distinguishes this mul-heavy kernel from control-heavy code.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: statistical timing-error fault injection in 40 lines.
+
+Builds the case-study hardware model (gate-level ALU calibrated to the
+707 MHz STA limit at 0.7 V), characterizes it with dynamic timing
+analysis, and runs the median benchmark under the paper's model C at a
+few clock frequencies around the STA limit.
+
+Run:
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.bench import build_kernel
+from repro.fi import StatisticalInjector
+from repro.mc import run_point
+from repro.netlist import calibrated_alu
+from repro.timing import (
+    CharacterizationConfig,
+    VddDelayModel,
+    VoltageNoise,
+    get_characterization,
+)
+
+
+def main() -> None:
+    # 1. The hardware: a gate-level ALU netlist, sized so the
+    #    multiplier limits the clock at 707 MHz @ 0.7 V.
+    alu = calibrated_alu()
+    print(f"STA limit @ 0.7 V: {alu.sta_limit_hz(0.7) / 1e6:.1f} MHz "
+          f"({alu.total_gates()} gates)")
+
+    # 2. Offline characterization: per-instruction timing-error CDFs
+    #    extracted by dynamic timing analysis of the netlist.
+    characterization = get_characterization(
+        alu, CharacterizationConfig(n_cycles_per_instr=512))
+    for mnemonic in ("l.mul", "l.add", "l.sll", "l.and"):
+        poff = characterization.poff_frequency_hz(mnemonic)
+        print(f"  {mnemonic:7s} can first fail at {poff / 1e6:7.1f} MHz")
+
+    # 3. The software: the median benchmark (insertion sort of 129
+    #    values), hand-written in OR1K assembly.
+    kernel = build_kernel("median", "paper")
+
+    # 4. Monte-Carlo fault injection with model C at 0.7 V and 10 mV
+    #    supply noise, sweeping the clock across the transition region.
+    vdd_model = VddDelayModel.from_alu_sta(alu)
+    noise = VoltageNoise(0.010)
+    print(f"\n{'f [MHz]':>8s} {'finished':>9s} {'correct':>8s} "
+          f"{'FI/kCyc':>8s} {'rel.err':>8s}")
+    for frequency in np.array([650, 707, 730, 760, 800, 850]) * 1e6:
+        point = run_point(
+            kernel,
+            lambda rng, f=frequency: StatisticalInjector(
+                characterization, f, noise, vdd_model=vdd_model, rng=rng),
+            n_trials=20, seed=1,
+        )
+        summary = point.summary()
+        print(f"{frequency / 1e6:8.0f} {summary['p_finished']:9.0%} "
+              f"{summary['p_correct']:8.0%} "
+              f"{summary['fi_rate_per_kcycle']:8.2f} "
+              f"{summary['mean_relative_error']:8.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The execution environment has no network access and no ``wheel``
+package, so PEP 517 editable installs (which build a wheel) fail.  This
+shim lets ``pip install -e . --no-use-pep517 --no-build-isolation`` use
+the legacy ``setup.py develop`` path instead.  All project metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,15 @@
+"""repro: statistical fault injection for timing-error impact evaluation.
+
+A from-scratch Python reproduction of Constantin et al., *"Statistical
+Fault Injection for Impact-Evaluation of Timing Errors on Application
+Performance"* (DAC 2016): an OR1K-subset cycle-accurate instruction set
+simulator, a gate-level ALU netlist with static and dynamic timing
+analysis, supply-voltage-noise and power models, the paper's four
+fault-injection models (A, B, B+, and the proposed statistical model C),
+the four benchmark kernels, and a Monte-Carlo experiment harness that
+regenerates every table and figure of the paper's evaluation.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

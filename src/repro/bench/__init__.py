@@ -1,0 +1,35 @@
+"""Benchmark kernels: median, matrix-mult, k-means, Dijkstra (Table 1)."""
+
+from repro.bench.kernel import (
+    KernelInstance,
+    assemble_kernel,
+    source_header,
+    words_directive,
+)
+from repro.bench.metrics import (
+    mean_squared_error,
+    mismatch_fraction,
+    normalized_rmse,
+    relative_difference,
+)
+from repro.bench.suite import (
+    BENCHMARK_NAMES,
+    build_kernel,
+    paper_kernel,
+    quick_kernel,
+)
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "KernelInstance",
+    "assemble_kernel",
+    "build_kernel",
+    "mean_squared_error",
+    "mismatch_fraction",
+    "normalized_rmse",
+    "paper_kernel",
+    "quick_kernel",
+    "relative_difference",
+    "source_header",
+    "words_directive",
+]

@@ -1,0 +1,235 @@
+"""Dijkstra benchmark: all-pairs shortest paths on a weighted graph.
+
+Control/graph-search-dominated kernel (paper Table 1: compute "-",
+control "++", 10 nodes).  Runs the O(n^2) single-source algorithm from
+every source node over an adjacency matrix (0x7FFFFFFF encodes "no
+edge") and emits the full n x n distance matrix.  Output error metric:
+fraction of node pairs with a wrong minimum distance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.kernel import (
+    KernelInstance,
+    assemble_kernel,
+    source_header,
+    words_directive,
+)
+from repro.bench.metrics import mismatch_fraction
+
+#: Paper-scale problem size (10 nodes).
+PAPER_NODES = 10
+
+#: "No edge" marker in the adjacency matrix.
+INF = 0x7FFFFFFF
+
+_ASM_TEMPLATE = """\
+{header}
+.equ N, {n}
+
+start:
+    l.movhi r4, hi(adj)
+    l.ori   r4, r4, lo(adj)
+    l.movhi r5, hi(out)
+    l.ori   r5, r5, lo(out)
+    l.movhi r6, hi(dist)
+    l.ori   r6, r6, lo(dist)
+    l.movhi r7, hi(visited)
+    l.ori   r7, r7, lo(visited)
+    l.addi  r28, r0, N
+    l.movhi r26, 0x7fff
+    l.ori   r26, r26, 0xffff       # r26 = INF
+    l.nop   FI_ON
+    l.addi  r2, r0, 0              # src
+src_loop:
+    l.addi  r10, r0, 0             # v
+init_loop:
+    l.slli  r29, r10, 2
+    l.add   r13, r6, r29
+    l.sw    0(r13), r26            # dist[v] = INF
+    l.add   r13, r7, r29
+    l.sw    0(r13), r0             # visited[v] = 0
+    l.addi  r10, r10, 1
+    l.sflts r10, r28
+    l.bf    init_loop
+    l.nop
+    l.slli  r29, r2, 2
+    l.add   r13, r6, r29
+    l.sw    0(r13), r0             # dist[src] = 0
+    l.addi  r8, r0, 0              # iteration
+iter_loop:
+    l.addi  r11, r26, 0            # best = INF
+    l.addi  r12, r0, -1            # u = -1
+    l.addi  r10, r0, 0             # v
+scan_loop:
+    l.slli  r29, r10, 2
+    l.add   r13, r7, r29
+    l.lwz   r15, 0(r13)            # visited[v]
+    l.sfeqi r15, 0
+    l.bnf   scan_next
+    l.nop
+    l.add   r13, r6, r29
+    l.lwz   r14, 0(r13)            # dist[v]
+    l.sfltu r14, r11
+    l.bnf   scan_next
+    l.nop
+    l.addi  r11, r14, 0            # best = dist[v]
+    l.addi  r12, r10, 0            # u = v
+scan_next:
+    l.addi  r10, r10, 1
+    l.sflts r10, r28
+    l.bf    scan_loop
+    l.nop
+    l.sflts r12, r0                # no reachable unvisited node?
+    l.bf    iter_next
+    l.nop
+    l.slli  r29, r12, 2
+    l.add   r13, r7, r29
+    l.addi  r15, r0, 1
+    l.sw    0(r13), r15            # visited[u] = 1
+    l.add   r13, r6, r29
+    l.lwz   r16, 0(r13)            # dist[u]
+    l.mul   r18, r12, r28
+    l.slli  r18, r18, 2
+    l.add   r17, r4, r18           # &adj[u][0]
+    l.addi  r10, r0, 0             # v
+relax_loop:
+    l.lwz   r14, 0(r17)            # w = adj[u][v]
+    l.sfeq  r14, r26
+    l.bf    relax_next
+    l.nop
+    l.add   r15, r16, r14          # nd = dist[u] + w
+    l.slli  r29, r10, 2
+    l.add   r13, r6, r29
+    l.lwz   r19, 0(r13)            # dist[v]
+    l.sfltu r15, r19
+    l.bnf   relax_next
+    l.nop
+    l.sw    0(r13), r15            # dist[v] = nd
+relax_next:
+    l.addi  r17, r17, 4
+    l.addi  r10, r10, 1
+    l.sflts r10, r28
+    l.bf    relax_loop
+    l.nop
+iter_next:
+    l.addi  r8, r8, 1
+    l.sflts r8, r28
+    l.bf    iter_loop
+    l.nop
+    # copy dist row into the all-pairs output
+    l.mul   r18, r2, r28
+    l.slli  r18, r18, 2
+    l.add   r17, r5, r18           # &out[src][0]
+    l.addi  r10, r0, 0
+copy_loop:
+    l.slli  r29, r10, 2
+    l.add   r13, r6, r29
+    l.lwz   r14, 0(r13)
+    l.sw    0(r17), r14
+    l.addi  r17, r17, 4
+    l.addi  r10, r10, 1
+    l.sflts r10, r28
+    l.bf    copy_loop
+    l.nop
+    l.addi  r2, r2, 1
+    l.sflts r2, r28
+    l.bf    src_loop
+    l.nop
+    l.nop   FI_OFF
+    l.nop   0x1                    # exit
+
+.org DATA
+adj:
+{adj_words}
+out:
+    .space {out_bytes}
+dist:
+    .space {row_bytes}
+visited:
+    .space {row_bytes}
+"""
+
+
+def generate_inputs(nodes: int, seed: int,
+                    density: float = 0.55,
+                    max_weight: int = 100) -> list[int]:
+    """Random symmetric weighted graph as a flat adjacency matrix."""
+    rng = np.random.default_rng(seed)
+    adj = [[INF] * nodes for _ in range(nodes)]
+    for i in range(nodes):
+        adj[i][i] = 0
+        for j in range(i + 1, nodes):
+            if rng.random() < density:
+                weight = int(rng.integers(1, max_weight + 1))
+                adj[i][j] = weight
+                adj[j][i] = weight
+    return [adj[i][j] for i in range(nodes) for j in range(nodes)]
+
+
+def golden_dijkstra(adj: list[int], nodes: int) -> list[int]:
+    """Exact reference of the kernel's all-pairs algorithm."""
+    out = []
+    for src in range(nodes):
+        dist = [INF] * nodes
+        visited = [False] * nodes
+        dist[src] = 0
+        for _ in range(nodes):
+            best, u = INF, -1
+            for v in range(nodes):
+                if not visited[v] and dist[v] < best:
+                    best, u = dist[v], v
+            if u < 0:
+                continue
+            visited[u] = True
+            base = u * nodes
+            for v in range(nodes):
+                w = adj[base + v]
+                if w == INF:
+                    continue
+                nd = dist[u] + w
+                if nd < dist[v]:
+                    dist[v] = nd
+        out.extend(dist)
+    return out
+
+
+def build(nodes: int = PAPER_NODES, seed: int = 42,
+          density: float = 0.55, max_weight: int = 100) -> KernelInstance:
+    """Build a Dijkstra kernel instance.
+
+    Args:
+        nodes: graph size (paper: 10).
+        seed: input-data seed.
+        density: edge probability of the random graph.
+        max_weight: maximum edge weight.
+    """
+    if nodes < 2:
+        raise ValueError("need at least 2 nodes")
+    adj = generate_inputs(nodes, seed, density, max_weight)
+    golden = golden_dijkstra(adj, nodes)
+
+    def error_value(outputs: list[int], reference: list[int]) -> float:
+        return mismatch_fraction(outputs, reference)
+
+    return assemble_kernel(
+        name="dijkstra",
+        source=_ASM_TEMPLATE.format(
+            header=source_header(),
+            n=nodes,
+            adj_words=words_directive(adj),
+            out_bytes=4 * nodes * nodes,
+            row_bytes=4 * nodes,
+        ),
+        entry="start",
+        output_symbol="out",
+        output_count=nodes * nodes,
+        golden=golden,
+        metric_name="min-distance mismatch",
+        error_value=error_value,
+        relative_error=error_value,
+        params={"nodes": nodes, "seed": seed, "density": density,
+                "max_weight": max_weight},
+    )

@@ -1,0 +1,242 @@
+"""K-means clustering benchmark: Lloyd iterations on 2-D points.
+
+Mixed data-mining kernel (paper Table 1: compute "+", control "+",
+8 points in 2-D).  Two clusters, a fixed number of Lloyd iterations,
+integer centroids via a software restoring-division subroutine (the
+core has no divide instruction).  Output error metric: fraction of
+points whose final cluster membership differs from the golden run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.kernel import (
+    KernelInstance,
+    assemble_kernel,
+    source_header,
+    words_directive,
+)
+from repro.bench.metrics import mismatch_fraction
+
+#: Paper-scale problem size (8 points, 2 clusters).
+PAPER_POINTS = 8
+DEFAULT_ITERS = 15
+
+_ASM_TEMPLATE = """\
+{header}
+.equ P, {points}
+.equ ITERS, {iters}
+
+start:
+    l.movhi r10, hi(px)
+    l.ori   r10, r10, lo(px)
+    l.movhi r11, hi(py)
+    l.ori   r11, r11, lo(py)
+    l.movhi r12, hi(assign)
+    l.ori   r12, r12, lo(assign)
+    l.addi  r28, r0, P
+    l.nop   FI_ON
+    # centroids start at the first two points
+    l.lwz   r13, 0(r10)            # cx0
+    l.lwz   r14, 0(r11)            # cy0
+    l.lwz   r15, 4(r10)            # cx1
+    l.lwz   r16, 4(r11)            # cy1
+    l.addi  r21, r0, 0             # iteration counter
+iter_loop:
+    l.addi  r22, r0, 0             # sx0
+    l.addi  r23, r0, 0             # sy0
+    l.addi  r24, r0, 0             # cnt0
+    l.addi  r25, r0, 0             # sx1
+    l.addi  r26, r0, 0             # sy1
+    l.addi  r27, r0, 0             # cnt1
+    l.addi  r2, r0, 0              # p
+assign_loop:
+    l.slli  r29, r2, 2
+    l.add   r30, r10, r29
+    l.lwz   r17, 0(r30)            # x
+    l.add   r30, r11, r29
+    l.lwz   r18, 0(r30)            # y
+    # d0 = (x-cx0)^2 + (y-cy0)^2
+    l.sub   r19, r17, r13
+    l.mul   r19, r19, r19
+    l.sub   r20, r18, r14
+    l.mul   r20, r20, r20
+    l.add   r19, r19, r20          # d0
+    # d1 = (x-cx1)^2 + (y-cy1)^2
+    l.sub   r20, r17, r15
+    l.mul   r20, r20, r20
+    l.sub   r31, r18, r16
+    l.mul   r31, r31, r31
+    l.add   r20, r20, r31          # d1
+    l.sfleu r19, r20               # d0 <= d1 -> cluster 0
+    l.bf    to_cluster0
+    l.nop
+    # cluster 1
+    l.addi  r31, r0, 1
+    l.add   r25, r25, r17          # sx1 += x
+    l.add   r26, r26, r18          # sy1 += y
+    l.j     store_assign
+    l.addi  r27, r27, 1            # delay slot: cnt1++
+to_cluster0:
+    l.addi  r31, r0, 0
+    l.add   r22, r22, r17          # sx0 += x
+    l.add   r23, r23, r18          # sy0 += y
+    l.addi  r24, r24, 1            # cnt0++
+store_assign:
+    l.add   r30, r12, r29
+    l.sw    0(r30), r31
+    l.addi  r2, r2, 1
+    l.sflts r2, r28
+    l.bf    assign_loop
+    l.nop
+    # update phase: centroid = sum / count (skip empty clusters)
+    l.sfeqi r24, 0
+    l.bf    skip_c0
+    l.nop
+    l.addi  r3, r22, 0
+    l.jal   divu
+    l.addi  r4, r24, 0             # delay slot: divisor = cnt0
+    l.addi  r13, r3, 0             # cx0
+    l.addi  r3, r23, 0
+    l.jal   divu
+    l.addi  r4, r24, 0
+    l.addi  r14, r3, 0             # cy0
+skip_c0:
+    l.sfeqi r27, 0
+    l.bf    skip_c1
+    l.nop
+    l.addi  r3, r25, 0
+    l.jal   divu
+    l.addi  r4, r27, 0
+    l.addi  r15, r3, 0             # cx1
+    l.addi  r3, r26, 0
+    l.jal   divu
+    l.addi  r4, r27, 0
+    l.addi  r16, r3, 0             # cy1
+skip_c1:
+    l.addi  r21, r21, 1
+    l.sfltsi r21, ITERS
+    l.bf    iter_loop
+    l.nop
+    l.nop   FI_OFF
+    l.nop   0x1                    # exit
+
+# unsigned restoring division: r3 = r3 / r4; clobbers r5-r8
+divu:
+    l.addi  r5, r0, 0              # remainder
+    l.addi  r6, r0, 32             # bit counter
+    l.addi  r7, r0, 0              # quotient
+divu_loop:
+    l.slli  r5, r5, 1
+    l.srli  r8, r3, 31
+    l.or    r5, r5, r8
+    l.slli  r3, r3, 1
+    l.slli  r7, r7, 1
+    l.sfgeu r5, r4
+    l.bnf   divu_skip
+    l.nop
+    l.sub   r5, r5, r4
+    l.ori   r7, r7, 1
+divu_skip:
+    l.addi  r6, r6, -1
+    l.sfgts r6, r0
+    l.bf    divu_loop
+    l.nop
+    l.jr    r9
+    l.addi  r3, r7, 0              # delay slot: move quotient
+
+.org DATA
+px:
+{px_words}
+py:
+{py_words}
+assign:
+    .space {assign_bytes}
+"""
+
+
+def generate_inputs(points: int, seed: int) -> tuple[list[int], list[int]]:
+    """Random 15-bit point coordinates around two loose blobs."""
+    rng = np.random.default_rng(seed)
+    half = points // 2
+    xs, ys = [], []
+    for count, (cx, cy) in zip((half, points - half),
+                               ((8000, 9000), (24000, 22000))):
+        xs.extend(int(v) for v in
+                  np.clip(rng.normal(cx, 3500, count), 0, 32767))
+        ys.extend(int(v) for v in
+                  np.clip(rng.normal(cy, 3500, count), 0, 32767))
+    return xs, ys
+
+
+def golden_kmeans(px: list[int], py: list[int], iters: int) -> list[int]:
+    """Exact reference of the kernel's integer Lloyd iterations."""
+    mask = 0xFFFFFFFF
+
+    def sq_dist(x: int, y: int, cx: int, cy: int) -> int:
+        dx = (x - cx) & mask
+        dy = (y - cy) & mask
+        sdx = dx - (1 << 32) if dx & 0x80000000 else dx
+        sdy = dy - (1 << 32) if dy & 0x80000000 else dy
+        return ((sdx * sdx) + (sdy * sdy)) & mask
+
+    cx = [px[0], px[1]]
+    cy = [py[0], py[1]]
+    assign = [0] * len(px)
+    for _ in range(iters):
+        sums = [[0, 0, 0], [0, 0, 0]]  # sx, sy, count
+        for index, (x, y) in enumerate(zip(px, py)):
+            d0 = sq_dist(x, y, cx[0], cy[0])
+            d1 = sq_dist(x, y, cx[1], cy[1])
+            cluster = 0 if d0 <= d1 else 1
+            assign[index] = cluster
+            sums[cluster][0] = (sums[cluster][0] + x) & mask
+            sums[cluster][1] = (sums[cluster][1] + y) & mask
+            sums[cluster][2] += 1
+        for cluster in (0, 1):
+            sx, sy, count = sums[cluster]
+            if count:
+                cx[cluster] = sx // count
+                cy[cluster] = sy // count
+    return assign
+
+
+def build(points: int = PAPER_POINTS, iters: int = DEFAULT_ITERS,
+          seed: int = 42) -> KernelInstance:
+    """Build a k-means kernel instance (2 clusters).
+
+    Args:
+        points: number of 2-D points (paper: 8).
+        iters: fixed Lloyd iterations.
+        seed: input-data seed.
+    """
+    if points < 2:
+        raise ValueError("need at least 2 points (centroid seeds)")
+    if iters < 1:
+        raise ValueError("need at least one iteration")
+    px, py = generate_inputs(points, seed)
+    golden = golden_kmeans(px, py, iters)
+    source = _ASM_TEMPLATE.format(
+        header=source_header(),
+        points=points,
+        iters=iters,
+        px_words=words_directive(px),
+        py_words=words_directive(py),
+        assign_bytes=4 * points,
+    )
+    def error_value(outputs: list[int], reference: list[int]) -> float:
+        return mismatch_fraction(outputs, reference)
+
+    return assemble_kernel(
+        name="kmeans",
+        source=source,
+        entry="start",
+        output_symbol="assign",
+        output_count=points,
+        golden=golden,
+        metric_name="cluster membership mismatch",
+        error_value=error_value,
+        relative_error=error_value,
+        params={"points": points, "iters": iters, "seed": seed},
+    )

@@ -1,0 +1,148 @@
+"""Matrix-multiplication benchmark: C = A x B on n x n matrices.
+
+Arithmetic/data-path-dominated kernel (paper Table 1: compute "++",
+control "-", 16x16 matrices in 8- and 16-bit element variants).
+Output error metric: mean squared error over the result matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.kernel import (
+    KernelInstance,
+    assemble_kernel,
+    source_header,
+    words_directive,
+)
+from repro.bench.metrics import mean_squared_error, normalized_rmse
+
+#: Paper-scale problem size (16x16 matrices).
+PAPER_SIZE = 16
+
+_ASM_TEMPLATE = """\
+{header}
+.equ N, {n}
+.equ ROWBYTES, {rowbytes}
+
+start:
+    l.movhi r4, hi(mat_a)
+    l.ori   r4, r4, lo(mat_a)      # r4 = A
+    l.movhi r5, hi(mat_b)
+    l.ori   r5, r5, lo(mat_b)      # r5 = B
+    l.movhi r6, hi(mat_c)
+    l.ori   r6, r6, lo(mat_c)      # r6 = C (write pointer)
+    l.addi  r7, r0, N
+    l.nop   FI_ON
+    l.addi  r8, r0, 0              # r8 = i
+loop_i:
+    l.addi  r9, r0, 0              # r9 = j  (r9 free: no calls)
+loop_j:
+    l.addi  r10, r0, 0             # r10 = acc
+    l.addi  r11, r0, 0             # r11 = k
+    l.slli  r12, r8, {log_rowbytes}
+    l.add   r12, r12, r4           # r12 = &A[i][0]
+    l.slli  r13, r9, 2
+    l.add   r13, r13, r5           # r13 = &B[0][j]
+loop_k:
+    l.lwz   r14, 0(r12)            # A[i][k]
+    l.lwz   r15, 0(r13)            # B[k][j]
+    l.mul   r16, r14, r15
+    l.add   r10, r10, r16
+    l.addi  r12, r12, 4
+    l.addi  r13, r13, ROWBYTES
+    l.addi  r11, r11, 1
+    l.sflts r11, r7
+    l.bf    loop_k
+    l.nop
+    l.sw    0(r6), r10             # C[i][j] = acc
+    l.addi  r6, r6, 4
+    l.addi  r9, r9, 1
+    l.sflts r9, r7
+    l.bf    loop_j
+    l.nop
+    l.addi  r8, r8, 1
+    l.sflts r8, r7
+    l.bf    loop_i
+    l.nop
+    l.nop   FI_OFF
+    l.nop   0x1                    # exit
+
+.org DATA
+mat_a:
+{a_words}
+mat_b:
+{b_words}
+mat_c:
+    .space {out_bytes}
+"""
+
+
+def generate_inputs(size: int, width_bits: int,
+                    seed: int) -> tuple[list[int], list[int]]:
+    """Random matrices with ``width_bits``-bit unsigned elements."""
+    rng = np.random.default_rng(seed)
+    high = 1 << width_bits
+    a = [int(v) for v in rng.integers(0, high, size * size)]
+    b = [int(v) for v in rng.integers(0, high, size * size)]
+    return a, b
+
+
+def golden_matmul(a: list[int], b: list[int], size: int) -> list[int]:
+    """Exact reference with 32-bit wraparound accumulation."""
+    out = []
+    for i in range(size):
+        for j in range(size):
+            acc = 0
+            for k in range(size):
+                acc = (acc + a[i * size + k] * b[k * size + j]) & 0xFFFFFFFF
+            out.append(acc)
+    return out
+
+
+def build(size: int = PAPER_SIZE, width_bits: int = 8,
+          seed: int = 42) -> KernelInstance:
+    """Build a matrix-multiplication kernel instance.
+
+    Args:
+        size: matrix dimension (must be a power of two so row strides
+            are shift-encodable).
+        width_bits: element width, 8 or 16 (the paper's two variants).
+        seed: input-data seed.
+    """
+    if size < 2 or size & (size - 1):
+        raise ValueError("size must be a power of two >= 2")
+    if width_bits not in (8, 16):
+        raise ValueError("width_bits must be 8 or 16")
+    a, b = generate_inputs(size, width_bits, seed)
+    golden = golden_matmul(a, b, size)
+    rowbytes = 4 * size
+    # Full scale of one product term, for the normalized metric.
+    full_scale = float((1 << width_bits) - 1) ** 2
+
+    def error_value(outputs: list[int], reference: list[int]) -> float:
+        return mean_squared_error(outputs, reference)
+
+    def rel_error(outputs: list[int], reference: list[int]) -> float:
+        return normalized_rmse(outputs, reference, full_scale)
+
+    return assemble_kernel(
+        name=f"mat_mult_{width_bits}bit",
+        source=_ASM_TEMPLATE.format(
+            header=source_header(),
+            n=size,
+            rowbytes=rowbytes,
+            log_rowbytes=rowbytes.bit_length() - 1,
+            a_words=words_directive(a),
+            b_words=words_directive(b),
+            out_bytes=4 * size * size,
+        ),
+        entry="start",
+        output_symbol="mat_c",
+        output_count=size * size,
+        golden=golden,
+        metric_name="mean squared error",
+        error_value=error_value,
+        relative_error=rel_error,
+        params={"size": size, "width_bits": width_bits, "seed": seed},
+    )

@@ -1,0 +1,124 @@
+"""Median benchmark: insertion sort of N values, report the middle one.
+
+Sorting/control-dominated kernel (paper Table 1: compute "-",
+control "+", 129 values).  Output error metric: relative difference of
+the reported median.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.kernel import (
+    KernelInstance,
+    assemble_kernel,
+    source_header,
+    words_directive,
+)
+from repro.bench.metrics import relative_difference
+
+#: Paper-scale problem size.
+PAPER_SIZE = 129
+
+_ASM_TEMPLATE = """\
+{header}
+.equ N, {n}
+
+start:
+    l.movhi r4, hi(values)
+    l.ori   r4, r4, lo(values)     # r4 = &values[0]
+    l.addi  r5, r0, N              # r5 = N
+    l.nop   FI_ON
+    l.addi  r6, r0, 1              # r6 = i
+outer:
+    l.sflts r6, r5                 # i < N ?
+    l.bnf   sorted
+    l.nop
+    l.slli  r7, r6, 2
+    l.add   r7, r7, r4             # r7 = &a[i]
+    l.lwz   r8, 0(r7)              # r8 = key
+    l.addi  r10, r6, -1            # r10 = j
+inner:
+    l.sflts r10, r0                # j < 0 ?
+    l.bf    place
+    l.nop
+    l.slli  r11, r10, 2
+    l.add   r11, r11, r4           # r11 = &a[j]
+    l.lwz   r12, 0(r11)
+    l.sfgtu r12, r8                # a[j] > key ?
+    l.bnf   place
+    l.nop
+    l.sw    4(r11), r12            # a[j+1] = a[j]
+    l.j     inner
+    l.addi  r10, r10, -1           # delay slot: j--
+place:
+    l.slli  r11, r10, 2
+    l.add   r11, r11, r4
+    l.sw    4(r11), r8             # a[j+1] = key
+    l.j     outer
+    l.addi  r6, r6, 1              # delay slot: i++
+sorted:
+    l.addi  r6, r0, {mid}          # middle index
+    l.slli  r6, r6, 2
+    l.add   r6, r6, r4
+    l.lwz   r3, 0(r6)              # median
+    l.addi  r3, r3, 0              # result moves through the ALU
+    l.nop   FI_OFF
+    l.movhi r7, hi(result)
+    l.ori   r7, r7, lo(result)
+    l.sw    0(r7), r3
+    l.nop   0x2                    # report median
+    l.nop   0x1                    # exit
+
+.org DATA
+values:
+{values}
+result:
+    .space 4
+"""
+
+
+def generate_inputs(size: int, seed: int) -> list[int]:
+    """Random input values in a 16-bit range (all positive)."""
+    rng = np.random.default_rng(seed)
+    return [int(v) for v in rng.integers(1, 1 << 16, size)]
+
+
+def golden_median(values: list[int]) -> int:
+    """Exact reference: middle element of the sorted values."""
+    return sorted(values)[len(values) // 2]
+
+
+def build(size: int = PAPER_SIZE, seed: int = 42) -> KernelInstance:
+    """Build a median kernel instance.
+
+    Args:
+        size: number of values to sort (odd sizes give a true median).
+        seed: input-data seed.
+    """
+    if size < 1:
+        raise ValueError("size must be at least 1")
+    values = generate_inputs(size, seed)
+    golden = [golden_median(values)]
+
+    def error_value(outputs: list[int], reference: list[int]) -> float:
+        return relative_difference(outputs[0], reference[0])
+
+    instance = assemble_kernel(
+        name="median",
+        source=_ASM_TEMPLATE.format(
+            header=source_header(),
+            n=size,
+            mid=size // 2,
+            values=words_directive(values),
+        ),
+        entry="start",
+        output_symbol="result",
+        output_count=1,
+        golden=golden,
+        metric_name="relative difference",
+        error_value=error_value,
+        relative_error=error_value,
+        params={"size": size, "seed": seed},
+    )
+    return instance

@@ -1,0 +1,61 @@
+"""Output-quality metrics of the four benchmarks (paper Table 1).
+
+Each benchmark quantifies output error in its own unit:
+
+* median -- relative difference of the reported median;
+* matrix multiplication -- mean squared error over the result matrix;
+* k-means -- fraction of points with wrong cluster membership;
+* Dijkstra -- fraction of node pairs with a wrong minimum distance.
+
+Every metric also has a normalized [0, 1] form used for cross-benchmark
+comparisons and the power/error trade-off analysis (Fig. 7's "average
+relative error in %").
+"""
+
+from __future__ import annotations
+
+
+def relative_difference(value: int, reference: int,
+                        clip: float = 1.0) -> float:
+    """|value - reference| / reference, clipped (median benchmark)."""
+    if reference == 0:
+        return 0.0 if value == 0 else clip
+    return min(abs(value - reference) / abs(reference), clip)
+
+
+def mean_squared_error(outputs: list[int], golden: list[int]) -> float:
+    """MSE over 32-bit output words (matrix-mult benchmark).
+
+    Differences are evaluated modulo 2**32 with wrap-aware magnitude
+    (a corrupted word is at most 2**31 away from the reference).
+    """
+    if len(outputs) != len(golden):
+        raise ValueError("output length mismatch")
+    if not outputs:
+        return 0.0
+    total = 0.0
+    for out, ref in zip(outputs, golden):
+        diff = (out - ref) & 0xFFFFFFFF
+        if diff > 0x80000000:
+            diff = 0x100000000 - diff
+        total += float(diff) ** 2
+    return total / len(outputs)
+
+
+def mismatch_fraction(outputs: list[int], golden: list[int]) -> float:
+    """Fraction of output words differing from the golden run."""
+    if len(outputs) != len(golden):
+        raise ValueError("output length mismatch")
+    if not outputs:
+        return 0.0
+    wrong = sum(1 for out, ref in zip(outputs, golden) if out != ref)
+    return wrong / len(outputs)
+
+
+def normalized_rmse(outputs: list[int], golden: list[int],
+                    full_scale: float) -> float:
+    """Root MSE normalized by a full-scale value, clipped to [0, 1]."""
+    if full_scale <= 0:
+        raise ValueError("full_scale must be positive")
+    rmse = mean_squared_error(outputs, golden) ** 0.5
+    return min(rmse / full_scale, 1.0)

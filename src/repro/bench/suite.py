@@ -1,0 +1,69 @@
+"""Benchmark suite registry (the paper's Table 1 kernels).
+
+Provides named factories with paper-scale defaults and the scaled-down
+"quick" variants the default experiment presets use (pure-Python
+Monte-Carlo at full paper scale is possible but slow; see
+``repro.experiments.scale``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.bench import dijkstra, kmeans, matmul, median
+from repro.bench.kernel import KernelInstance
+
+#: Benchmark names in the paper's Table 1 order.
+BENCHMARK_NAMES = (
+    "median",
+    "mat_mult_8bit",
+    "mat_mult_16bit",
+    "kmeans",
+    "dijkstra",
+)
+
+KernelFactory = Callable[..., KernelInstance]
+
+
+def paper_kernel(name: str, seed: int = 42) -> KernelInstance:
+    """Build a kernel at the paper's problem size."""
+    builders: dict[str, Callable[[], KernelInstance]] = {
+        "median": lambda: median.build(median.PAPER_SIZE, seed=seed),
+        "mat_mult_8bit": lambda: matmul.build(
+            matmul.PAPER_SIZE, width_bits=8, seed=seed),
+        "mat_mult_16bit": lambda: matmul.build(
+            matmul.PAPER_SIZE, width_bits=16, seed=seed),
+        "kmeans": lambda: kmeans.build(kmeans.PAPER_POINTS, seed=seed),
+        "dijkstra": lambda: dijkstra.build(dijkstra.PAPER_NODES, seed=seed),
+    }
+    try:
+        return builders[name]()
+    except KeyError:
+        raise KeyError(f"unknown benchmark {name!r}; "
+                       f"known: {BENCHMARK_NAMES}") from None
+
+
+def quick_kernel(name: str, seed: int = 42) -> KernelInstance:
+    """Build a scaled-down kernel for fast Monte-Carlo sweeps."""
+    builders: dict[str, Callable[[], KernelInstance]] = {
+        "median": lambda: median.build(33, seed=seed),
+        "mat_mult_8bit": lambda: matmul.build(8, width_bits=8, seed=seed),
+        "mat_mult_16bit": lambda: matmul.build(8, width_bits=16, seed=seed),
+        "kmeans": lambda: kmeans.build(8, iters=6, seed=seed),
+        "dijkstra": lambda: dijkstra.build(8, seed=seed),
+    }
+    try:
+        return builders[name]()
+    except KeyError:
+        raise KeyError(f"unknown benchmark {name!r}; "
+                       f"known: {BENCHMARK_NAMES}") from None
+
+
+def build_kernel(name: str, scale: str = "paper",
+                 seed: int = 42) -> KernelInstance:
+    """Build a kernel by name at ``"paper"`` or ``"quick"`` scale."""
+    if scale == "paper":
+        return paper_kernel(name, seed)
+    if scale == "quick":
+        return quick_kernel(name, seed)
+    raise ValueError(f"unknown scale {scale!r}; expected paper|quick")

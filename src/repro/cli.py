@@ -1,0 +1,144 @@
+"""Command-line interface: regenerate any paper experiment from a shell.
+
+Examples::
+
+    python -m repro table1 --scale paper
+    python -m repro fig5 --scale default
+    python -m repro all --scale quick
+    python -m repro timing-report --frequency-mhz 750
+    python -m repro verilog --unit multiplier --out mul32.v
+    python -m repro kernels
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.suite import BENCHMARK_NAMES, build_kernel
+from repro.experiments import (
+    ExperimentContext,
+    ablations,
+    fig1,
+    fig2,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    table1,
+    table2,
+)
+from repro.mc.runner import golden_cycles
+from repro.netlist.calibrate import calibrated_alu
+from repro.netlist.verilog import to_verilog
+from repro.timing.report import timing_report
+
+#: Experiment name -> callable(scale, context) -> rendered text.
+_EXPERIMENTS = {
+    "table1": lambda scale, ctx: table1.render(table1.run(scale)),
+    "table2": lambda scale, ctx: table2.render(),
+    "fig1": lambda scale, ctx: fig1.render(fig1.run(scale, context=ctx)),
+    "fig2": lambda scale, ctx: fig2.render(fig2.run(scale, context=ctx)),
+    "fig4": lambda scale, ctx: fig4.render(fig4.run(scale, context=ctx)),
+    "fig5": lambda scale, ctx: fig5.render(fig5.run(scale, context=ctx)),
+    "fig6": lambda scale, ctx: fig6.render(fig6.run(scale, context=ctx)),
+    "fig7": lambda scale, ctx: fig7.render(fig7.run(scale, context=ctx)),
+    "ablations": lambda scale, ctx: ablations.render_all(
+        ablations.run_glitch_model_ablation(scale, context=ctx),
+        ablations.run_semantics_ablation(scale, context=ctx),
+        ablations.run_adder_topology_ablation(scale)),
+}
+
+
+def _add_scale(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", default="quick",
+                        choices=("quick", "default", "paper"),
+                        help="experiment fidelity preset")
+    parser.add_argument("--seed", type=int, default=2016,
+                        help="master random seed")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Statistical fault injection for timing-error "
+                    "impact evaluation (DAC 2016 reproduction)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    for name in list(_EXPERIMENTS) + ["all"]:
+        sub = subparsers.add_parser(
+            name, help=f"regenerate {name}" if name != "all"
+            else "regenerate every table and figure")
+        _add_scale(sub)
+
+    report = subparsers.add_parser(
+        "timing-report", help="STA endpoint-slack report of the ALU")
+    report.add_argument("--frequency-mhz", type=float, default=707.1)
+    report.add_argument("--vdd", type=float, default=0.7)
+    report.add_argument("--limit", type=int, default=10,
+                        help="endpoints to list (worst first)")
+
+    verilog = subparsers.add_parser(
+        "verilog", help="export a functional unit as structural Verilog")
+    verilog.add_argument("--unit", default="adder",
+                         choices=("adder", "multiplier", "shifter",
+                                  "logic"))
+    verilog.add_argument("--out", default=None,
+                         help="output file (stdout when omitted)")
+
+    kernels = subparsers.add_parser(
+        "kernels", help="list benchmark kernels and their cycle counts")
+    kernels.add_argument("--scale", default="paper",
+                         choices=("quick", "paper"))
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command in _EXPERIMENTS or args.command == "all":
+        ctx = ExperimentContext.create(args.scale, args.seed)
+        names = (list(_EXPERIMENTS) if args.command == "all"
+                 else [args.command])
+        for name in names:
+            if len(names) > 1:
+                print(f"\n{'=' * 72}\n{name} (scale: {args.scale})\n"
+                      f"{'=' * 72}")
+            print(_EXPERIMENTS[name](args.scale, ctx))
+        return 0
+
+    if args.command == "timing-report":
+        alu = calibrated_alu()
+        report = timing_report(alu, args.frequency_mhz * 1e6, args.vdd)
+        print(report.render(limit=args.limit))
+        return 0
+
+    if args.command == "verilog":
+        alu = calibrated_alu()
+        text = to_verilog(alu.units[args.unit])
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(text)
+            print(f"wrote {args.out}")
+        else:
+            print(text)
+        return 0
+
+    if args.command == "kernels":
+        print(f"{'benchmark':16s} {'size':16s} {'cycles':>9s} "
+              f"{'output metric'}")
+        for name in BENCHMARK_NAMES:
+            kernel = build_kernel(name, args.scale)
+            cycles = golden_cycles(kernel)
+            size = ", ".join(f"{k}={v}" for k, v in kernel.params.items()
+                             if k != "seed")
+            print(f"{name:16s} {size:16s} {cycles:>9d} "
+                  f"{kernel.metric_name}")
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

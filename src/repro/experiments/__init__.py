@@ -1,0 +1,30 @@
+"""Experiment drivers regenerating every table and figure of the paper."""
+
+from repro.experiments import ablations, fig1, fig2, fig4, fig5, fig6, fig7
+from repro.experiments import table1, table2
+from repro.experiments.context import (
+    ExperimentContext,
+    NOISE_SIGMAS,
+    NOMINAL_VDD,
+)
+from repro.experiments.scale import DEFAULT, PAPER, QUICK, Scale, get_scale
+
+__all__ = [
+    "DEFAULT",
+    "ExperimentContext",
+    "NOISE_SIGMAS",
+    "NOMINAL_VDD",
+    "PAPER",
+    "QUICK",
+    "Scale",
+    "ablations",
+    "fig1",
+    "fig2",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "get_scale",
+    "table1",
+    "table2",
+]

@@ -1,0 +1,93 @@
+"""Shared experiment context: the hardware model and its timing views.
+
+Every experiment needs the same expensive substrate -- the calibrated
+ALU netlist, its fitted Vdd-delay curve, and per-voltage DTA
+characterizations.  :class:`ExperimentContext` builds them lazily and
+caches them, so a sequence of experiments (or one pytest session)
+characterizes each condition only once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.netlist.alu import AluNetlist
+from repro.netlist.calibrate import calibrated_alu
+from repro.timing.characterize import (
+    AluCharacterization,
+    CharacterizationConfig,
+    get_characterization,
+)
+from repro.timing.noise import VoltageNoise
+from repro.timing.voltage import VddDelayModel
+from repro.experiments.scale import Scale, get_scale
+
+#: The case study's nominal operating voltage [V].
+NOMINAL_VDD = 0.7
+
+#: Noise sigmas studied throughout the paper [V].
+NOISE_SIGMAS = (0.0, 0.010, 0.025)
+
+
+@dataclass
+class ExperimentContext:
+    """Lazily-built shared hardware model for the experiment drivers."""
+
+    scale: Scale
+    seed: int = 2016
+    _alu: AluNetlist | None = None
+    _vdd_model: VddDelayModel | None = None
+    _characterizations: dict[float, AluCharacterization] = \
+        field(default_factory=dict)
+
+    @classmethod
+    def create(cls, scale: str | Scale = "default",
+               seed: int = 2016) -> "ExperimentContext":
+        return cls(scale=get_scale(scale), seed=seed)
+
+    @property
+    def alu(self) -> AluNetlist:
+        if self._alu is None:
+            self._alu = calibrated_alu()
+        return self._alu
+
+    @property
+    def vdd_model(self) -> VddDelayModel:
+        if self._vdd_model is None:
+            self._vdd_model = VddDelayModel.from_alu_sta(self.alu)
+        return self._vdd_model
+
+    def characterization(self, vdd: float = NOMINAL_VDD) -> \
+            AluCharacterization:
+        """Per-instruction CDF tables at one supply voltage (cached)."""
+        found = self._characterizations.get(vdd)
+        if found is None:
+            found = get_characterization(self.alu, CharacterizationConfig(
+                vdd=vdd,
+                n_cycles_per_instr=self.scale.char_cycles,
+                seed=self.seed))
+            self._characterizations[vdd] = found
+        return found
+
+    def sta_limit_hz(self, vdd: float = NOMINAL_VDD) -> float:
+        return self.alu.sta_limit_hz(vdd)
+
+    def noise(self, sigma_v: float) -> VoltageNoise:
+        return VoltageNoise(sigma_v)
+
+    def bplus_onset_hz(self, vdd: float, sigma_v: float) -> float:
+        """First frequency at which model B+ can inject a fault.
+
+        The worst STA critical period stretched by the worst-case
+        (clipped 2-sigma) droop defines the model-B+ onset; with zero
+        noise this equals the STA limit (model B's cliff).
+        """
+        worst = self.alu.worst_sta_period_ps(vdd)
+        factor = float(self.vdd_model.scale_factor(
+            vdd - VoltageNoise(sigma_v).max_droop_v, vdd))
+        return 1e12 / (worst * factor)
+
+    def rng(self, salt: int = 0) -> np.random.Generator:
+        return np.random.default_rng(self.seed + salt)

@@ -1,0 +1,104 @@
+"""Fig. 2: DTA-extracted timing-error probability CDFs.
+
+Reproduces the cumulative distribution functions of the dynamic
+timing-error probability over clock frequency, for the multiplication
+and addition instructions, two endpoint bits (a low- and a
+high-significance one) and two supply voltages.
+
+The paper's qualitative findings that must hold here:
+
+* ``l.mul`` starts failing at lower frequencies than ``l.add``;
+* higher-significance bits fail earlier than low bits;
+* a higher supply voltage shifts every CDF to the right.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.scale import Scale, get_scale
+
+#: Endpoint bits plotted by the paper.
+PLOT_BITS = (3, 24)
+
+#: Supply voltages plotted by the paper.
+PLOT_VDDS = (0.7, 0.8)
+
+#: Frequency axis of the paper's plot [Hz].
+FREQ_AXIS = (800e6, 2000e6)
+
+
+@dataclass
+class CdfCurve:
+    """One CDF curve: error probability versus frequency."""
+
+    mnemonic: str
+    bit: int
+    vdd: float
+    frequencies_hz: np.ndarray
+    probabilities: np.ndarray
+
+    def first_failure_hz(self) -> float | None:
+        """Lowest plotted frequency with non-zero error probability."""
+        nonzero = np.flatnonzero(self.probabilities > 0)
+        if nonzero.size == 0:
+            return None
+        return float(self.frequencies_hz[nonzero[0]])
+
+
+@dataclass
+class Fig2Result:
+    curves: list[CdfCurve]
+
+    def curve(self, mnemonic: str, bit: int, vdd: float) -> CdfCurve:
+        for candidate in self.curves:
+            if (candidate.mnemonic == mnemonic and candidate.bit == bit
+                    and candidate.vdd == vdd):
+                return candidate
+        raise KeyError(f"no curve for {mnemonic} bit {bit} @ {vdd} V")
+
+
+def run(scale: str | Scale = "default", seed: int = 2016,
+        context: ExperimentContext | None = None,
+        mnemonics: tuple[str, ...] = ("l.mul", "l.add"),
+        points: int = 241) -> Fig2Result:
+    """Extract the Fig. 2 CDF curves from DTA characterizations."""
+    scale = get_scale(scale)
+    ctx = context or ExperimentContext.create(scale, seed)
+    frequencies = np.linspace(FREQ_AXIS[0], FREQ_AXIS[1], points)
+    curves = []
+    for vdd in PLOT_VDDS:
+        characterization = ctx.characterization(vdd)
+        for mnemonic in mnemonics:
+            cdfs = characterization.cdfs[mnemonic]
+            probs = np.stack([
+                cdfs.error_probs(1e12 / f) for f in frequencies])
+            for bit in PLOT_BITS:
+                curves.append(CdfCurve(
+                    mnemonic=mnemonic,
+                    bit=bit,
+                    vdd=vdd,
+                    frequencies_hz=frequencies,
+                    probabilities=probs[:, bit],
+                ))
+    return Fig2Result(curves=curves)
+
+
+def render(result: Fig2Result) -> str:
+    """Summarize each curve by onset and selected probabilities."""
+    lines = [f"{'instr':8s} {'bit':>4s} {'Vdd':>5s} {'onset MHz':>10s} "
+             f"{'P@1.0GHz':>9s} {'P@1.4GHz':>9s} {'P@1.8GHz':>9s}"]
+    for curve in result.curves:
+        onset = curve.first_failure_hz()
+        samples = []
+        for f_hz in (1.0e9, 1.4e9, 1.8e9):
+            index = int(np.argmin(np.abs(curve.frequencies_hz - f_hz)))
+            samples.append(curve.probabilities[index])
+        lines.append(
+            f"{curve.mnemonic:8s} {curve.bit:>4d} {curve.vdd:>5.2f} "
+            f"{(onset or 0) / 1e6:>10.0f} "
+            f"{samples[0]:>9.3f} {samples[1]:>9.3f} {samples[2]:>9.3f}")
+    return "\n".join(lines)

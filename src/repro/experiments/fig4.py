@@ -1,0 +1,141 @@
+"""Fig. 4: MSE versus frequency for individual arithmetic instructions.
+
+Reproduces the instruction-characterization study (paper Section 4.1):
+addition with 16-bit and with 32-bit operand ranges, and multiplication
+with 16-bit operand ranges (32-bit results), all with uniformly random
+operands at 0.7 V and sigma = 10 mV supply noise.
+
+Implementation: the DTA engine provides, per characterization cycle,
+the exact endpoint arrival times *and* the correct result value.  For
+each swept frequency every cycle draws its own noise value; endpoints
+whose scaled critical period exceeds the clock period flip, and the MSE
+between the corrupted and correct result streams is reported.
+
+The paper's qualitative findings that must hold here: the points of
+first calculation failure are ordered mul < add-32 < add-16 in
+frequency, and the MSE rises with frequency and saturates near the
+operand-width-determined maximum about 15 % beyond the PoFF.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.context import ExperimentContext, NOMINAL_VDD
+from repro.experiments.scale import Scale, get_scale
+from repro.timing.dta import run_dta
+from repro.timing.noise import VoltageNoise
+
+#: Instruction variants of the study: (label, mnemonic, operand bits,
+#: signed operands).  Addition with a 16-bit value range uses 15-bit
+#: unsigned operands so the result also stays within 16 bits (the
+#: paper: "operands with a 16-bit value range and a 16-bit result");
+#: multiplication covers a *signed* 16-bit value range, whose sign
+#: extension excites the full multiplier array (32-bit result).
+VARIANTS = (
+    ("l.add 16-bit", "l.add", 15, False),
+    ("l.add 32-bit", "l.add", 32, False),
+    ("l.mul 32-bit", "l.mul", 16, True),
+)
+
+#: Default noise level of the study.
+SIGMA_V = 0.010
+
+#: Frequency axis of the paper's plot [Hz].
+FREQ_AXIS = (650e6, 1250e6)
+
+
+@dataclass
+class InstructionMseCurve:
+    """MSE-vs-frequency curve of one instruction variant."""
+
+    label: str
+    mnemonic: str
+    operand_bits: int
+    frequencies_hz: np.ndarray
+    mse: np.ndarray
+
+    def poff_hz(self) -> float | None:
+        """Lowest swept frequency with MSE > 0."""
+        nonzero = np.flatnonzero(self.mse > 0)
+        if nonzero.size == 0:
+            return None
+        return float(self.frequencies_hz[nonzero[0]])
+
+
+@dataclass
+class Fig4Result:
+    curves: list[InstructionMseCurve]
+    vdd: float
+    sigma_v: float
+
+    def curve(self, label: str) -> InstructionMseCurve:
+        for candidate in self.curves:
+            if candidate.label == label:
+                return candidate
+        raise KeyError(f"no curve labelled {label!r}")
+
+
+def _wrap_sq_error(corrupted: np.ndarray, correct: np.ndarray) -> np.ndarray:
+    diff = (corrupted - correct) & np.uint64(0xFFFFFFFF)
+    wrapped = np.minimum(diff, np.uint64(1 << 32) - diff)
+    return wrapped.astype(np.float64) ** 2
+
+
+def run(scale: str | Scale = "default", seed: int = 2016,
+        context: ExperimentContext | None = None,
+        sigma_v: float = SIGMA_V, points: int | None = None) -> Fig4Result:
+    """Run the instruction MSE study."""
+    scale = get_scale(scale)
+    ctx = context or ExperimentContext.create(scale, seed)
+    points = points or max(scale.freq_points * 4, 25)
+    frequencies = np.linspace(FREQ_AXIS[0], FREQ_AXIS[1], points)
+    noise = VoltageNoise(sigma_v)
+    rng = ctx.rng(salt=4)
+    n_samples = scale.fig4_samples
+    curves = []
+    for label, mnemonic, bits, signed in VARIANTS:
+        if signed:
+            low, high = -(1 << (bits - 1)), 1 << (bits - 1)
+            operands = tuple(
+                (rng.integers(low, high, n_samples + 1, dtype=np.int64)
+                 & 0xFFFFFFFF).astype(np.uint64)
+                for _ in range(2))
+        else:
+            operands = tuple(
+                rng.integers(0, 1 << bits, n_samples + 1, dtype=np.uint64)
+                for _ in range(2))
+        dta = run_dta(ctx.alu, mnemonic, n_samples, vdd=NOMINAL_VDD,
+                      seed=seed, operands=operands)
+        critical = dta.critical_ps  # (n, 32)
+        correct = dta.values.astype(np.uint64)
+        bit_weights = (np.uint64(1) << np.arange(32, dtype=np.uint64))
+        mse = np.empty_like(frequencies)
+        for index, frequency in enumerate(frequencies):
+            period = 1e12 / frequency
+            droops = noise.sample(n_samples, rng)
+            factors = np.asarray(ctx.vdd_model.scale_factor(
+                NOMINAL_VDD + droops, NOMINAL_VDD))
+            violated = critical * factors[:, None] > period
+            masks = (violated * bit_weights[None, :]).sum(
+                axis=1, dtype=np.uint64)
+            corrupted = correct ^ masks
+            mse[index] = _wrap_sq_error(corrupted, correct).mean()
+        curves.append(InstructionMseCurve(
+            label=label, mnemonic=mnemonic, operand_bits=bits,
+            frequencies_hz=frequencies, mse=mse))
+    return Fig4Result(curves=curves, vdd=NOMINAL_VDD, sigma_v=sigma_v)
+
+
+def render(result: Fig4Result) -> str:
+    """Human-readable PoFF summary plus MSE samples."""
+    lines = [f"Fig.4 @ {result.vdd} V, sigma = {result.sigma_v * 1e3:.0f} mV"]
+    for curve in result.curves:
+        poff = curve.poff_hz()
+        peak = curve.mse.max()
+        lines.append(
+            f"  {curve.label:14s} PoFF = "
+            f"{(poff or 0) / 1e6:7.1f} MHz   saturation MSE = {peak:.3e}")
+    return "\n".join(lines)

@@ -1,0 +1,62 @@
+"""Experiment scaling presets.
+
+The paper's evaluation uses >= 100 Monte-Carlo trials per data point on
+kernels of up to ~1 M cycles.  That is feasible but slow in a pure
+Python ISS, so every experiment driver accepts a :class:`Scale`:
+
+* ``quick`` -- smoke-test scale for CI and pytest-benchmark runs;
+* ``default`` -- enough trials/points for the paper's qualitative
+  shapes to be statistically visible (minutes per figure);
+* ``paper`` -- the paper's problem sizes and trial counts (hours).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Knobs that trade fidelity for runtime.
+
+    Attributes:
+        name: preset name.
+        trials: Monte-Carlo trials per data point.
+        freq_points: frequencies per sweep.
+        kernel_scale: benchmark problem size ("quick" or "paper").
+        char_cycles: DTA characterization cycles per instruction.
+        fig4_samples: operand samples for the instruction study.
+        voltage_points: voltages per Fig. 7 sweep.
+    """
+
+    name: str
+    trials: int
+    freq_points: int
+    kernel_scale: str
+    char_cycles: int
+    fig4_samples: int
+    voltage_points: int
+
+
+QUICK = Scale(name="quick", trials=10, freq_points=7,
+              kernel_scale="quick", char_cycles=256, fig4_samples=512,
+              voltage_points=7)
+DEFAULT = Scale(name="default", trials=30, freq_points=11,
+                kernel_scale="quick", char_cycles=512, fig4_samples=2048,
+                voltage_points=9)
+PAPER = Scale(name="paper", trials=200, freq_points=23,
+              kernel_scale="paper", char_cycles=512, fig4_samples=8192,
+              voltage_points=13)
+
+_PRESETS = {scale.name: scale for scale in (QUICK, DEFAULT, PAPER)}
+
+
+def get_scale(name_or_scale: str | Scale) -> Scale:
+    """Resolve a preset name (or pass a custom Scale through)."""
+    if isinstance(name_or_scale, Scale):
+        return name_or_scale
+    try:
+        return _PRESETS[name_or_scale]
+    except KeyError:
+        raise KeyError(f"unknown scale {name_or_scale!r}; "
+                       f"known: {sorted(_PRESETS)}") from None

@@ -1,0 +1,115 @@
+"""Table 1: benchmark properties.
+
+Regenerates the paper's benchmark-overview table from measurement: the
+compute/control character is derived from the retired instruction mix
+(profiled on the ISS), the cycle counts are measured fault-free, and
+the size/metric columns come from the kernel definitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.suite import BENCHMARK_NAMES, build_kernel
+from repro.experiments.scale import Scale, get_scale
+from repro.sim.cpu import Cpu
+from repro.sim.machine import MachineConfig
+
+
+def _rating(fraction: float, thresholds: tuple[float, float]) -> str:
+    """Map a fraction to the paper's -, +, ++ rating scale."""
+    low, high = thresholds
+    if fraction >= high:
+        return "++"
+    if fraction >= low:
+        return "+"
+    return "-"
+
+
+@dataclass
+class Table1Row:
+    """One benchmark's measured properties."""
+
+    name: str
+    size: str
+    cycles: int
+    kernel_cycles: int
+    compute_fraction: float
+    control_fraction: float
+    compute_rating: str
+    control_rating: str
+    error_metric: str
+
+    def as_dict(self) -> dict:
+        return {
+            "benchmark": self.name,
+            "size": self.size,
+            "cycles": self.cycles,
+            "kernel_cycles": self.kernel_cycles,
+            "compute": self.compute_rating,
+            "control": self.control_rating,
+            "compute_fraction": round(self.compute_fraction, 3),
+            "control_fraction": round(self.control_fraction, 3),
+            "output_error": self.error_metric,
+        }
+
+
+_SIZE_LABELS = {
+    "median": lambda p: f"{p['size']} values",
+    "mat_mult_8bit": lambda p: f"{p['size']}x{p['size']} matr.",
+    "mat_mult_16bit": lambda p: f"{p['size']}x{p['size']} matr.",
+    "kmeans": lambda p: f"{p['points']} points (2D)",
+    "dijkstra": lambda p: f"{p['nodes']} nodes",
+}
+
+#: Instruction classes counted as "compute" (multiplier-weighted data
+#: path) vs "control" for the rating columns.
+_COMPUTE_CLASSES = ("multiplier",)
+_CONTROL_CLASSES = ("control", "compare")
+
+
+def run(scale: str | Scale = "default", seed: int = 42) -> list[Table1Row]:
+    """Measure Table 1 for every benchmark.
+
+    Args:
+        scale: ``paper`` scale measures the paper's problem sizes;
+            other presets use the scaled-down kernels.
+        seed: benchmark input seed.
+    """
+    scale = get_scale(scale)
+    rows = []
+    for name in BENCHMARK_NAMES:
+        kernel = build_kernel(name, scale.kernel_scale, seed)
+        cpu = Cpu(kernel.program, config=MachineConfig(), profile=True)
+        result = cpu.run(kernel.entry)
+        if not result.finished:
+            raise RuntimeError(f"{name} did not finish fault-free")
+        counts = result.class_counts
+        total = sum(counts.values()) or 1
+        compute = sum(counts.get(c, 0) for c in _COMPUTE_CLASSES) / total
+        control = sum(counts.get(c, 0) for c in _CONTROL_CLASSES) / total
+        rows.append(Table1Row(
+            name=name,
+            size=_SIZE_LABELS[name](kernel.params),
+            cycles=result.cycles,
+            kernel_cycles=result.kernel_cycles,
+            compute_fraction=compute,
+            control_fraction=control,
+            compute_rating=_rating(compute, (0.015, 0.08)),
+            control_rating=_rating(control, (0.25, 0.40)),
+            error_metric=kernel.metric_name,
+        ))
+    return rows
+
+
+def render(rows: list[Table1Row]) -> str:
+    """Human-readable table."""
+    header = (f"{'benchmark':16s} {'size':16s} {'cycles':>9s} "
+              f"{'compute':>8s} {'control':>8s}  output error")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.name:16s} {row.size:16s} {row.cycles:>9d} "
+            f"{row.compute_rating:>8s} {row.control_rating:>8s}  "
+            f"{row.error_metric}")
+    return "\n".join(lines)

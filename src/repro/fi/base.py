@@ -1,0 +1,86 @@
+"""Fault injector interface and fault semantics.
+
+All four timing-error models (A, B, B+, C) implement one contract: the
+CPU calls ``on_alu(mnemonic, result)`` for every FI-eligible
+instruction inside the benchmark's FI window, and the injector returns
+the (possibly corrupted) 32-bit value that gets latched into the
+EX-stage endpoint register.
+
+Two fault semantics model what a timing violation does to an endpoint
+flip-flop:
+
+* ``flip`` -- the affected bit inverts (the conventional register-bit
+  FI abstraction, and the paper's framing); default.
+* ``stale`` -- the flip-flop re-latches its previous value on the
+  affected bit (the late data edge missed the capture window).
+
+The distinction is an extension knob for sensitivity studies; both
+corrupt only bits reported by the model's fault mask.
+"""
+
+from __future__ import annotations
+
+import abc
+
+MASK32 = 0xFFFFFFFF
+
+FAULT_SEMANTICS = ("flip", "stale")
+
+
+class FaultInjector(abc.ABC):
+    """Base class for all timing-error injection models.
+
+    Attributes:
+        fault_count: total corrupted bits so far in this run.
+        faulty_cycles: cycles with at least one corrupted bit.
+        alu_cycles: FI-eligible instructions seen in the FI window.
+    """
+
+    #: Short model tag ("A", "B", "B+", "C") for reports.
+    model_name = "?"
+
+    def __init__(self, semantics: str = "flip"):
+        if semantics not in FAULT_SEMANTICS:
+            raise ValueError(
+                f"unknown fault semantics {semantics!r}; "
+                f"expected one of {FAULT_SEMANTICS}")
+        self.semantics = semantics
+        self.fault_count = 0
+        self.faulty_cycles = 0
+        self.alu_cycles = 0
+        self._last_latched = 0
+
+    def begin_run(self) -> None:
+        """Reset per-run counters (called by the CPU before execution)."""
+        self.fault_count = 0
+        self.faulty_cycles = 0
+        self.alu_cycles = 0
+        self._last_latched = 0
+
+    @abc.abstractmethod
+    def fault_mask(self, mnemonic: str) -> int:
+        """Bit mask of endpoints violated this cycle (0 = no fault)."""
+
+    def on_alu(self, mnemonic: str, result: int) -> int:
+        """CPU hook: pass an EX-stage result through the fault model."""
+        self.alu_cycles += 1
+        mask = self.fault_mask(mnemonic)
+        if mask:
+            self.faulty_cycles += 1
+            self.fault_count += mask.bit_count()
+            if self.semantics == "flip":
+                result = (result ^ mask) & MASK32
+            else:
+                result = ((result & ~mask)
+                          | (self._last_latched & mask)) & MASK32
+        self._last_latched = result
+        return result
+
+
+class NullInjector(FaultInjector):
+    """Injector that never faults; useful for baselines and profiling."""
+
+    model_name = "none"
+
+    def fault_mask(self, mnemonic: str) -> int:
+        return 0

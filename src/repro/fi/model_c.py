@@ -1,0 +1,160 @@
+"""Model C: the proposed instruction-aware statistical fault injection.
+
+This is the paper's contribution (Section 3.4, Fig. 3).  Each cycle
+with an FI-eligible instruction in the execute stage:
+
+1. a CDF scaling factor is derived from the clock frequency and the
+   per-cycle supply-voltage noise through the fitted Vdd-delay curve
+   (implemented as an *effective clock period*);
+2. the timing-error probabilities ``P_{E,V,I}(f)`` of all 32 endpoints
+   are read from the scaled CDF matching the executing instruction and
+   the characterization voltage;
+3. faults are injected per endpoint with those probabilities.
+
+Two endpoint-correlation modes are provided:
+
+* ``independent`` (default, the paper's step 3): each endpoint draws
+  its own Bernoulli with probability ``P_{E,V,I}``;
+* ``joint``: a whole characterization cycle is resampled from the DTA
+  statistics, preserving the correlations between endpoints that share
+  logic cones (an extension of the paper's model; marginals match the
+  CDFs exactly either way).
+
+The per-cycle fast path costs one stream read, one bisect into the
+period grid, and one uniform draw; the expensive conditional sampling
+only runs on actual fault cycles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fi.base import FaultInjector
+from repro.fi.sampling import BitSampler
+from repro.fi.streams import EffectivePeriodStream
+from repro.netlist.alu import AluNetlist
+from repro.netlist.library import VDD_REF
+from repro.timing.characterize import (
+    AluCharacterization,
+    CharacterizationConfig,
+    get_characterization,
+)
+from repro.timing.noise import VoltageNoise
+from repro.timing.voltage import VddDelayModel
+
+CORRELATION_MODES = ("independent", "joint")
+
+
+class StatisticalInjector(FaultInjector):
+    """Instruction-aware statistical fault injection (model C).
+
+    Args:
+        characterization: per-instruction CDF tables from DTA.
+        frequency_hz: simulated clock frequency.
+        noise: supply-voltage noise distribution.
+        vdd_operating: supply the core runs at; may differ from the
+            characterization voltage (the fitted Vdd-delay curve scales
+            the CDFs accordingly, e.g. for voltage overscaling).
+        vdd_model: fitted Vdd-delay curve.
+        rng: random generator.
+        correlation: ``"independent"`` or ``"joint"`` (see module doc).
+        semantics: fault semantics.
+    """
+
+    model_name = "C"
+
+    def __init__(self, characterization: AluCharacterization,
+                 frequency_hz: float, noise: VoltageNoise,
+                 vdd_operating: float | None = None,
+                 vdd_model: VddDelayModel | None = None,
+                 rng: np.random.Generator | None = None,
+                 correlation: str = "independent",
+                 semantics: str = "flip"):
+        super().__init__(semantics)
+        if frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        if correlation not in CORRELATION_MODES:
+            raise ValueError(
+                f"unknown correlation mode {correlation!r}; "
+                f"expected one of {CORRELATION_MODES}")
+        if vdd_model is None:
+            raise ValueError(
+                "a fitted VddDelayModel is required (use "
+                "StatisticalInjector.for_alu for a turnkey setup)")
+        self.characterization = characterization
+        self.frequency_hz = frequency_hz
+        self.noise = noise
+        self.correlation = correlation
+        self.vdd_characterized = characterization.config.vdd
+        self.vdd_operating = (vdd_operating
+                              if vdd_operating is not None
+                              else self.vdd_characterized)
+        self._rng = rng or np.random.default_rng()
+        self._grids = characterization.grids
+        self._cdfs = characterization.cdfs
+        self._stream = EffectivePeriodStream(
+            period_ps=1e12 / frequency_hz,
+            vdd_operating=self.vdd_operating,
+            vdd_characterized=self.vdd_characterized,
+            vdd_model=vdd_model,
+            noise=noise,
+            rng=self._rng)
+        # Lazily built conditional samplers, keyed by (mnemonic, row).
+        self._samplers: dict[tuple[str, int], BitSampler] = {}
+
+    @classmethod
+    def for_alu(cls, alu: AluNetlist, frequency_hz: float,
+                noise: VoltageNoise,
+                vdd_operating: float | None = None,
+                characterization_config: CharacterizationConfig | None = None,
+                rng: np.random.Generator | None = None,
+                correlation: str = "independent",
+                semantics: str = "flip") -> "StatisticalInjector":
+        """Build an injector from an ALU, characterizing on first use."""
+        characterization = get_characterization(
+            alu, characterization_config)
+        return cls(
+            characterization=characterization,
+            frequency_hz=frequency_hz,
+            noise=noise,
+            vdd_operating=vdd_operating,
+            vdd_model=VddDelayModel.from_alu_sta(alu),
+            rng=rng,
+            correlation=correlation,
+            semantics=semantics)
+
+    # -- mask generation ----------------------------------------------------
+
+    def fault_mask(self, mnemonic: str) -> int:
+        period_eff = self._stream.next()
+        grid = self._grids[mnemonic]
+        row = grid.row_index(period_eff)
+        if row < 0:
+            return 0
+        if self.correlation == "independent":
+            return self._independent_mask(mnemonic, grid, row)
+        return self._joint_mask(mnemonic, period_eff)
+
+    def _independent_mask(self, mnemonic: str, grid, row: int) -> int:
+        sampler = self._samplers.get((mnemonic, row))
+        if sampler is None:
+            sampler = BitSampler.from_probs(grid.probs[row])
+            self._samplers[(mnemonic, row)] = sampler
+        if sampler.p_any <= 0.0 or self._rng.random() >= sampler.p_any:
+            return 0
+        return sampler.sample_mask(self._rng)
+
+    def _joint_mask(self, mnemonic: str, period_eff: float) -> int:
+        cdfs = self._cdfs[mnemonic]
+        n = cdfs.n_cycles
+        first_violating = int(np.searchsorted(
+            cdfs.row_max_sorted, period_eff, side="right"))
+        violating = n - first_violating
+        if violating <= 0 or self._rng.random() >= violating / n:
+            return 0
+        index = int(self._rng.integers(first_violating, n))
+        bits = np.flatnonzero(cdfs.critical_rows[index] > period_eff)
+        mask = 0
+        for bit in bits:
+            mask |= 1 << int(bit)
+        return mask

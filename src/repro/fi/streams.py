@@ -1,0 +1,81 @@
+"""Per-cycle effective-period stream under supply-voltage noise.
+
+Models B+ and C share the same noise plumbing: each cycle draws an
+independent supply-noise value, converts it through the fitted
+Vdd-delay curve into a delay scale factor ``k``, and compares scaled
+path delays against the clock period.  Scaling all delays by ``k`` is
+equivalent to scaling the clock period by ``1/k``, so the stream hands
+out *effective periods* ``T_eff = T / k`` directly.
+
+The stream also handles static voltage offsets: when the operating
+voltage differs from the characterization voltage (Fig. 7's
+voltage-overscaling at fixed frequency), the same fitted curve provides
+the offset's scale factor.
+
+Values are produced in vectorized blocks; the per-cycle cost inside the
+injector is one array index.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.timing.noise import VoltageNoise
+from repro.timing.voltage import VddDelayModel
+
+
+class EffectivePeriodStream:
+    """Blocked per-cycle effective clock periods under voltage noise.
+
+    Args:
+        period_ps: nominal clock period [ps] (1e12 / frequency).
+        vdd_operating: supply voltage the core runs at.
+        vdd_characterized: voltage of the timing data being scaled
+            (STA corner for model B+, CDF characterization voltage for
+            model C).
+        vdd_model: fitted Vdd-delay curve.
+        noise: supply-noise distribution.
+        rng: random generator for the noise stream.
+        block: vectorized refill size.
+    """
+
+    def __init__(self, period_ps: float, vdd_operating: float,
+                 vdd_characterized: float, vdd_model: VddDelayModel,
+                 noise: VoltageNoise, rng: np.random.Generator,
+                 block: int = 65536):
+        if period_ps <= 0:
+            raise ValueError("clock period must be positive")
+        if block <= 0:
+            raise ValueError("block size must be positive")
+        self.period_ps = period_ps
+        self.vdd_operating = vdd_operating
+        self.vdd_characterized = vdd_characterized
+        self._vdd_model = vdd_model
+        self._noise = noise
+        self._rng = rng
+        self._block = block
+        self._constant: float | None = None
+        if noise.sigma_v == 0.0:
+            factor = float(vdd_model.scale_factor(
+                vdd_operating, vdd_characterized))
+            self._constant = period_ps / factor
+        else:
+            self._values = self._refill()
+            self._cursor = 0
+
+    def _refill(self) -> np.ndarray:
+        droops = self._noise.sample(self._block, self._rng)
+        factors = self._vdd_model.scale_factor(
+            self.vdd_operating + droops, self.vdd_characterized)
+        return self.period_ps / factors
+
+    def next(self) -> float:
+        """Effective period [ps] for the next cycle."""
+        if self._constant is not None:
+            return self._constant
+        if self._cursor >= self._block:
+            self._values = self._refill()
+            self._cursor = 0
+        value = self._values[self._cursor]
+        self._cursor += 1
+        return value

@@ -1,0 +1,48 @@
+"""OR1K-subset instruction set: specs, encoding, assembler, disassembler."""
+
+from repro.isa.assembler import Assembler, AssemblerError, assemble
+from repro.isa.disassembler import disassemble, disassemble_range
+from repro.isa.encoding import (
+    Decoded,
+    EncodingError,
+    decode,
+    encode,
+    make,
+    sign_extend,
+)
+from repro.isa.instructions import (
+    ALU_MNEMONICS,
+    INSTRUCTIONS,
+    Format,
+    InstructionSpec,
+    NOP_EXIT,
+    NOP_REPORT,
+    TimingClass,
+    alu_mnemonics_for_class,
+    spec_for,
+)
+from repro.isa.program import Program
+
+__all__ = [
+    "ALU_MNEMONICS",
+    "Assembler",
+    "AssemblerError",
+    "Decoded",
+    "EncodingError",
+    "Format",
+    "INSTRUCTIONS",
+    "InstructionSpec",
+    "NOP_EXIT",
+    "NOP_REPORT",
+    "Program",
+    "TimingClass",
+    "alu_mnemonics_for_class",
+    "assemble",
+    "decode",
+    "disassemble",
+    "disassemble_range",
+    "encode",
+    "make",
+    "sign_extend",
+    "spec_for",
+]

@@ -1,0 +1,350 @@
+"""Two-pass assembler for the OR1K-subset ISA.
+
+Supports the full instruction set of :mod:`repro.isa.instructions` plus
+a small set of directives sufficient for the benchmark kernels:
+
+* ``label:`` -- define a label (code or data address).
+* ``.org ADDR`` -- set the location counter.
+* ``.word V [, V ...]`` -- emit 32-bit data words.
+* ``.space N`` -- reserve N bytes (zero filled, word aligned).
+* ``.equ NAME, VALUE`` -- define a symbolic constant.
+* ``hi(expr)`` / ``lo(expr)`` -- high/low 16 bits of an expression, for
+  ``l.movhi`` / ``l.ori`` address formation.
+* ``#`` or ``;`` start a comment.
+
+Immediates may be decimal, hexadecimal (``0x``), negative, a label, a
+constant, or a sum/difference of those (e.g. ``data + 4``).
+
+The output is a :class:`~repro.isa.program.Program` holding the encoded
+words, the symbol table, and source line mapping for diagnostics.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.isa.encoding import Decoded, EncodingError, encode
+from repro.isa.instructions import Format, spec_for
+from repro.isa.program import Program
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):\s*(.*)$")
+_TOKEN_RE = re.compile(r"^[A-Za-z_.$][\w.$]*$")
+
+
+class AssemblerError(ValueError):
+    """Raised on any assembly failure, annotated with the source line."""
+
+    def __init__(self, message: str, line_no: int | None = None,
+                 line: str | None = None):
+        location = f" (line {line_no}: {line!r})" if line_no else ""
+        super().__init__(message + location)
+        self.line_no = line_no
+
+
+@dataclass
+class _Item:
+    """One statement after pass 1: an instruction or data words."""
+
+    address: int
+    line_no: int
+    source: str
+    mnemonic: str | None = None  # None for data
+    operands: list[str] | None = None
+    data: list[str] | None = None  # expressions for .word
+
+
+def _strip_comment(line: str) -> str:
+    for marker in ("#", ";"):
+        pos = line.find(marker)
+        if pos >= 0:
+            line = line[:pos]
+    return line.strip()
+
+
+def _split_operands(text: str) -> list[str]:
+    """Split an operand string on top-level commas (not inside parens)."""
+    operands, depth, current = [], 0, []
+    for char in text:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        if char == "," and depth == 0:
+            operands.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    tail = "".join(current).strip()
+    if tail:
+        operands.append(tail)
+    return operands
+
+
+class Assembler:
+    """Two-pass assembler producing a :class:`Program`."""
+
+    def __init__(self) -> None:
+        self.symbols: dict[str, int] = {}
+
+    def assemble(self, source: str, base_address: int = 0) -> Program:
+        """Assemble ``source`` text into a program at ``base_address``."""
+        items = self._pass_one(source, base_address)
+        return self._pass_two(items, base_address)
+
+    # -- pass 1: layout and symbol collection ---------------------------
+
+    def _pass_one(self, source: str, base_address: int) -> list[_Item]:
+        self.symbols = {}
+        items: list[_Item] = []
+        address = base_address
+        for line_no, raw in enumerate(source.splitlines(), start=1):
+            line = _strip_comment(raw)
+            while line:
+                match = _LABEL_RE.match(line)
+                if not match:
+                    break
+                self._define(match.group(1), address, line_no, raw)
+                line = match.group(2).strip()
+            if not line:
+                continue
+            parts = line.split(None, 1)
+            head = parts[0]
+            rest = parts[1] if len(parts) > 1 else ""
+            if head.startswith("."):
+                address = self._directive(
+                    head, rest, address, line_no, raw, items)
+            else:
+                items.append(_Item(address, line_no, raw, mnemonic=head,
+                                   operands=_split_operands(rest)))
+                address += 4
+        return items
+
+    def _define(self, name: str, value: int, line_no: int,
+                line: str) -> None:
+        if name in self.symbols:
+            raise AssemblerError(f"duplicate symbol {name!r}", line_no, line)
+        self.symbols[name] = value
+
+    def _directive(self, head: str, rest: str, address: int, line_no: int,
+                   raw: str, items: list[_Item]) -> int:
+        if head == ".org":
+            target = self._eval(rest, line_no, raw, allow_forward=False)
+            if target < address:
+                raise AssemblerError(
+                    f".org moves backwards ({target:#x} < {address:#x})",
+                    line_no, raw)
+            if target % 4:
+                raise AssemblerError(".org target not word aligned",
+                                     line_no, raw)
+            return target
+        if head == ".word":
+            exprs = _split_operands(rest)
+            if not exprs:
+                raise AssemblerError(".word needs at least one value",
+                                     line_no, raw)
+            items.append(_Item(address, line_no, raw, data=exprs))
+            return address + 4 * len(exprs)
+        if head == ".space":
+            count = self._eval(rest, line_no, raw, allow_forward=False)
+            if count < 0:
+                raise AssemblerError(".space size negative", line_no, raw)
+            padded = (count + 3) // 4
+            items.append(_Item(address, line_no, raw, data=["0"] * padded))
+            return address + 4 * padded
+        if head == ".equ":
+            operands = _split_operands(rest)
+            if len(operands) != 2 or not _TOKEN_RE.match(operands[0]):
+                raise AssemblerError(".equ needs NAME, VALUE", line_no, raw)
+            value = self._eval(operands[1], line_no, raw,
+                               allow_forward=False)
+            self._define(operands[0], value, line_no, raw)
+            return address
+        raise AssemblerError(f"unknown directive {head!r}", line_no, raw)
+
+    # -- expression evaluation -------------------------------------------
+
+    def _eval(self, expr: str, line_no: int, line: str,
+              allow_forward: bool = True) -> int:
+        expr = expr.strip()
+        if not expr:
+            raise AssemblerError("empty expression", line_no, line)
+        lowered = expr.lower()
+        if lowered.startswith("hi(") and expr.endswith(")"):
+            value = self._eval(expr[3:-1], line_no, line, allow_forward)
+            return (value >> 16) & 0xFFFF
+        if lowered.startswith("lo(") and expr.endswith(")"):
+            value = self._eval(expr[3:-1], line_no, line, allow_forward)
+            return value & 0xFFFF
+        total, sign, token = 0, 1, ""
+
+        def consume(tok: str) -> int:
+            tok = tok.strip()
+            if not tok:
+                raise AssemblerError(f"bad expression {expr!r}",
+                                     line_no, line)
+            negate = tok.startswith("-")
+            if negate:
+                tok = tok[1:].strip()
+            if re.match(r"^0[xX][0-9a-fA-F]+$", tok):
+                return -int(tok, 16) if negate else int(tok, 16)
+            if re.match(r"^\d+$", tok):
+                return -int(tok) if negate else int(tok)
+            if negate:
+                raise AssemblerError(f"bad token -{tok!r} in expression",
+                                     line_no, line)
+            if _TOKEN_RE.match(tok):
+                if tok in self.symbols:
+                    return self.symbols[tok]
+                if allow_forward:
+                    raise _ForwardReference(tok)
+                raise AssemblerError(f"undefined symbol {tok!r}",
+                                     line_no, line)
+            raise AssemblerError(f"bad token {tok!r} in expression",
+                                 line_no, line)
+
+        depth = 0
+        for char in expr:
+            if char in "+-" and depth == 0 and token.strip():
+                total += sign * consume(token)
+                sign = 1 if char == "+" else -1
+                token = ""
+            else:
+                if char == "(":
+                    depth += 1
+                elif char == ")":
+                    depth -= 1
+                token += char
+        if token.strip():
+            total += sign * consume(token)
+        elif expr.strip() in ("+", "-"):
+            raise AssemblerError(f"bad expression {expr!r}", line_no, line)
+        return total
+
+    # -- pass 2: encoding --------------------------------------------------
+
+    def _pass_two(self, items: list[_Item], base_address: int) -> Program:
+        if items:
+            end = max(i.address + 4 * (len(i.data) if i.data else 1)
+                      for i in items)
+        else:
+            end = base_address
+        size_words = (end - base_address) // 4
+        words = [0] * size_words
+        line_map: dict[int, int] = {}
+        for item in items:
+            index = (item.address - base_address) // 4
+            if item.data is not None:
+                for offset, expr in enumerate(item.data):
+                    value = self._eval(expr, item.line_no, item.source,
+                                       allow_forward=False)
+                    words[index + offset] = value & 0xFFFFFFFF
+                continue
+            decoded = self._parse_instruction(item)
+            try:
+                words[index] = encode(decoded)
+            except EncodingError as exc:
+                raise AssemblerError(str(exc), item.line_no,
+                                     item.source) from exc
+            line_map[item.address] = item.line_no
+        return Program(words=words, base_address=base_address,
+                       symbols=dict(self.symbols), line_map=line_map)
+
+    def _reg(self, token: str, item: _Item) -> int:
+        token = token.strip().lower()
+        if re.match(r"^r\d{1,2}$", token):
+            index = int(token[1:])
+            if 0 <= index < 32:
+                return index
+        raise AssemblerError(f"bad register {token!r}", item.line_no,
+                             item.source)
+
+    def _imm(self, token: str, item: _Item) -> int:
+        return self._eval(token, item.line_no, item.source,
+                          allow_forward=False)
+
+    def _parse_instruction(self, item: _Item) -> Decoded:
+        try:
+            spec = spec_for(item.mnemonic)
+        except KeyError as exc:
+            raise AssemblerError(str(exc), item.line_no, item.source) from exc
+        ops = item.operands or []
+        fmt = spec.fmt
+
+        def need(count: int) -> None:
+            if len(ops) != count:
+                raise AssemblerError(
+                    f"{spec.mnemonic} expects {count} operand(s), "
+                    f"got {len(ops)}", item.line_no, item.source)
+
+        if fmt is Format.RRR:
+            need(3)
+            return Decoded(spec, rd=self._reg(ops[0], item),
+                           ra=self._reg(ops[1], item),
+                           rb=self._reg(ops[2], item))
+        if fmt in (Format.RRI, Format.RRL):
+            need(3)
+            return Decoded(spec, rd=self._reg(ops[0], item),
+                           ra=self._reg(ops[1], item),
+                           imm=self._imm(ops[2], item))
+        if fmt is Format.RI_HI:
+            need(2)
+            return Decoded(spec, rd=self._reg(ops[0], item),
+                           imm=self._imm(ops[1], item))
+        if fmt is Format.LOAD:
+            need(2)
+            imm, ra = self._mem_operand(ops[1], item)
+            return Decoded(spec, rd=self._reg(ops[0], item), ra=ra, imm=imm)
+        if fmt is Format.STORE:
+            need(2)
+            imm, ra = self._mem_operand(ops[0], item)
+            return Decoded(spec, ra=ra, rb=self._reg(ops[1], item), imm=imm)
+        if fmt is Format.SF_RR:
+            need(2)
+            return Decoded(spec, ra=self._reg(ops[0], item),
+                           rb=self._reg(ops[1], item))
+        if fmt is Format.SF_RI:
+            need(2)
+            return Decoded(spec, ra=self._reg(ops[0], item),
+                           imm=self._imm(ops[1], item))
+        if fmt is Format.JUMP:
+            need(1)
+            target = self._imm(ops[0], item)
+            offset = (target - item.address) // 4
+            if (target - item.address) % 4:
+                raise AssemblerError("branch target not word aligned",
+                                     item.line_no, item.source)
+            return Decoded(spec, imm=offset)
+        if fmt is Format.JUMP_REG:
+            need(1)
+            return Decoded(spec, rb=self._reg(ops[0], item))
+        if fmt is Format.NOP:
+            if not ops:
+                return Decoded(spec, imm=0)
+            need(1)
+            return Decoded(spec, imm=self._imm(ops[0], item))
+        raise AssemblerError(f"unhandled format {fmt}", item.line_no,
+                             item.source)  # pragma: no cover
+
+    def _mem_operand(self, token: str, item: _Item) -> tuple[int, int]:
+        """Parse ``imm(rA)`` into (imm, ra)."""
+        match = re.match(r"^(.*)\((\s*[rR]\d{1,2}\s*)\)$", token.strip())
+        if not match:
+            raise AssemblerError(f"bad memory operand {token!r}",
+                                 item.line_no, item.source)
+        imm_text = match.group(1).strip() or "0"
+        return (self._imm(imm_text, item),
+                self._reg(match.group(2), item))
+
+
+class _ForwardReference(Exception):
+    """Internal: symbol referenced before definition during pass 1."""
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.name = name
+
+
+def assemble(source: str, base_address: int = 0) -> Program:
+    """Assemble ``source`` into a :class:`Program` (convenience API)."""
+    return Assembler().assemble(source, base_address)

@@ -1,0 +1,230 @@
+"""Binary encoding and decoding of the OR1K-subset instructions.
+
+Instructions are encoded into 32-bit words with field placement modeled
+on the real OpenRISC 1000 encoding:
+
+* bits [31:26] -- major opcode
+* bits [25:21] -- rD (or the set-flag sub-opcode for compares)
+* bits [20:16] -- rA
+* bits [15:11] -- rB
+* bits [15:0]  -- 16-bit immediate (stores split it into [25:21]|[10:0])
+* bits [25:0]  -- 26-bit pc-relative word offset for jumps/branches
+* bits [9:0]   -- ALU minor opcode fields for register-register ops
+
+The :class:`Decoded` structure is the single representation shared by
+the disassembler and the simulator; the simulator pre-decodes the whole
+instruction memory once, so decode speed is not on the hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.instructions import (
+    ALU_MUL,
+    ALU_SHIFT,
+    Format,
+    INSTRUCTIONS,
+    InstructionSpec,
+    OP_ALU,
+    OP_SF,
+    OP_SFI,
+    OP_SHIFTI,
+    spec_for,
+)
+
+MASK32 = 0xFFFFFFFF
+
+
+class EncodingError(ValueError):
+    """Raised when an instruction cannot be encoded or decoded."""
+
+
+@dataclass(frozen=True)
+class Decoded:
+    """A decoded instruction: spec plus extracted operand fields.
+
+    Attributes:
+        spec: the instruction's static description.
+        rd: destination register index (0..31) or 0 if unused.
+        ra: first source register index or 0 if unused.
+        rb: second source register index or 0 if unused.
+        imm: immediate operand, already sign- or zero-extended to a
+            Python int according to the spec; for jumps this is the
+            signed word offset.
+    """
+
+    spec: InstructionSpec
+    rd: int = 0
+    ra: int = 0
+    rb: int = 0
+    imm: int = 0
+
+    @property
+    def mnemonic(self) -> str:
+        return self.spec.mnemonic
+
+
+def sign_extend(value: int, bits: int) -> int:
+    """Interpret the low ``bits`` of ``value`` as a signed integer."""
+    value &= (1 << bits) - 1
+    if value & (1 << (bits - 1)):
+        value -= 1 << bits
+    return value
+
+
+def _check_reg(value: int, name: str) -> int:
+    if not 0 <= value < 32:
+        raise EncodingError(f"register {name} out of range: {value}")
+    return value
+
+
+def _check_imm(value: int, bits: int, signed: bool) -> int:
+    if signed:
+        low, high = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    else:
+        low, high = 0, (1 << bits) - 1
+    if not low <= value <= high:
+        raise EncodingError(
+            f"immediate {value} does not fit in {bits}-bit "
+            f"{'signed' if signed else 'unsigned'} field")
+    return value & ((1 << bits) - 1)
+
+
+def encode(decoded: Decoded) -> int:
+    """Encode a :class:`Decoded` instruction into a 32-bit word."""
+    spec = decoded.spec
+    op = spec.opcode << 26
+    rd = _check_reg(decoded.rd, "rD") << 21
+    ra = _check_reg(decoded.ra, "rA") << 16
+    rb = _check_reg(decoded.rb, "rB") << 11
+    fmt = spec.fmt
+
+    if fmt is Format.RRR:
+        sub = spec.subopcode or 0
+        if spec.subopcode == ALU_MUL:
+            sub |= 0b11 << 8  # OR1K multiplier group marker
+        return op | rd | ra | rb | sub
+    if fmt is Format.RRI:
+        imm = _check_imm(decoded.imm, 16, spec.signed_imm)
+        return op | rd | ra | imm
+    if fmt is Format.RRL:
+        imm = _check_imm(decoded.imm, 6, signed=False)
+        return op | rd | ra | ((spec.subopcode or 0) << 6) | imm
+    if fmt is Format.RI_HI:
+        imm = _check_imm(decoded.imm, 16, signed=False)
+        return op | rd | imm
+    if fmt is Format.LOAD:
+        imm = _check_imm(decoded.imm, 16, signed=True)
+        return op | rd | ra | imm
+    if fmt is Format.STORE:
+        imm = _check_imm(decoded.imm, 16, signed=True)
+        return op | ((imm >> 11) << 21) | ra | rb | (imm & 0x7FF)
+    if fmt is Format.SF_RR:
+        return op | ((spec.subopcode or 0) << 21) | ra | rb
+    if fmt is Format.SF_RI:
+        imm = _check_imm(decoded.imm, 16, signed=True)
+        return op | ((spec.subopcode or 0) << 21) | ra | imm
+    if fmt is Format.JUMP:
+        imm = _check_imm(decoded.imm, 26, signed=True)
+        return op | imm
+    if fmt is Format.JUMP_REG:
+        return op | rb
+    if fmt is Format.NOP:
+        imm = _check_imm(decoded.imm, 16, signed=False)
+        return op | imm
+    raise EncodingError(f"unhandled format {fmt}")  # pragma: no cover
+
+
+def _decode_alu_rrr(word: int) -> InstructionSpec:
+    low4 = word & 0xF
+    if low4 == ALU_SHIFT:
+        shift_kind = (word >> 6) & 0x3
+        for mnemonic in ("l.sll", "l.srl", "l.sra"):
+            spec = INSTRUCTIONS[mnemonic]
+            if (spec.subopcode or 0) >> 6 == shift_kind:
+                return spec
+        raise EncodingError(f"bad shift kind in word {word:#010x}")
+    for spec in INSTRUCTIONS.values():
+        if (spec.opcode == OP_ALU and spec.fmt is Format.RRR
+                and (spec.subopcode or 0) & 0xF == low4
+                and low4 != ALU_SHIFT):
+            return spec
+    raise EncodingError(f"unknown ALU sub-opcode in word {word:#010x}")
+
+
+_SF_BY_SUB = {
+    (s.opcode, s.subopcode): s for s in INSTRUCTIONS.values()
+    if s.opcode in (OP_SF, OP_SFI)
+}
+_SHIFTI_BY_SUB = {
+    s.subopcode: s for s in INSTRUCTIONS.values()
+    if s.opcode == OP_SHIFTI
+}
+_SIMPLE_BY_OPCODE = {
+    s.opcode: s for s in INSTRUCTIONS.values()
+    if s.opcode not in (OP_ALU, OP_SF, OP_SFI, OP_SHIFTI)
+}
+
+
+def decode(word: int) -> Decoded:
+    """Decode a 32-bit instruction word.
+
+    Raises:
+        EncodingError: if the word does not correspond to any
+            instruction of the ISA (an *illegal instruction*; the
+            simulator maps this to a fatal execution error, which is how
+            fault-corrupted jumps into data typically terminate).
+    """
+    word &= MASK32
+    opcode = word >> 26
+    rd = (word >> 21) & 0x1F
+    ra = (word >> 16) & 0x1F
+    rb = (word >> 11) & 0x1F
+
+    if opcode == OP_ALU:
+        spec = _decode_alu_rrr(word)
+        return Decoded(spec, rd=rd, ra=ra, rb=rb)
+    if opcode == OP_SHIFTI:
+        spec = _SHIFTI_BY_SUB.get((word >> 6) & 0x3)
+        if spec is None:
+            raise EncodingError(f"bad shift-imm kind: {word:#010x}")
+        return Decoded(spec, rd=rd, ra=ra, imm=word & 0x3F)
+    if opcode in (OP_SF, OP_SFI):
+        spec = _SF_BY_SUB.get((opcode, rd))
+        if spec is None:
+            raise EncodingError(f"bad set-flag sub-opcode: {word:#010x}")
+        if opcode == OP_SFI:
+            return Decoded(spec, ra=ra, imm=sign_extend(word, 16))
+        return Decoded(spec, ra=ra, rb=rb)
+
+    spec = _SIMPLE_BY_OPCODE.get(opcode)
+    if spec is None:
+        raise EncodingError(f"illegal instruction word: {word:#010x}")
+
+    fmt = spec.fmt
+    if fmt is Format.JUMP:
+        return Decoded(spec, imm=sign_extend(word, 26))
+    if fmt is Format.JUMP_REG:
+        return Decoded(spec, rb=rb)
+    if fmt is Format.NOP:
+        return Decoded(spec, imm=word & 0xFFFF)
+    if fmt is Format.RI_HI:
+        return Decoded(spec, rd=rd, imm=word & 0xFFFF)
+    if fmt is Format.LOAD:
+        return Decoded(spec, rd=rd, ra=ra, imm=sign_extend(word, 16))
+    if fmt is Format.STORE:
+        imm = sign_extend(((rd << 11) | (word & 0x7FF)), 16)
+        return Decoded(spec, ra=ra, rb=rb, imm=imm)
+    if fmt is Format.RRI:
+        imm = word & 0xFFFF
+        if spec.signed_imm:
+            imm = sign_extend(imm, 16)
+        return Decoded(spec, rd=rd, ra=ra, imm=imm)
+    raise EncodingError(f"unhandled format {fmt}")  # pragma: no cover
+
+
+def make(mnemonic: str, rd: int = 0, ra: int = 0, rb: int = 0,
+         imm: int = 0) -> Decoded:
+    """Convenience constructor for a decoded instruction by mnemonic."""
+    return Decoded(spec_for(mnemonic), rd=rd, ra=ra, rb=rb, imm=imm)

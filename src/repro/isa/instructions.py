@@ -1,0 +1,301 @@
+"""Instruction set definition for the OR1K-subset ISA.
+
+The instruction set models the 32-bit OpenRISC (OR1K) subset used by the
+paper's case study: integer ALU operations (register and immediate
+forms), single-cycle 32-bit multiplication, loads/stores against
+single-cycle SRAMs, set-flag compares, and control flow with a single
+branch delay slot.
+
+Each instruction is described by an :class:`InstructionSpec`, which
+carries the assembly mnemonic, the operand format (how the assembler
+parses and encodes operands), the *timing class* (which functional unit
+of the execution stage the instruction exercises -- this is what the
+dynamic timing analysis conditions its statistics on), and whether the
+instruction is *FI-eligible* (whether timing faults can be injected into
+the 32 ALU endpoint flip-flops while the instruction occupies the
+execute stage).
+
+Following the paper's constraint strategy (Section 2.1), only the ALU
+data-path endpoints of the execution stage are timing critical; all
+control, memory and compare-flag paths are safe below a much higher
+threshold frequency, so only ALU-class instructions are FI-eligible.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Format(enum.Enum):
+    """Operand/encoding format of an instruction."""
+
+    RRR = "rD,rA,rB"  # register-register ALU op
+    RRI = "rD,rA,imm16"  # register-immediate ALU op
+    RRL = "rD,rA,imm6"  # shift by immediate
+    RI_HI = "rD,imm16"  # l.movhi
+    LOAD = "rD,imm16(rA)"  # loads
+    STORE = "imm16(rA),rB"  # stores
+    SF_RR = "rA,rB"  # set-flag compare, reg-reg
+    SF_RI = "rA,imm16"  # set-flag compare, reg-imm
+    JUMP = "imm26"  # pc-relative jump/branch
+    JUMP_REG = "rB"  # jump register
+    NOP = "imm16"  # l.nop with reason code
+
+
+class TimingClass(enum.Enum):
+    """Functional unit of the execute stage an instruction exercises.
+
+    The gate-level dynamic timing analysis characterizes arrival-time
+    statistics separately per instruction; the timing class determines
+    which netlist block produces the instruction's result and therefore
+    which paths can be excited.
+    """
+
+    ADDER = "adder"
+    MULTIPLIER = "multiplier"
+    SHIFTER = "shifter"
+    LOGIC = "logic"
+    COMPARE = "compare"  # flag endpoint only; safe by construction
+    MEMORY = "memory"
+    CONTROL = "control"
+    NONE = "none"
+
+
+@dataclass(frozen=True)
+class InstructionSpec:
+    """Static description of one instruction of the ISA.
+
+    Attributes:
+        mnemonic: assembly mnemonic, e.g. ``"l.add"``.
+        opcode: major opcode (bits [31:26] of the encoding).
+        fmt: operand format used by the assembler and encoder.
+        timing_class: execution-stage functional unit exercised.
+        subopcode: minor opcode for formats that need one (ALU register
+            ops, shifts, set-flag compares); ``None`` otherwise.
+        signed_imm: whether a 16-bit immediate is sign-extended.
+        description: one-line human description.
+    """
+
+    mnemonic: str
+    opcode: int
+    fmt: Format
+    timing_class: TimingClass
+    subopcode: int | None = None
+    signed_imm: bool = True
+    description: str = ""
+
+    @property
+    def is_alu(self) -> bool:
+        """True if the instruction is FI-eligible (ALU data endpoints)."""
+        return self.timing_class in (
+            TimingClass.ADDER,
+            TimingClass.MULTIPLIER,
+            TimingClass.SHIFTER,
+            TimingClass.LOGIC,
+        )
+
+    @property
+    def is_branch(self) -> bool:
+        """True for control transfers that have a delay slot."""
+        return self.fmt in (Format.JUMP, Format.JUMP_REG)
+
+    @property
+    def is_load(self) -> bool:
+        return self.fmt is Format.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.fmt is Format.STORE
+
+    @property
+    def is_compare(self) -> bool:
+        return self.timing_class is TimingClass.COMPARE
+
+
+# Major opcodes (aligned with the real OR1K encoding where practical).
+OP_J = 0x00
+OP_JAL = 0x01
+OP_BNF = 0x03
+OP_BF = 0x04
+OP_NOP = 0x05
+OP_MOVHI = 0x06
+OP_JR = 0x11
+OP_JALR = 0x12
+OP_LWZ = 0x21
+OP_LBZ = 0x23
+OP_LHZ = 0x25
+OP_ADDI = 0x27
+OP_ANDI = 0x29
+OP_ORI = 0x2A
+OP_XORI = 0x2B
+OP_MULI = 0x2C
+OP_SFI = 0x2F
+OP_SW = 0x35
+OP_SB = 0x36
+OP_SH = 0x37
+OP_ALU = 0x38
+OP_SHIFTI = 0x2E
+OP_SF = 0x39
+
+# Sub-opcodes for OP_ALU (low 4 bits, plus bits [7:6] for shifts and
+# bits [9:8] == 0b11 for the multiplier group, as in OR1K).
+ALU_ADD = 0x0
+ALU_SUB = 0x2
+ALU_AND = 0x3
+ALU_OR = 0x4
+ALU_XOR = 0x5
+ALU_MUL = 0x6  # encoded with bits [9:8] = 0b11
+ALU_SHIFT = 0x8  # bits [7:6]: 00=sll, 01=srl, 10=sra
+
+SHIFT_SLL = 0x0
+SHIFT_SRL = 0x1
+SHIFT_SRA = 0x2
+
+# Sub-opcodes for set-flag compares (carried in the rD field).
+SF_EQ = 0x0
+SF_NE = 0x1
+SF_GTU = 0x2
+SF_GEU = 0x3
+SF_LTU = 0x4
+SF_LEU = 0x5
+SF_GTS = 0xA
+SF_GES = 0xB
+SF_LTS = 0xC
+SF_LES = 0xD
+
+# l.nop reason codes (simulator conventions, as used by or1ksim).
+NOP_NOP = 0x0000
+NOP_EXIT = 0x0001
+NOP_REPORT = 0x0002
+NOP_PUTC = 0x0004
+
+
+def _build_instruction_set() -> dict[str, InstructionSpec]:
+    specs = [
+        # Control flow.
+        InstructionSpec("l.j", OP_J, Format.JUMP, TimingClass.CONTROL,
+                        description="jump pc-relative"),
+        InstructionSpec("l.jal", OP_JAL, Format.JUMP, TimingClass.CONTROL,
+                        description="jump and link (r9)"),
+        InstructionSpec("l.bnf", OP_BNF, Format.JUMP, TimingClass.CONTROL,
+                        description="branch if flag not set"),
+        InstructionSpec("l.bf", OP_BF, Format.JUMP, TimingClass.CONTROL,
+                        description="branch if flag set"),
+        InstructionSpec("l.jr", OP_JR, Format.JUMP_REG, TimingClass.CONTROL,
+                        description="jump register"),
+        InstructionSpec("l.jalr", OP_JALR, Format.JUMP_REG,
+                        TimingClass.CONTROL,
+                        description="jump register and link (r9)"),
+        InstructionSpec("l.nop", OP_NOP, Format.NOP, TimingClass.NONE,
+                        description="no operation / simulator hook"),
+        InstructionSpec("l.movhi", OP_MOVHI, Format.RI_HI, TimingClass.NONE,
+                        signed_imm=False,
+                        description="move immediate to high half-word"),
+        # Memory.
+        InstructionSpec("l.lwz", OP_LWZ, Format.LOAD, TimingClass.MEMORY,
+                        description="load word, zero extend"),
+        InstructionSpec("l.lbz", OP_LBZ, Format.LOAD, TimingClass.MEMORY,
+                        description="load byte, zero extend"),
+        InstructionSpec("l.lhz", OP_LHZ, Format.LOAD, TimingClass.MEMORY,
+                        description="load half-word, zero extend"),
+        InstructionSpec("l.sw", OP_SW, Format.STORE, TimingClass.MEMORY,
+                        description="store word"),
+        InstructionSpec("l.sb", OP_SB, Format.STORE, TimingClass.MEMORY,
+                        description="store byte"),
+        InstructionSpec("l.sh", OP_SH, Format.STORE, TimingClass.MEMORY,
+                        description="store half-word"),
+        # ALU, register-register.
+        InstructionSpec("l.add", OP_ALU, Format.RRR, TimingClass.ADDER,
+                        subopcode=ALU_ADD, description="add"),
+        InstructionSpec("l.sub", OP_ALU, Format.RRR, TimingClass.ADDER,
+                        subopcode=ALU_SUB, description="subtract"),
+        InstructionSpec("l.and", OP_ALU, Format.RRR, TimingClass.LOGIC,
+                        subopcode=ALU_AND, description="bitwise and"),
+        InstructionSpec("l.or", OP_ALU, Format.RRR, TimingClass.LOGIC,
+                        subopcode=ALU_OR, description="bitwise or"),
+        InstructionSpec("l.xor", OP_ALU, Format.RRR, TimingClass.LOGIC,
+                        subopcode=ALU_XOR, description="bitwise xor"),
+        InstructionSpec("l.mul", OP_ALU, Format.RRR, TimingClass.MULTIPLIER,
+                        subopcode=ALU_MUL,
+                        description="signed 32-bit multiply (low word)"),
+        InstructionSpec("l.sll", OP_ALU, Format.RRR, TimingClass.SHIFTER,
+                        subopcode=ALU_SHIFT | (SHIFT_SLL << 6),
+                        description="shift left logical"),
+        InstructionSpec("l.srl", OP_ALU, Format.RRR, TimingClass.SHIFTER,
+                        subopcode=ALU_SHIFT | (SHIFT_SRL << 6),
+                        description="shift right logical"),
+        InstructionSpec("l.sra", OP_ALU, Format.RRR, TimingClass.SHIFTER,
+                        subopcode=ALU_SHIFT | (SHIFT_SRA << 6),
+                        description="shift right arithmetic"),
+        # ALU, immediate.
+        InstructionSpec("l.addi", OP_ADDI, Format.RRI, TimingClass.ADDER,
+                        description="add signed immediate"),
+        InstructionSpec("l.andi", OP_ANDI, Format.RRI, TimingClass.LOGIC,
+                        signed_imm=False,
+                        description="and zero-extended immediate"),
+        InstructionSpec("l.ori", OP_ORI, Format.RRI, TimingClass.LOGIC,
+                        signed_imm=False,
+                        description="or zero-extended immediate"),
+        InstructionSpec("l.xori", OP_XORI, Format.RRI, TimingClass.LOGIC,
+                        description="xor sign-extended immediate"),
+        InstructionSpec("l.muli", OP_MULI, Format.RRI,
+                        TimingClass.MULTIPLIER,
+                        description="multiply by signed immediate"),
+        InstructionSpec("l.slli", OP_SHIFTI, Format.RRL,
+                        TimingClass.SHIFTER, subopcode=SHIFT_SLL,
+                        description="shift left logical by immediate"),
+        InstructionSpec("l.srli", OP_SHIFTI, Format.RRL,
+                        TimingClass.SHIFTER, subopcode=SHIFT_SRL,
+                        description="shift right logical by immediate"),
+        InstructionSpec("l.srai", OP_SHIFTI, Format.RRL,
+                        TimingClass.SHIFTER, subopcode=SHIFT_SRA,
+                        description="shift right arithmetic by immediate"),
+    ]
+
+    # Set-flag compares, register-register and immediate forms.
+    sf_subops = {
+        "eq": SF_EQ, "ne": SF_NE,
+        "gtu": SF_GTU, "geu": SF_GEU, "ltu": SF_LTU, "leu": SF_LEU,
+        "gts": SF_GTS, "ges": SF_GES, "lts": SF_LTS, "les": SF_LES,
+    }
+    for name, sub in sf_subops.items():
+        specs.append(InstructionSpec(
+            f"l.sf{name}", OP_SF, Format.SF_RR, TimingClass.COMPARE,
+            subopcode=sub, description=f"set flag if rA {name} rB"))
+        specs.append(InstructionSpec(
+            f"l.sf{name}i", OP_SFI, Format.SF_RI, TimingClass.COMPARE,
+            subopcode=sub, description=f"set flag if rA {name} imm"))
+
+    table = {}
+    for spec in specs:
+        if spec.mnemonic in table:
+            raise ValueError(f"duplicate mnemonic {spec.mnemonic}")
+        table[spec.mnemonic] = spec
+    return table
+
+
+#: Registry of all instructions, keyed by mnemonic.
+INSTRUCTIONS: dict[str, InstructionSpec] = _build_instruction_set()
+
+#: Mnemonics of FI-eligible (ALU-class) instructions.
+ALU_MNEMONICS: tuple[str, ...] = tuple(
+    sorted(m for m, s in INSTRUCTIONS.items() if s.is_alu))
+
+
+def spec_for(mnemonic: str) -> InstructionSpec:
+    """Return the :class:`InstructionSpec` for a mnemonic.
+
+    Raises:
+        KeyError: if the mnemonic is not part of the ISA.
+    """
+    try:
+        return INSTRUCTIONS[mnemonic]
+    except KeyError:
+        raise KeyError(f"unknown instruction mnemonic: {mnemonic!r}") from None
+
+
+def alu_mnemonics_for_class(timing_class: TimingClass) -> tuple[str, ...]:
+    """All mnemonics belonging to one execution-stage timing class."""
+    return tuple(sorted(
+        m for m, s in INSTRUCTIONS.items() if s.timing_class is timing_class))

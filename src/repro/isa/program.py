@@ -1,0 +1,47 @@
+"""Program container produced by the assembler and consumed by the ISS."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Program:
+    """An assembled program image.
+
+    Attributes:
+        words: instruction/data words, one 32-bit value per word address
+            starting at ``base_address``.
+        base_address: byte address of ``words[0]``.
+        symbols: label/constant name -> value (byte address or constant).
+        line_map: instruction byte address -> source line number.
+    """
+
+    words: list[int]
+    base_address: int = 0
+    symbols: dict[str, int] = field(default_factory=dict)
+    line_map: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def size_bytes(self) -> int:
+        return 4 * len(self.words)
+
+    @property
+    def end_address(self) -> int:
+        return self.base_address + self.size_bytes
+
+    def symbol(self, name: str) -> int:
+        """Look up a symbol, raising a helpful error if missing."""
+        try:
+            return self.symbols[name]
+        except KeyError:
+            known = ", ".join(sorted(self.symbols)) or "<none>"
+            raise KeyError(
+                f"symbol {name!r} not defined (known: {known})") from None
+
+    def word_at(self, address: int) -> int:
+        """Fetch the program word at a byte address."""
+        index = (address - self.base_address) // 4
+        if not 0 <= index < len(self.words):
+            raise IndexError(f"address {address:#x} outside program image")
+        return self.words[index]

@@ -1,0 +1,27 @@
+"""Monte-Carlo harness: trials, aggregation, sweeps, statistics."""
+
+from repro.mc.results import McPoint, TrialResult
+from repro.mc.runner import (
+    BUDGET_FACTOR,
+    golden_cycles,
+    run_point,
+    run_trial,
+)
+from repro.mc.stats import geometric_mean, mean, std, wilson_interval
+from repro.mc.sweep import FrequencySweep, frequency_grid, sweep_frequencies
+
+__all__ = [
+    "BUDGET_FACTOR",
+    "FrequencySweep",
+    "McPoint",
+    "TrialResult",
+    "frequency_grid",
+    "geometric_mean",
+    "golden_cycles",
+    "mean",
+    "run_point",
+    "run_trial",
+    "std",
+    "sweep_frequencies",
+    "wilson_interval",
+]

@@ -1,0 +1,107 @@
+"""Monte-Carlo execution of fault-injected benchmark runs.
+
+The runner owns the reproducibility story: a master seed derives one
+RNG substream per (configuration, trial), new CPU state per trial, and
+a cycle budget tied to the fault-free execution length of the kernel
+(the infinite-loop detector of the paper's ISS).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.bench.kernel import KernelInstance
+from repro.fi.base import FaultInjector, NullInjector
+from repro.mc.results import McPoint, TrialResult
+from repro.sim.cpu import Cpu
+from repro.sim.machine import MachineConfig
+
+#: Multiplier on the fault-free cycle count used as the cycle budget;
+#: a run exceeding it is aborted as an infinite loop.
+BUDGET_FACTOR = 4
+
+InjectorFactory = Callable[[np.random.Generator], FaultInjector]
+
+
+def golden_cycles(kernel: KernelInstance,
+                  config: MachineConfig | None = None) -> int:
+    """Fault-free cycle count of a kernel (cached on the instance)."""
+    if kernel._golden_cycles is None:
+        cpu = Cpu(kernel.program, config=config, injector=NullInjector())
+        result = cpu.run(kernel.entry)
+        if not result.finished:
+            raise RuntimeError(
+                f"kernel {kernel.name} does not finish fault-free "
+                f"({result.abort_reason})")
+        outputs = cpu.dmem.read_words(kernel.output_address,
+                                      kernel.output_count)
+        if not kernel.is_correct(outputs):
+            raise RuntimeError(
+                f"kernel {kernel.name} fault-free outputs do not match "
+                f"the golden reference")
+        kernel._golden_cycles = result.cycles
+    return kernel._golden_cycles
+
+
+def run_trial(kernel: KernelInstance, injector: FaultInjector,
+              config: MachineConfig | None = None,
+              budget_factor: int = BUDGET_FACTOR) -> TrialResult:
+    """Execute one fault-injected run and judge its outputs."""
+    base_config = config or MachineConfig()
+    budget = budget_factor * golden_cycles(kernel, base_config) + 1000
+    cpu = Cpu(kernel.program, config=base_config.with_max_cycles(budget),
+              injector=injector)
+    result = cpu.run(kernel.entry)
+    finished = result.finished
+    correct = False
+    error_value = 0.0
+    relative_error = 0.0
+    if finished:
+        outputs = cpu.dmem.read_words(kernel.output_address,
+                                      kernel.output_count)
+        correct = kernel.is_correct(outputs)
+        error_value = kernel.error_value(outputs, kernel.golden)
+        relative_error = kernel.relative_error(outputs, kernel.golden)
+    return TrialResult(
+        finished=finished,
+        correct=correct,
+        error_value=error_value,
+        relative_error=relative_error,
+        fault_count=result.fault_count,
+        kernel_cycles=result.kernel_cycles,
+        alu_cycles=result.alu_cycles,
+        cycles=result.cycles,
+        abort_reason=result.abort_reason,
+    )
+
+
+def run_point(kernel: KernelInstance, injector_factory: InjectorFactory,
+              n_trials: int, seed: int = 0, label: str = "",
+              config: MachineConfig | None = None) -> McPoint:
+    """Run ``n_trials`` Monte-Carlo trials of one configuration.
+
+    Args:
+        kernel: the benchmark instance.
+        injector_factory: builds a fresh injector from a per-trial RNG.
+        n_trials: number of trials (paper: at least 100 per point).
+        seed: master seed; trials use independent child streams.
+        label: point label for reports.
+        config: machine configuration override.
+
+    Returns:
+        The aggregated :class:`McPoint`.
+    """
+    if n_trials <= 0:
+        raise ValueError("n_trials must be positive")
+    point = McPoint(label=label or kernel.name)
+    master = np.random.default_rng(seed)
+    # One injector serves all trials of the point: construction (CDF
+    # grids, noise blocks) is much more expensive than a trial, and the
+    # CPU calls begin_run() before every run, which resets the per-run
+    # counters while the random stream continues across trials.
+    injector = injector_factory(master)
+    for _ in range(n_trials):
+        point.add(run_trial(kernel, injector, config))
+    return point

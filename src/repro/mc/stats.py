@@ -1,0 +1,52 @@
+"""Small statistics helpers for Monte-Carlo aggregation."""
+
+from __future__ import annotations
+
+import math
+
+
+def wilson_interval(successes: int, trials: int,
+                    z: float = 1.96) -> tuple[float, float]:
+    """Wilson score confidence interval for a binomial proportion.
+
+    Args:
+        successes: number of successes.
+        trials: number of trials (must be positive).
+        z: normal quantile (1.96 for 95%).
+
+    Returns:
+        (low, high) bounds of the proportion.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must lie in [0, trials]")
+    p = successes / trials
+    denom = 1.0 + z * z / trials
+    center = (p + z * z / (2 * trials)) / denom
+    half = (z / denom) * math.sqrt(
+        p * (1 - p) / trials + z * z / (4 * trials * trials))
+    return max(0.0, center - half), min(1.0, center + half)
+
+
+def mean(values: list[float]) -> float:
+    """Arithmetic mean (0.0 for an empty list)."""
+    return sum(values) / len(values) if values else 0.0
+
+
+def std(values: list[float]) -> float:
+    """Sample standard deviation (0.0 below two samples)."""
+    n = len(values)
+    if n < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / (n - 1))
+
+
+def geometric_mean(values: list[float]) -> float:
+    """Geometric mean of positive values (0.0 for an empty list)."""
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

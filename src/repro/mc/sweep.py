@@ -1,0 +1,130 @@
+"""Parameter sweeps: frequency curves, PoFF detection, STA gains.
+
+A frequency sweep reproduces one sub-figure of the paper: the four
+application metrics as a function of clock frequency at a fixed supply
+voltage and noise level.  The point of first failure (PoFF) is the
+lowest swept frequency at which the application no longer finishes with
+a 100 % correct result; its gain over the STA limit is the headline
+number annotated in the paper's Fig. 5/6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.bench.kernel import KernelInstance
+from repro.fi.base import FaultInjector
+from repro.mc.results import McPoint
+from repro.mc.runner import run_point
+
+#: Builds an injector for (frequency_hz, rng).
+FrequencyInjectorFactory = Callable[
+    [float, np.random.Generator], FaultInjector]
+
+
+@dataclass
+class FrequencySweep:
+    """Results of one frequency sweep of one benchmark.
+
+    Attributes:
+        kernel_name: benchmark name.
+        frequencies_hz: swept frequencies, ascending.
+        points: one aggregated :class:`McPoint` per frequency.
+        sta_limit_hz: STA frequency limit of the hardware at the swept
+            operating condition (for PoFF-gain reporting).
+        config: free-form description of the sweep conditions.
+    """
+
+    kernel_name: str
+    frequencies_hz: list[float]
+    points: list[McPoint]
+    sta_limit_hz: float
+    config: dict = field(default_factory=dict)
+
+    def metric_series(self, metric: str) -> list[float]:
+        """Extract one metric across the sweep (see McPoint.summary)."""
+        return [point.summary()[metric] for point in self.points]
+
+    def poff_hz(self) -> float | None:
+        """Lowest frequency where not every trial finished correct.
+
+        Returns None when every swept point is fully correct (PoFF is
+        beyond the sweep) -- callers should widen the sweep.
+        """
+        for frequency, point in zip(self.frequencies_hz, self.points):
+            if point.p_correct < 1.0:
+                return frequency
+        return None
+
+    def poff_gain_over_sta(self) -> float | None:
+        """Relative PoFF gain over the STA limit (paper's annotation).
+
+        Positive values mean the application still ran fully correct
+        beyond the STA frequency; None when PoFF is outside the sweep.
+        """
+        poff = self.poff_hz()
+        if poff is None:
+            return None
+        return poff / self.sta_limit_hz - 1.0
+
+    def rows(self) -> list[dict[str, float]]:
+        """Tabular view: one dict per swept frequency."""
+        table = []
+        for frequency, point in zip(self.frequencies_hz, self.points):
+            row = {"frequency_mhz": frequency / 1e6}
+            row.update(point.summary())
+            table.append(row)
+        return table
+
+
+def sweep_frequencies(kernel: KernelInstance,
+                      injector_factory: FrequencyInjectorFactory,
+                      frequencies_hz: list[float],
+                      n_trials: int,
+                      sta_limit_hz: float,
+                      seed: int = 0,
+                      config: dict | None = None) -> FrequencySweep:
+    """Run a Monte-Carlo frequency sweep.
+
+    Args:
+        kernel: benchmark instance (reused across points; each trial
+            gets a fresh CPU).
+        injector_factory: builds an injector for a frequency and RNG.
+        frequencies_hz: frequencies to sweep (any order; stored sorted).
+        n_trials: Monte-Carlo trials per frequency.
+        sta_limit_hz: hardware STA limit for PoFF-gain reporting.
+        seed: master seed; every (frequency, trial) pair derives an
+            independent stream.
+        config: description recorded on the sweep.
+    """
+    ordered = sorted(frequencies_hz)
+    points = []
+    for index, frequency in enumerate(ordered):
+        point = run_point(
+            kernel,
+            lambda rng, f=frequency: injector_factory(f, rng),
+            n_trials=n_trials,
+            seed=seed + 104729 * index,
+            label=f"{kernel.name}@{frequency / 1e6:.1f}MHz",
+        )
+        point.config = {"frequency_hz": frequency}
+        points.append(point)
+    return FrequencySweep(
+        kernel_name=kernel.name,
+        frequencies_hz=ordered,
+        points=points,
+        sta_limit_hz=sta_limit_hz,
+        config=config or {},
+    )
+
+
+def frequency_grid(center_hz: float, span_rel: float,
+                   points: int) -> list[float]:
+    """Symmetric relative frequency grid around a center frequency."""
+    if points < 2:
+        raise ValueError("need at least two grid points")
+    return list(np.linspace(center_hz * (1 - span_rel),
+                            center_hz * (1 + span_rel), points))

@@ -1,0 +1,64 @@
+"""Gate-level netlist substrate: cells, circuits, ALU blocks, calibration."""
+
+from repro.netlist.adders import ADDER_KINDS, adder_circuit, build_adder
+from repro.netlist.alu import (
+    AluConfig,
+    AluNetlist,
+    N_ENDPOINTS,
+    OUTPUT_MUX_LEVELS,
+)
+from repro.netlist.calibrate import (
+    CalibrationError,
+    DEFAULT_TARGETS_PS,
+    calibrate_alu,
+    calibrated_alu,
+    verify_calibration,
+)
+from repro.netlist.circuit import (
+    Circuit,
+    CircuitError,
+    bits_from_ints,
+    ints_from_bits,
+)
+from repro.netlist.gates import GATE_KINDS, arity_of, eval_gate
+from repro.netlist.library import (
+    CHARACTERIZED_VDDS,
+    CellLibrary,
+    DEFAULT_CELL_DELAYS_PS,
+    VDD_REF,
+)
+from repro.netlist.logic_unit import logic_circuit
+from repro.netlist.multiplier import multiplier_circuit
+from repro.netlist.shifter import shifter_circuit
+from repro.netlist.verilog import to_verilog, write_verilog
+
+__all__ = [
+    "ADDER_KINDS",
+    "AluConfig",
+    "AluNetlist",
+    "CHARACTERIZED_VDDS",
+    "CalibrationError",
+    "CellLibrary",
+    "Circuit",
+    "CircuitError",
+    "DEFAULT_CELL_DELAYS_PS",
+    "DEFAULT_TARGETS_PS",
+    "GATE_KINDS",
+    "N_ENDPOINTS",
+    "OUTPUT_MUX_LEVELS",
+    "VDD_REF",
+    "adder_circuit",
+    "arity_of",
+    "bits_from_ints",
+    "build_adder",
+    "calibrate_alu",
+    "calibrated_alu",
+    "eval_gate",
+    "ints_from_bits",
+    "logic_circuit",
+    "multiplier_circuit",
+    "shifter_circuit",
+    "to_verilog",
+    "verify_calibration",
+    "write_verilog",
+]

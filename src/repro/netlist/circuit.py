@@ -1,0 +1,386 @@
+"""Gate-level netlist graph with vectorized evaluation and timing.
+
+A :class:`Circuit` is a feed-forward netlist: nets are integer ids,
+gates are created in topological order (every input net must already
+exist), and named input/output buses tie the netlist to the outside.
+
+Two engines operate on a circuit:
+
+* :meth:`Circuit.evaluate` -- functional evaluation, vectorized over a
+  block of stimulus vectors (numpy boolean arrays per net).
+* :meth:`Circuit.propagate` -- *two-vector timing simulation*, the core
+  of dynamic timing analysis: given the previous cycle's inputs and the
+  current cycle's inputs, it propagates switching events through the
+  netlist and computes, per net, the settling (data arrival) time.
+
+Event semantics (``glitch_model="sensitized"``, the default): a net
+carries an event when its waveform may toggle during the cycle, i.e.
+when it changes value *or* may glitch.  An input event propagates
+through a gate unless it is statically masked by a stable controlling
+side input (a stable 0 on an AND, a stable 1 on an OR, a stable select
+on a mux pointing at the other leg, or a mux select toggle between two
+stable equal data legs).  XOR-class gates never mask.  The settle time
+of an event-carrying output is one gate delay after its latest
+unmasked event input; event-free nets settle at 0.  This matches what
+gate-level timing simulation (the paper's DTA flow) observes, where
+glitches dominate arrival times in XOR-rich arithmetic.
+
+``glitch_model="value-change"`` is the optimistic variant that tracks
+only settled-value toggles; it is kept for the ablation study of how
+much glitch activity contributes to timing-error rates.
+
+Either way an arrival never exceeds the static longest path
+(property-tested against STA).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.netlist.gates import GATE_KINDS, arity_of
+from repro.netlist.library import CellLibrary, VDD_REF
+
+
+def bits_from_ints(values: np.ndarray, width: int) -> np.ndarray:
+    """Convert an int array (N,) into a bool bit-plane array (width, N).
+
+    Bit 0 is the least significant bit.
+    """
+    values = np.asarray(values, dtype=np.uint64)
+    shifts = np.arange(width, dtype=np.uint64)[:, None]
+    return ((values[None, :] >> shifts) & np.uint64(1)).astype(bool)
+
+
+def ints_from_bits(bits: np.ndarray) -> np.ndarray:
+    """Convert a bool bit-plane array (width, N) back to ints (N,)."""
+    width = bits.shape[0]
+    weights = (np.uint64(1) << np.arange(width, dtype=np.uint64))[:, None]
+    return (bits.astype(np.uint64) * weights).sum(axis=0)
+
+
+@dataclass
+class _Bus:
+    name: str
+    nets: list[int]
+
+
+class CircuitError(ValueError):
+    """Raised on malformed circuit construction or bad stimulus."""
+
+
+class Circuit:
+    """A feed-forward gate-level netlist.
+
+    Net ids are dense integers.  Nets 0 and 1 are reserved for the
+    constants 0 and 1.  Gates must be added in topological order.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.n_nets = 2  # nets 0/1 are constant low/high
+        self._input_buses: dict[str, _Bus] = {}
+        self._output_buses: dict[str, _Bus] = {}
+        self._input_net_set: set[int] = set()
+        self.gate_kinds: list[str] = []
+        self.gate_inputs: list[tuple[int, ...]] = []
+        self.gate_outputs: list[int] = []
+        self._driven: set[int] = {0, 1}
+        self._delay_cache: dict[tuple[float, float], np.ndarray] = {}
+
+    # -- construction ---------------------------------------------------
+
+    def const(self, value: int) -> int:
+        """Net id of constant 0 or 1."""
+        return 1 if value else 0
+
+    def input_bus(self, name: str, width: int) -> list[int]:
+        """Declare an input bus of ``width`` bits; returns its net ids."""
+        if name in self._input_buses or name in self._output_buses:
+            raise CircuitError(f"duplicate bus name {name!r}")
+        nets = list(range(self.n_nets, self.n_nets + width))
+        self.n_nets += width
+        self._input_buses[name] = _Bus(name, nets)
+        self._input_net_set.update(nets)
+        self._driven.update(nets)
+        return nets
+
+    def gate(self, kind: str, *inputs: int) -> int:
+        """Add a gate; returns the id of its (new) output net."""
+        if len(inputs) != arity_of(kind):
+            raise CircuitError(
+                f"{kind} expects {arity_of(kind)} inputs, got {len(inputs)}")
+        for net in inputs:
+            if net not in self._driven:
+                raise CircuitError(
+                    f"gate input net {net} is not driven yet "
+                    f"(gates must be added in topological order)")
+        output = self.n_nets
+        self.n_nets += 1
+        self.gate_kinds.append(kind)
+        self.gate_inputs.append(tuple(inputs))
+        self.gate_outputs.append(output)
+        self._driven.add(output)
+        self._delay_cache.clear()
+        return output
+
+    def output_bus(self, name: str, nets: list[int]) -> None:
+        """Declare an output bus over existing nets."""
+        if name in self._output_buses or name in self._input_buses:
+            raise CircuitError(f"duplicate bus name {name!r}")
+        for net in nets:
+            if net not in self._driven:
+                raise CircuitError(f"output net {net} is not driven")
+        self._output_buses[name] = _Bus(name, list(nets))
+
+    # -- convenience composite builders ----------------------------------
+
+    def xor3(self, a: int, b: int, c: int) -> int:
+        return self.gate("XOR2", self.gate("XOR2", a, b), c)
+
+    def majority(self, a: int, b: int, c: int) -> int:
+        """Carry function of a full adder: at least two of three."""
+        ab = self.gate("AND2", a, b)
+        axb = self.gate("XOR2", a, b)
+        c_and = self.gate("AND2", axb, c)
+        return self.gate("OR2", ab, c_and)
+
+    def full_adder(self, a: int, b: int, cin: int) -> tuple[int, int]:
+        """Returns (sum, carry-out)."""
+        axb = self.gate("XOR2", a, b)
+        s = self.gate("XOR2", axb, cin)
+        ab = self.gate("AND2", a, b)
+        bc = self.gate("AND2", axb, cin)
+        cout = self.gate("OR2", ab, bc)
+        return s, cout
+
+    def half_adder(self, a: int, b: int) -> tuple[int, int]:
+        """Returns (sum, carry-out)."""
+        return self.gate("XOR2", a, b), self.gate("AND2", a, b)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def n_gates(self) -> int:
+        return len(self.gate_kinds)
+
+    @property
+    def input_names(self) -> tuple[str, ...]:
+        return tuple(self._input_buses)
+
+    @property
+    def output_names(self) -> tuple[str, ...]:
+        return tuple(self._output_buses)
+
+    def input_width(self, name: str) -> int:
+        return len(self._input_buses[name].nets)
+
+    def output_nets(self, name: str) -> list[int]:
+        return list(self._output_buses[name].nets)
+
+    def cell_histogram(self) -> dict[str, int]:
+        histogram: dict[str, int] = {}
+        for kind in self.gate_kinds:
+            histogram[kind] = histogram.get(kind, 0) + 1
+        return histogram
+
+    # -- timing views ------------------------------------------------------
+
+    def gate_delays(self, library: CellLibrary, vdd: float = VDD_REF,
+                    scale: float = 1.0) -> np.ndarray:
+        """Per-gate delay vector [ps] for one (vdd, scale) corner."""
+        key = (vdd, scale)
+        cached = self._delay_cache.get(key)
+        if cached is None:
+            cached = np.array(
+                [library.delay_ps(kind, vdd, scale)
+                 for kind in self.gate_kinds])
+            self._delay_cache[key] = cached
+        return cached
+
+    # -- stimulus plumbing ---------------------------------------------------
+
+    def _prepare_inputs(self, inputs: dict[str, np.ndarray]) -> \
+            tuple[list[np.ndarray | None], int]:
+        """Map bus-name -> int-array stimulus onto per-net bit planes."""
+        missing = set(self._input_buses) - set(inputs)
+        if missing:
+            raise CircuitError(f"missing stimulus for inputs {sorted(missing)}")
+        extra = set(inputs) - set(self._input_buses)
+        if extra:
+            raise CircuitError(f"unknown input buses {sorted(extra)}")
+        n_vectors = None
+        values: list[np.ndarray | None] = [None] * self.n_nets
+        for name, bus in self._input_buses.items():
+            stimulus = np.atleast_1d(np.asarray(inputs[name]))
+            if n_vectors is None:
+                n_vectors = stimulus.shape[0]
+            elif stimulus.shape[0] != n_vectors:
+                raise CircuitError("stimulus arrays differ in length")
+            planes = bits_from_ints(stimulus, len(bus.nets))
+            for bit, net in enumerate(bus.nets):
+                values[net] = planes[bit]
+        assert n_vectors is not None
+        values[0] = np.zeros(n_vectors, dtype=bool)
+        values[1] = np.ones(n_vectors, dtype=bool)
+        return values, n_vectors
+
+    def _run_functional(self, values: list[np.ndarray | None]) -> None:
+        for kind, ins, out in zip(self.gate_kinds, self.gate_inputs,
+                                  self.gate_outputs):
+            fn = GATE_KINDS[kind][1]
+            values[out] = fn(*[values[i] for i in ins])
+
+    def evaluate(self, inputs: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        """Functionally evaluate the circuit on integer bus stimulus.
+
+        Args:
+            inputs: bus name -> integer array (N,) (or scalar int).
+
+        Returns:
+            bus name -> integer array (N,) for every output bus.
+        """
+        values, _ = self._prepare_inputs(inputs)
+        self._run_functional(values)
+        return {
+            name: ints_from_bits(
+                np.stack([values[n] for n in bus.nets]))
+            for name, bus in self._output_buses.items()
+        }
+
+    def propagate(self, prev_inputs: dict[str, np.ndarray],
+                  new_inputs: dict[str, np.ndarray],
+                  delays: np.ndarray,
+                  input_arrival: float = 0.0,
+                  glitch_model: str = "sensitized") -> \
+            tuple[dict[str, np.ndarray], dict[str, np.ndarray]]:
+        """Two-vector timing simulation (see module docstring).
+
+        Args:
+            prev_inputs: bus stimulus applied in the previous cycle
+                (the circuit is assumed settled on it).
+            new_inputs: bus stimulus launched at the current clock edge.
+            delays: per-gate delay vector, e.g. from :meth:`gate_delays`.
+            input_arrival: arrival time of toggling primary inputs
+                (the flip-flop clock-to-Q delay).
+            glitch_model: ``"sensitized"`` (events + static masking,
+                default) or ``"value-change"`` (optimistic, settled
+                toggles only).
+
+        Returns:
+            ``(outputs, arrivals)``: per output bus, the new integer
+            values (N,) and the per-bit arrival-time array (width, N)
+            in the same unit as ``delays``.
+        """
+        if len(delays) != self.n_gates:
+            raise CircuitError(
+                f"delay vector has {len(delays)} entries for "
+                f"{self.n_gates} gates")
+        if glitch_model not in ("sensitized", "value-change"):
+            raise CircuitError(f"unknown glitch model {glitch_model!r}")
+        prev_values, n_prev = self._prepare_inputs(prev_inputs)
+        new_values, n_new = self._prepare_inputs(new_inputs)
+        if n_prev != n_new:
+            raise CircuitError("prev/new stimulus lengths differ")
+
+        events: list[np.ndarray | None] = [None] * self.n_nets
+        settles: list[np.ndarray | None] = [None] * self.n_nets
+        no_event = np.zeros(n_new, dtype=bool)
+        zero = np.zeros(n_new)
+        events[0] = no_event
+        events[1] = no_event
+        settles[0] = zero
+        settles[1] = zero
+        for net in self._input_net_set:
+            changed = prev_values[net] != new_values[net]
+            events[net] = changed
+            settles[net] = np.where(changed, input_arrival, 0.0)
+
+        if glitch_model == "sensitized":
+            runner = self._propagate_sensitized
+        else:
+            runner = self._propagate_value_change
+        runner(prev_values, new_values, events, settles, delays)
+
+        outputs = {}
+        out_arrivals = {}
+        for name, bus in self._output_buses.items():
+            outputs[name] = ints_from_bits(
+                np.stack([new_values[n] for n in bus.nets]))
+            out_arrivals[name] = np.stack([settles[n] for n in bus.nets])
+        return outputs, out_arrivals
+
+    def _propagate_value_change(self, prev_values, new_values, events,
+                                settles, delays) -> None:
+        """Optimistic engine: only settled-value toggles are events."""
+        for index, (kind, ins, out) in enumerate(
+                zip(self.gate_kinds, self.gate_inputs, self.gate_outputs)):
+            fn = GATE_KINDS[kind][1]
+            prev_out = fn(*[prev_values[i] for i in ins])
+            new_out = fn(*[new_values[i] for i in ins])
+            prev_values[out] = prev_out
+            new_values[out] = new_out
+            latest = settles[ins[0]]
+            for i in ins[1:]:
+                latest = np.maximum(latest, settles[i])
+            changed = prev_out != new_out
+            events[out] = changed
+            settles[out] = np.where(changed, latest + delays[index], 0.0)
+
+    def _propagate_sensitized(self, prev_values, new_values, events,
+                              settles, delays) -> None:
+        """Event engine with static masking by stable controlling inputs."""
+        for index, (kind, ins, out) in enumerate(
+                zip(self.gate_kinds, self.gate_inputs, self.gate_outputs)):
+            fn = GATE_KINDS[kind][1]
+            prev_out = fn(*[prev_values[i] for i in ins])
+            new_out = fn(*[new_values[i] for i in ins])
+            prev_values[out] = prev_out
+            new_values[out] = new_out
+
+            if kind in ("INV", "BUF"):
+                a = ins[0]
+                out_event = events[a]
+                latest = settles[a]
+            elif kind in ("AND2", "NAND2", "OR2", "NOR2"):
+                a, b = ins
+                controlling = kind in ("OR2", "NOR2")  # stable 1 masks
+                if controlling:
+                    mask_a = ~events[b] & new_values[b]
+                    mask_b = ~events[a] & new_values[a]
+                else:  # stable 0 masks
+                    mask_a = ~events[b] & ~new_values[b]
+                    mask_b = ~events[a] & ~new_values[a]
+                eff_a = events[a] & ~mask_a
+                eff_b = events[b] & ~mask_b
+                out_event = eff_a | eff_b
+                latest = np.maximum(np.where(eff_a, settles[a], 0.0),
+                                    np.where(eff_b, settles[b], 0.0))
+            elif kind in ("XOR2", "XNOR2"):
+                a, b = ins
+                out_event = events[a] | events[b]
+                latest = np.maximum(np.where(events[a], settles[a], 0.0),
+                                    np.where(events[b], settles[b], 0.0))
+            elif kind == "MUX2":
+                s, a, b = ins
+                s_stable = ~events[s]
+                # Data-leg events are masked when the select is stable
+                # and points at the other leg.
+                eff_a = events[a] & ~(s_stable & new_values[s])
+                eff_b = events[b] & ~(s_stable & ~new_values[s])
+                # A select toggle between two stable, equal data legs
+                # produces no output activity on an ideal mux.
+                legs_equal = (~events[a] & ~events[b]
+                              & (new_values[a] == new_values[b]))
+                eff_s = events[s] & ~legs_equal
+                out_event = eff_a | eff_b | eff_s
+                latest = np.maximum(
+                    np.maximum(np.where(eff_a, settles[a], 0.0),
+                               np.where(eff_b, settles[b], 0.0)),
+                    np.where(eff_s, settles[s], 0.0))
+            else:  # pragma: no cover - all kinds handled above
+                raise CircuitError(f"no event rule for gate kind {kind!r}")
+
+            events[out] = out_event
+            settles[out] = np.where(out_event, latest + delays[index], 0.0)

@@ -1,0 +1,47 @@
+"""Gate primitives of the synthetic standard-cell library.
+
+Each gate kind has a boolean evaluation function vectorized over numpy
+arrays (the circuit engine evaluates a whole block of stimulus cycles
+per gate call) and a nominal propagation delay defined by the cell
+library.  The set matches what a simple technology mapping of the ALU
+blocks needs: inverters, 2-input NAND/NOR/AND/OR/XOR/XNOR and a 2:1 mux.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+BoolArray = np.ndarray
+
+#: Gate kind -> (number of inputs, vectorized evaluation function).
+#: Input order for MUX2 is (select, a, b): output is b when select else a.
+GATE_KINDS: dict[str, tuple[int, Callable[..., BoolArray]]] = {
+    "INV": (1, lambda a: ~a),
+    "BUF": (1, lambda a: a.copy()),
+    "NAND2": (2, lambda a, b: ~(a & b)),
+    "NOR2": (2, lambda a, b: ~(a | b)),
+    "AND2": (2, lambda a, b: a & b),
+    "OR2": (2, lambda a, b: a | b),
+    "XOR2": (2, lambda a, b: a ^ b),
+    "XNOR2": (2, lambda a, b: ~(a ^ b)),
+    "MUX2": (3, lambda s, a, b: np.where(s, b, a)),
+}
+
+
+def arity_of(kind: str) -> int:
+    """Number of inputs of a gate kind."""
+    try:
+        return GATE_KINDS[kind][0]
+    except KeyError:
+        raise KeyError(f"unknown gate kind {kind!r}; known: "
+                       f"{sorted(GATE_KINDS)}") from None
+
+
+def eval_gate(kind: str, *inputs: BoolArray) -> BoolArray:
+    """Evaluate one gate kind on vectorized boolean inputs."""
+    arity, fn = GATE_KINDS[kind]
+    if len(inputs) != arity:
+        raise ValueError(f"{kind} expects {arity} inputs, got {len(inputs)}")
+    return fn(*inputs)

@@ -1,0 +1,104 @@
+"""Synthetic 28 nm-class standard-cell timing library.
+
+The paper characterizes a post place & route netlist in 28 nm FD-SOI
+with foundry libraries at several supply voltages.  We model the same
+information with a compact analytical library:
+
+* per-cell nominal propagation delays (picoseconds) at the reference
+  supply voltage of 0.7 V, with magnitudes representative of a 28 nm
+  process at that (near-threshold-ish) operating point;
+* supply-voltage dependence through the alpha-power law
+  ``delay(V) = k * V / (V - Vth)**alpha``, the standard compact model
+  for gate delay in velocity-saturated CMOS.  The default Vth/alpha
+  pair is chosen so the delay sensitivity around 0.7 V (about -3.6 %/
+  10 mV) reproduces the paper's measured noise behavior: with clipped
+  2-sigma droops, the model-B+ fault onsets land near the published
+  661 MHz (sigma = 10 mV) and 588 MHz (sigma = 25 mV);
+* sequential overheads: flip-flop clock-to-Q delay and setup time.
+
+The library also supports a per-unit *sizing scale*: synthesis balances
+each functional unit against the clock constraint by gate sizing, which
+uniformly speeds up or slows down a block without changing its
+structure.  :mod:`repro.netlist.calibrate` uses this to place each ALU
+unit's STA limit at the case study's operating points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Nominal per-cell propagation delays in picoseconds at VDD_REF.
+DEFAULT_CELL_DELAYS_PS: dict[str, float] = {
+    "INV": 12.0,
+    "BUF": 18.0,
+    "NAND2": 16.0,
+    "NOR2": 18.0,
+    "AND2": 22.0,
+    "OR2": 24.0,
+    "XOR2": 30.0,
+    "XNOR2": 30.0,
+    "MUX2": 26.0,
+}
+
+#: Reference supply voltage at which nominal delays are defined [V].
+VDD_REF = 0.7
+
+#: Supply voltages for which "foundry characterization" is available,
+#: matching the paper's five STA corners (0.6 V to 1.0 V, 100 mV steps).
+CHARACTERIZED_VDDS = (0.6, 0.7, 0.8, 0.9, 1.0)
+
+
+@dataclass(frozen=True)
+class CellLibrary:
+    """Timing views of the synthetic standard-cell library.
+
+    Attributes:
+        cell_delays_ps: per-kind nominal delay at ``VDD_REF``.
+        vth: effective threshold voltage of the alpha-power model [V].
+        alpha: velocity-saturation exponent of the alpha-power model.
+        clk_to_q_ps: flip-flop clock-to-output delay at ``VDD_REF``.
+        setup_ps: flip-flop setup time at ``VDD_REF``.
+    """
+
+    cell_delays_ps: dict[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_CELL_DELAYS_PS))
+    vth: float = 0.42
+    alpha: float = 1.4
+    clk_to_q_ps: float = 55.0
+    setup_ps: float = 40.0
+
+    def voltage_factor(self, vdd: float) -> float:
+        """Delay multiplier at supply ``vdd`` relative to ``VDD_REF``.
+
+        Uses the alpha-power law; raises for voltages at or below the
+        threshold, where the model (and the circuit) stops working.
+        """
+        if vdd <= self.vth:
+            raise ValueError(
+                f"supply {vdd} V at or below threshold {self.vth} V")
+        def raw(v: float) -> float:
+            return v / (v - self.vth) ** self.alpha
+        return raw(vdd) / raw(VDD_REF)
+
+    def delay_ps(self, kind: str, vdd: float = VDD_REF,
+                 scale: float = 1.0) -> float:
+        """Propagation delay of one cell kind at a supply voltage.
+
+        Args:
+            kind: gate kind (see :mod:`repro.netlist.gates`).
+            vdd: supply voltage in volts.
+            scale: unit sizing scale (1.0 = nominal sizing).
+        """
+        try:
+            base = self.cell_delays_ps[kind]
+        except KeyError:
+            raise KeyError(f"no delay for cell kind {kind!r}") from None
+        return base * scale * self.voltage_factor(vdd)
+
+    def clk_to_q(self, vdd: float = VDD_REF) -> float:
+        """Flip-flop clock-to-Q delay [ps] at a supply voltage."""
+        return self.clk_to_q_ps * self.voltage_factor(vdd)
+
+    def setup(self, vdd: float = VDD_REF) -> float:
+        """Flip-flop setup time [ps] at a supply voltage."""
+        return self.setup_ps * self.voltage_factor(vdd)

@@ -1,0 +1,45 @@
+"""Gate-level bitwise logic unit generator.
+
+Computes AND, OR and XOR of two words behind a per-bit 3:1 result mux
+(two MUX2 levels), selected by a 2-bit operation code:
+
+* ``op = 0`` -> AND, ``op = 1`` -> OR, ``op = 2 or 3`` -> XOR.
+
+Inputs: ``a`` (width), ``b`` (width), ``op`` (2).
+Output: ``result`` (width).
+"""
+
+from __future__ import annotations
+
+from repro.netlist.circuit import Circuit
+
+OP_AND = 0
+OP_OR = 1
+OP_XOR = 2
+
+
+def build_logic_unit(circuit: Circuit, a: list[int], b: list[int],
+                     op: list[int]) -> list[int]:
+    """Build the logic unit; returns the result bits."""
+    if len(a) != len(b):
+        raise ValueError("operand widths differ")
+    if len(op) != 2:
+        raise ValueError("op select bus must be 2 bits")
+    result = []
+    for a_bit, b_bit in zip(a, b):
+        and_bit = circuit.gate("AND2", a_bit, b_bit)
+        or_bit = circuit.gate("OR2", a_bit, b_bit)
+        xor_bit = circuit.gate("XOR2", a_bit, b_bit)
+        and_or = circuit.gate("MUX2", op[0], and_bit, or_bit)
+        result.append(circuit.gate("MUX2", op[1], and_or, xor_bit))
+    return result
+
+
+def logic_circuit(width: int = 32) -> Circuit:
+    """Standalone logic unit (see module docstring for the ports)."""
+    circuit = Circuit(f"logic{width}")
+    a = circuit.input_bus("a", width)
+    b = circuit.input_bus("b", width)
+    op = circuit.input_bus("op", 2)
+    circuit.output_bus("result", build_logic_unit(circuit, a, b, op))
+    return circuit

@@ -1,0 +1,69 @@
+"""Gate-level 32x32 -> low-32 multiplier generator.
+
+The core's ``l.mul`` returns the low 32 bits of the product; modulo
+2**32 the low word of a signed and an unsigned product are identical,
+so the netlist is an unsigned carry-save array truncated to the low
+word:
+
+* partial products ``pp[i][j] = a[j] & b[i]`` for ``i + j < width``;
+* a carry-save adder array accumulates one partial-product row per
+  level; row ``i`` consumes the carries produced by row ``i - 1``
+  (which all sit at columns >= i), so after the last row the redundant
+  carry vector is fully absorbed and the column sums *are* the low
+  product word -- the truncated array needs no final carry-propagate
+  adder.
+
+The vertical path through the full-adder array makes the endpoint
+arrival profile grow roughly linearly with bit significance -- the
+physical reason why, in the paper's Fig. 2, higher multiplier result
+bits fail at lower frequencies than low bits.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.circuit import Circuit
+
+
+def build_multiplier_low(circuit: Circuit, a: list[int],
+                         b: list[int]) -> list[int]:
+    """Build the low-word array multiplier; returns the result bits."""
+    width = len(a)
+    if len(b) != width:
+        raise ValueError("operand widths differ")
+    zero = circuit.const(0)
+
+    # Partial products for columns 0..width-1 only (low-word truncation).
+    def pp(i: int, j: int) -> int:
+        return circuit.gate("AND2", a[j], b[i])
+
+    # Carry-save accumulation, one partial-product row per level.  After
+    # processing row i, outstanding carries sit at columns i+1..width-1
+    # (higher ones fall off the truncated top), so row i+1's full adders
+    # consume all of them and the invariant holds inductively.
+    sums = [pp(0, j) for j in range(width)]
+    carries = [zero] * width
+    for i in range(1, width):
+        new_sums = list(sums)
+        new_carries = [zero] * width
+        for column in range(i, width):
+            row_bit = pp(i, column - i)
+            s, c = circuit.full_adder(sums[column], carries[column], row_bit)
+            new_sums[column] = s
+            if column + 1 < width:
+                new_carries[column + 1] = c
+        sums = new_sums
+        carries = new_carries
+    return sums
+
+
+def multiplier_circuit(width: int = 32) -> Circuit:
+    """Standalone multiplier unit.
+
+    Inputs: ``a`` (width), ``b`` (width).  Output: ``result`` (width),
+    the low word of the product ``(a * b) mod 2**width``.
+    """
+    circuit = Circuit(f"array-mul{width}")
+    a = circuit.input_bus("a", width)
+    b = circuit.input_bus("b", width)
+    circuit.output_bus("result", build_multiplier_low(circuit, a, b))
+    return circuit

@@ -1,0 +1,55 @@
+"""Gate-level barrel shifter generator.
+
+One shared shifter implements ``l.sll``, ``l.srl`` and ``l.sra``: the
+operand is conditionally bit-reversed (for left shifts), passed through
+a logarithmic right-shift mux cascade with a selectable fill bit
+(zero, or the sign bit for arithmetic shifts), and conditionally
+reversed back.  This is the standard single-shifter synthesis of an
+RTL ``>>``/``<<`` pair.
+
+Inputs: ``a`` (width), ``amount`` (log2(width)), ``right`` (1),
+``arith`` (1).  Output: ``result`` (width).
+"""
+
+from __future__ import annotations
+
+from repro.netlist.circuit import Circuit
+
+
+def build_barrel_shifter(circuit: Circuit, a: list[int], amount: list[int],
+                         right: int, arith: int) -> list[int]:
+    """Build the shared barrel shifter; returns the result bits."""
+    width = len(a)
+    if 1 << len(amount) != width:
+        raise ValueError(
+            f"amount bus of {len(amount)} bits cannot address {width} bits")
+    # Left shifts are right shifts of the bit-reversed operand.
+    is_left = circuit.gate("INV", right)
+    stage = [circuit.gate("MUX2", is_left, a[i], a[width - 1 - i])
+             for i in range(width)]
+    # Fill bit: sign for arithmetic right shifts, zero otherwise.
+    fill = circuit.gate("AND2", a[width - 1],
+                        circuit.gate("AND2", right, arith))
+    for level, select in enumerate(amount):
+        distance = 1 << level
+        stage = [
+            circuit.gate("MUX2", select, stage[i],
+                         stage[i + distance] if i + distance < width
+                         else fill)
+            for i in range(width)
+        ]
+    return [circuit.gate("MUX2", is_left, stage[i], stage[width - 1 - i])
+            for i in range(width)]
+
+
+def shifter_circuit(width: int = 32) -> Circuit:
+    """Standalone shifter unit (see module docstring for the ports)."""
+    amount_bits = (width - 1).bit_length()
+    circuit = Circuit(f"barrel-shifter{width}")
+    a = circuit.input_bus("a", width)
+    amount = circuit.input_bus("amount", amount_bits)
+    right = circuit.input_bus("right", 1)[0]
+    arith = circuit.input_bus("arith", 1)[0]
+    circuit.output_bus("result",
+                       build_barrel_shifter(circuit, a, amount, right, arith))
+    return circuit

@@ -1,0 +1,5 @@
+"""Core power model (quadratic voltage scaling between measured points)."""
+
+from repro.power.model import CorePowerModel, REFERENCE_POINTS
+
+__all__ = ["CorePowerModel", "REFERENCE_POINTS"]

@@ -1,0 +1,49 @@
+"""Cycle-accurate 6-stage OR1K-subset instruction set simulator."""
+
+from repro.sim.cpu import Cpu
+from repro.sim.exceptions import (
+    IllegalInstruction,
+    InfiniteLoop,
+    MemoryFault,
+    MisalignedAccess,
+    PcOutOfRange,
+    SimulationFault,
+)
+from repro.sim.machine import DATA_BASE, MachineConfig, NOP_FI_OFF, NOP_FI_ON
+from repro.sim.memory import DataMemory
+from repro.sim.pipeline import (
+    DEPTH,
+    EX_INDEX,
+    STAGES,
+    StageOccupancy,
+    ex_cycle_of,
+    occupancy_at,
+    retired_at,
+)
+from repro.sim.result import ExecutionResult
+from repro.sim.tracing import TraceEntry, Tracer
+
+__all__ = [
+    "Cpu",
+    "DATA_BASE",
+    "DEPTH",
+    "DataMemory",
+    "EX_INDEX",
+    "ExecutionResult",
+    "IllegalInstruction",
+    "InfiniteLoop",
+    "MachineConfig",
+    "MemoryFault",
+    "MisalignedAccess",
+    "NOP_FI_OFF",
+    "NOP_FI_ON",
+    "PcOutOfRange",
+    "STAGES",
+    "SimulationFault",
+    "StageOccupancy",
+    "TraceEntry",
+    "Tracer",
+    "ex_cycle_of",
+    "occupancy_at",
+    "retired_at",
+]

@@ -1,0 +1,487 @@
+"""Cycle-accurate instruction set simulator for the OR1K-subset core.
+
+The simulated micro-architecture mirrors the paper's case study: a
+6-stage in-order pipeline that sustains one instruction per cycle,
+including single-cycle 32-bit multiplies, fed by single-cycle
+instruction/data SRAMs.  With IPC = 1 and no stall sources, the cycle
+in which an instruction occupies the execute (EX) stage is simply its
+retire index, so the simulator advances one instruction per cycle and
+exposes the EX stage to the fault-injection framework at that point.
+
+For speed, the program image is *pre-compiled* once: every instruction
+word becomes a Python closure specialized on its decoded operands
+(jump targets resolved to absolute indices, r0 writes elided, ...).
+The hot loop then only dispatches closures and manages the branch
+delay slot.
+
+Fault injection contract: while the FI window is open (between the
+``l.nop NOP_FI_ON`` / ``NOP_FI_OFF`` kernel markers) every FI-eligible
+(ALU-class) instruction passes its 32-bit result through the injector's
+``on_alu(mnemonic, result) -> result`` hook before write-back, modeling
+timing faults captured in the EX-stage ALU endpoint flip-flops.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.isa.encoding import Decoded, EncodingError, decode
+from repro.isa.instructions import NOP_EXIT, NOP_REPORT, TimingClass
+from repro.isa.program import Program
+from repro.sim.exceptions import (
+    IllegalInstruction,
+    InfiniteLoop,
+    MemoryFault,
+    MisalignedAccess,
+    PcOutOfRange,
+)
+from repro.sim.machine import MachineConfig, NOP_FI_OFF, NOP_FI_ON
+from repro.sim.memory import DataMemory
+from repro.sim.result import ExecutionResult
+
+MASK32 = 0xFFFFFFFF
+_SIGN_BIT = 0x80000000
+
+
+class _Exit(Exception):
+    """Internal: program reached the exit hook."""
+
+
+def _signed(value: int) -> int:
+    """Interpret a 32-bit value as signed."""
+    return value - 0x100000000 if value & _SIGN_BIT else value
+
+
+class Cpu:
+    """The instruction set simulator.
+
+    Args:
+        program: assembled program image (instructions below the data
+            base, initial data at/above it).
+        config: machine configuration.
+        injector: optional fault injector with an
+            ``on_alu(mnemonic, result) -> result`` hook plus
+            ``begin_run()`` and fault counters (see
+            :class:`repro.fi.base.FaultInjector`).
+        profile: when True, count retired instructions per timing class
+            (slower; used for benchmark characterization, Table 1).
+    """
+
+    def __init__(self, program: Program, config: MachineConfig | None = None,
+                 injector=None, profile: bool = False, trace_hook=None):
+        self.config = config or MachineConfig()
+        self.program = program
+        self.injector = injector
+        self.profile = profile
+        self.trace_hook = trace_hook
+        self.regs: list[int] = [0] * 32
+        self.flag = False
+        self.dmem = DataMemory(self.config.dmem_base, self.config.dmem_size)
+        self.reports: list[int] = []
+        self.cycles = 0
+        self.kernel_cycles = 0
+        self._fi_window = False
+        self._active_hook: Callable[[str, int], int] | None = None
+        self._class_counts: dict[str, int] = {}
+        self._code: list[Callable[[], int | None] | None] = []
+        self._imem_words: list[int] = []
+        self._load_program()
+
+    # ------------------------------------------------------------------
+    # Program loading and pre-compilation
+    # ------------------------------------------------------------------
+
+    def _load_program(self) -> None:
+        cfg = self.config
+        program = self.program
+        self._imem_words = []
+        for index, word in enumerate(program.words):
+            address = program.base_address + 4 * index
+            if address < cfg.dmem_base:
+                self._imem_words.append(word)
+            else:
+                self.dmem.store_word(address, word)
+        self._compile_all()
+
+    def _compile_all(self) -> None:
+        self._code = []
+        for index, word in enumerate(self._imem_words):
+            address = self.config.imem_base + 4 * index
+            try:
+                decoded = decode(word)
+            except EncodingError:
+                self._code.append(None)
+                continue
+            self._code.append(self._compile(decoded, address))
+
+    def reset(self) -> None:
+        """Restore architectural state for a fresh run."""
+        self.regs = [0] * 32
+        self.flag = False
+        self.reports = []
+        self.cycles = 0
+        self.kernel_cycles = 0
+        self._fi_window = False
+        self._active_hook = None
+        self._class_counts = {}
+        self.dmem.clear()
+        self._load_program()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self, entry: int | str = 0,
+            max_cycles: int | None = None) -> ExecutionResult:
+        """Execute from ``entry`` until exit or a fatal condition.
+
+        Args:
+            entry: byte address or symbol name to start at.
+            max_cycles: overrides the configured cycle budget.
+
+        Returns:
+            An :class:`ExecutionResult`; fatal conditions are reported
+            through ``finished=False`` / ``abort_reason`` rather than
+            raised, since fault-injected runs fail routinely.
+        """
+        if isinstance(entry, str):
+            entry = self.program.symbol(entry)
+        budget = max_cycles if max_cycles is not None else \
+            self.config.max_cycles
+        if self.injector is not None:
+            self.injector.begin_run()
+        finished = False
+        abort_reason: str | None = None
+        exit_code: int | None = None
+        try:
+            self._run_loop(entry, budget)
+        except _Exit:
+            finished = True
+            exit_code = self.regs[3]
+        except (IllegalInstruction, PcOutOfRange, MemoryFault,
+                MisalignedAccess, InfiniteLoop) as fault:
+            abort_reason = fault.reason
+        injector = self.injector
+        return ExecutionResult(
+            finished=finished,
+            abort_reason=abort_reason,
+            cycles=self.cycles,
+            kernel_cycles=self.kernel_cycles,
+            fault_count=injector.fault_count if injector else 0,
+            faulty_cycles=injector.faulty_cycles if injector else 0,
+            alu_cycles=injector.alu_cycles if injector else 0,
+            reports=list(self.reports),
+            exit_code=exit_code,
+            class_counts=dict(self._class_counts),
+        )
+
+    def _run_loop(self, entry: int, budget: int) -> None:
+        if entry % 4:
+            raise PcOutOfRange(f"entry {entry:#x} not word aligned")
+        code = self._code
+        size = len(code)
+        pc_index = (entry - self.config.imem_base) // 4
+        pending = -1
+        cycles = self.cycles
+        kernel_cycles = self.kernel_cycles
+        try:
+            while True:
+                if cycles >= budget:
+                    raise InfiniteLoop(
+                        f"cycle budget of {budget} exhausted")
+                if not 0 <= pc_index < size:
+                    raise PcOutOfRange(
+                        f"pc {self.config.imem_base + 4 * pc_index:#x}")
+                op = code[pc_index]
+                if op is None:
+                    raise IllegalInstruction(
+                        f"at {self.config.imem_base + 4 * pc_index:#x}")
+                target = op()
+                cycles += 1
+                if self._fi_window:
+                    kernel_cycles += 1
+                if pending >= 0:
+                    if target is not None:
+                        raise IllegalInstruction("branch in delay slot")
+                    pc_index = pending
+                    pending = -1
+                elif target is not None:
+                    pending = target
+                    pc_index += 1
+                else:
+                    pc_index += 1
+        finally:
+            self.cycles = cycles
+            self.kernel_cycles = kernel_cycles
+
+    # ------------------------------------------------------------------
+    # FI window plumbing
+    # ------------------------------------------------------------------
+
+    def _fi_on(self) -> None:
+        self._fi_window = True
+        if self.injector is not None:
+            self._active_hook = self.injector.on_alu
+
+    def _fi_off(self) -> None:
+        self._fi_window = False
+        self._active_hook = None
+
+    # ------------------------------------------------------------------
+    # Instruction compilation
+    # ------------------------------------------------------------------
+
+    def _compile(self, decoded: Decoded,
+                 address: int) -> Callable[[], int | None]:
+        op = self._compile_body(decoded, address)
+        if self.profile:
+            counts = self._class_counts
+            name = decoded.spec.timing_class.value
+            inner = op
+
+            def profiled():
+                counts[name] = counts.get(name, 0) + 1
+                return inner()
+            op = profiled
+        if self.trace_hook is not None:
+            hook = self.trace_hook
+            body = op
+
+            def traced():
+                hook(address, decoded)
+                return body()
+            op = traced
+        return op
+
+    def _compile_body(self, decoded: Decoded,
+                      address: int) -> Callable[[], int | None]:
+        spec = decoded.spec
+        mnemonic = spec.mnemonic
+        regs = self.regs
+        dmem = self.dmem
+        cpu = self
+        rd, ra, rb, imm = decoded.rd, decoded.ra, decoded.rb, decoded.imm
+
+        def write(value: int) -> None:
+            if rd:
+                regs[rd] = value & MASK32
+
+        # --- ALU class: result passes through the FI hook ------------
+        if spec.is_alu:
+            compute = self._alu_compute(mnemonic, ra, rb, imm)
+            if rd == 0:
+                # Result discarded architecturally, but the instruction
+                # still occupies EX and is still counted by the hook.
+                def op_alu_r0():
+                    hook = cpu._active_hook
+                    result = compute()
+                    if hook is not None:
+                        hook(mnemonic, result)
+                    return None
+                return op_alu_r0
+
+            def op_alu():
+                hook = cpu._active_hook
+                result = compute()
+                if hook is not None:
+                    result = hook(mnemonic, result)
+                regs[rd] = result & MASK32
+                return None
+            return op_alu
+
+        # --- control flow --------------------------------------------
+        if mnemonic in ("l.j", "l.jal"):
+            target = address + 4 * imm
+            target_index = (target - self.config.imem_base) // 4
+            if mnemonic == "l.j":
+                if target == address and self.config.detect_self_jump:
+                    def op_self_jump():
+                        raise InfiniteLoop(
+                            f"unconditional self-jump at {address:#x}")
+                    return op_self_jump
+
+                def op_j():
+                    return target_index
+                return op_j
+            link = (address + 8) & MASK32
+
+            def op_jal():
+                regs[9] = link
+                return target_index
+            return op_jal
+        if mnemonic in ("l.jr", "l.jalr"):
+            imem_base = self.config.imem_base
+            is_link = mnemonic == "l.jalr"
+            link = (address + 8) & MASK32
+
+            def op_jr():
+                target = regs[rb]
+                if target & 3:
+                    raise PcOutOfRange(
+                        f"jump register target {target:#x} misaligned")
+                if is_link:
+                    regs[9] = link
+                return (target - imem_base) >> 2
+            return op_jr
+        if mnemonic in ("l.bf", "l.bnf"):
+            target_index = (address + 4 * imm - self.config.imem_base) // 4
+            wanted = mnemonic == "l.bf"
+
+            def op_branch():
+                if cpu.flag == wanted:
+                    return target_index
+                return None
+            return op_branch
+        if mnemonic == "l.nop":
+            if imm == NOP_EXIT:
+                def op_exit():
+                    raise _Exit()
+                return op_exit
+            if imm == NOP_REPORT:
+                reports = self.reports
+
+                def op_report():
+                    reports.append(regs[3])
+                    return None
+                return op_report
+            if imm == NOP_FI_ON:
+                def op_fi_on():
+                    cpu._fi_on()
+                    return None
+                return op_fi_on
+            if imm == NOP_FI_OFF:
+                def op_fi_off():
+                    cpu._fi_off()
+                    return None
+                return op_fi_off
+
+            def op_nop():
+                return None
+            return op_nop
+        if mnemonic == "l.movhi":
+            value = (imm << 16) & MASK32
+
+            def op_movhi():
+                write(value)
+                return None
+            return op_movhi
+
+        # --- memory ----------------------------------------------------
+        if mnemonic == "l.lwz":
+            def op_lwz():
+                write(dmem.load_word((regs[ra] + imm) & MASK32))
+                return None
+            return op_lwz
+        if mnemonic == "l.lhz":
+            def op_lhz():
+                write(dmem.load_half((regs[ra] + imm) & MASK32))
+                return None
+            return op_lhz
+        if mnemonic == "l.lbz":
+            def op_lbz():
+                write(dmem.load_byte((regs[ra] + imm) & MASK32))
+                return None
+            return op_lbz
+        if mnemonic == "l.sw":
+            def op_sw():
+                dmem.store_word((regs[ra] + imm) & MASK32, regs[rb])
+                return None
+            return op_sw
+        if mnemonic == "l.sh":
+            def op_sh():
+                dmem.store_half((regs[ra] + imm) & MASK32, regs[rb])
+                return None
+            return op_sh
+        if mnemonic == "l.sb":
+            def op_sb():
+                dmem.store_byte((regs[ra] + imm) & MASK32, regs[rb])
+                return None
+            return op_sb
+
+        # --- set-flag compares ------------------------------------------
+        if spec.is_compare:
+            return self._compile_compare(mnemonic, ra, rb, imm)
+
+        raise AssertionError(
+            f"no compilation rule for {mnemonic}")  # pragma: no cover
+
+    def _alu_compute(self, mnemonic: str, ra: int, rb: int,
+                     imm: int) -> Callable[[], int]:
+        """Build the pure computation closure for an ALU instruction."""
+        regs = self.regs
+        if mnemonic == "l.add":
+            return lambda: (regs[ra] + regs[rb]) & MASK32
+        if mnemonic == "l.addi":
+            return lambda: (regs[ra] + imm) & MASK32
+        if mnemonic == "l.sub":
+            return lambda: (regs[ra] - regs[rb]) & MASK32
+        if mnemonic == "l.mul":
+            return lambda: (_signed(regs[ra]) * _signed(regs[rb])) & MASK32
+        if mnemonic == "l.muli":
+            return lambda: (_signed(regs[ra]) * imm) & MASK32
+        if mnemonic == "l.and":
+            return lambda: regs[ra] & regs[rb]
+        if mnemonic == "l.andi":
+            return lambda: regs[ra] & (imm & 0xFFFF)
+        if mnemonic == "l.or":
+            return lambda: regs[ra] | regs[rb]
+        if mnemonic == "l.ori":
+            return lambda: regs[ra] | (imm & 0xFFFF)
+        if mnemonic == "l.xor":
+            return lambda: regs[ra] ^ regs[rb]
+        if mnemonic == "l.xori":
+            return lambda: (regs[ra] ^ imm) & MASK32
+        if mnemonic == "l.sll":
+            return lambda: (regs[ra] << (regs[rb] & 31)) & MASK32
+        if mnemonic == "l.slli":
+            shift = imm & 31
+            return lambda: (regs[ra] << shift) & MASK32
+        if mnemonic == "l.srl":
+            return lambda: regs[ra] >> (regs[rb] & 31)
+        if mnemonic == "l.srli":
+            shift = imm & 31
+            return lambda: regs[ra] >> shift
+        if mnemonic == "l.sra":
+            return lambda: (_signed(regs[ra]) >> (regs[rb] & 31)) & MASK32
+        if mnemonic == "l.srai":
+            shift = imm & 31
+            return lambda: (_signed(regs[ra]) >> shift) & MASK32
+        raise AssertionError(
+            f"no ALU rule for {mnemonic}")  # pragma: no cover
+
+    def _compile_compare(self, mnemonic: str, ra: int, rb: int,
+                         imm: int) -> Callable[[], None]:
+        regs = self.regs
+        cpu = self
+        immediate = mnemonic.endswith("i")
+        kind = mnemonic[4:-1] if immediate else mnemonic[4:]
+
+        def operands_unsigned() -> tuple[int, int]:
+            if immediate:
+                return regs[ra], imm & MASK32
+            return regs[ra], regs[rb]
+
+        def operands_signed() -> tuple[int, int]:
+            if immediate:
+                return _signed(regs[ra]), imm
+            return _signed(regs[ra]), _signed(regs[rb])
+
+        comparators = {
+            "eq": (operands_unsigned, lambda a, b: a == b),
+            "ne": (operands_unsigned, lambda a, b: a != b),
+            "gtu": (operands_unsigned, lambda a, b: a > b),
+            "geu": (operands_unsigned, lambda a, b: a >= b),
+            "ltu": (operands_unsigned, lambda a, b: a < b),
+            "leu": (operands_unsigned, lambda a, b: a <= b),
+            "gts": (operands_signed, lambda a, b: a > b),
+            "ges": (operands_signed, lambda a, b: a >= b),
+            "lts": (operands_signed, lambda a, b: a < b),
+            "les": (operands_signed, lambda a, b: a <= b),
+        }
+        get_operands, test = comparators[kind]
+
+        def op_compare():
+            a, b = get_operands()
+            cpu.flag = test(a, b)
+            return None
+        return op_compare

@@ -1,0 +1,51 @@
+"""Execution-error hierarchy for the instruction set simulator.
+
+Fault injection frequently corrupts values that later feed branches,
+addresses or loop bounds.  The simulator maps every such fatal condition
+onto a :class:`SimulationFault` subclass, which the Monte-Carlo runner
+converts into a *did-not-finish* outcome (the paper's ``finished``
+metric) instead of propagating as a Python error.
+"""
+
+from __future__ import annotations
+
+
+class SimulationFault(Exception):
+    """Base class for fatal conditions during simulated execution."""
+
+    #: Short machine-readable reason tag used in aggregated results.
+    reason = "fault"
+
+
+class IllegalInstruction(SimulationFault):
+    """The PC reached a word that does not decode to any instruction."""
+
+    reason = "illegal-instruction"
+
+
+class PcOutOfRange(SimulationFault):
+    """The PC left the instruction memory image."""
+
+    reason = "pc-out-of-range"
+
+
+class MemoryFault(SimulationFault):
+    """A load/store touched an address outside the data memory."""
+
+    reason = "memory-fault"
+
+
+class MisalignedAccess(SimulationFault):
+    """A word/half-word access was not naturally aligned."""
+
+    reason = "misaligned-access"
+
+
+class InfiniteLoop(SimulationFault):
+    """The infinite-loop detector aborted the run.
+
+    Triggered either by the hard cycle budget or by an unconditional
+    self-jump, the two "obvious fatal errors" the paper's ISS detects.
+    """
+
+    reason = "infinite-loop"

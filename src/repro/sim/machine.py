@@ -1,0 +1,48 @@
+"""Machine configuration shared by the assembler conventions and the ISS."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Byte address where the data segment starts.  Assembly images place
+#: ``.org DATA_BASE`` before their data; the loader splits the image into
+#: instruction memory (below) and data memory (at or above) this address,
+#: mirroring the separate I/D SRAM macros of the case-study core.
+DATA_BASE = 0x10000
+
+#: Simulator l.nop hook codes beyond the or1ksim conventions: the paper
+#: performs FI only for the kernel part of each benchmark, so kernels
+#: bracket their hot region with these markers.
+NOP_FI_ON = 0x0010
+NOP_FI_OFF = 0x0011
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Static configuration of the simulated machine.
+
+    Attributes:
+        imem_base: byte address of the first instruction word.
+        dmem_base: byte address of the data SRAM.
+        dmem_size: data SRAM size in bytes.
+        max_cycles: hard cycle budget; exceeded means the infinite-loop
+            detector aborts the run.
+        detect_self_jump: abort immediately on an unconditional jump to
+            itself (an obvious fatal error, per the paper's ISS).
+    """
+
+    imem_base: int = 0
+    dmem_base: int = DATA_BASE
+    dmem_size: int = 1 << 20
+    max_cycles: int = 20_000_000
+    detect_self_jump: bool = True
+
+    def with_max_cycles(self, max_cycles: int) -> "MachineConfig":
+        """Copy of this config with a different cycle budget."""
+        return MachineConfig(
+            imem_base=self.imem_base,
+            dmem_base=self.dmem_base,
+            dmem_size=self.dmem_size,
+            max_cycles=max_cycles,
+            detect_self_jump=self.detect_self_jump,
+        )

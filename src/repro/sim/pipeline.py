@@ -1,0 +1,69 @@
+"""Pipeline-stage model of the 6-stage in-order core.
+
+The case-study core is a 6-stage single-issue pipeline sustaining one
+instruction per cycle.  Because there are no stall sources in this
+configuration (single-cycle SRAMs, single-cycle multiplier, delay-slot
+branches), stage occupancy is a pure function of the retire index: the
+instruction retired at cycle ``c`` occupied stage ``s`` at cycle
+``c - (DEPTH - 1 - s_index)``.
+
+This module makes that mapping explicit.  The fault-injection framework
+conceptually operates on the EX/MEM pipeline boundary register (the 32
+ALU endpoint flip-flops); :func:`ex_cycle_of` converts between retire
+indices and the cycle in which a given instruction's result was latched
+there, which tests use to validate the FI accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Stage names, front to back (two fetch stages, as in the case study's
+#: modified OpenRISC implementation).
+STAGES: tuple[str, ...] = ("IF1", "IF2", "ID", "EX", "MEM", "WB")
+
+#: Pipeline depth.
+DEPTH = len(STAGES)
+
+#: Index of the execute stage, whose output register holds the 32 ALU
+#: endpoints that are the FI targets.
+EX_INDEX = STAGES.index("EX")
+
+
+@dataclass(frozen=True)
+class StageOccupancy:
+    """Which retire-index occupies each stage at one cycle."""
+
+    cycle: int
+    #: retire index per stage, or None if the stage holds a bubble
+    #: (pipeline fill at the start of execution).
+    occupants: tuple[int | None, ...]
+
+    def in_stage(self, stage: str) -> int | None:
+        return self.occupants[STAGES.index(stage)]
+
+
+def occupancy_at(cycle: int) -> StageOccupancy:
+    """Stage occupancy at ``cycle`` for an ideal IPC-1 stream.
+
+    The instruction with retire index ``i`` (0-based) is in stage ``s``
+    (0-based from IF1) at cycle ``i + s`` once the pipeline has filled;
+    equivalently stage ``s`` at cycle ``c`` holds retire index
+    ``c - s`` when that is non-negative.
+    """
+    occupants = tuple(
+        cycle - s if cycle - s >= 0 else None for s in range(DEPTH))
+    return StageOccupancy(cycle=cycle, occupants=occupants)
+
+
+def ex_cycle_of(retire_index: int) -> int:
+    """Cycle at which instruction ``retire_index`` occupies EX."""
+    if retire_index < 0:
+        raise ValueError("retire index must be non-negative")
+    return retire_index + EX_INDEX
+
+
+def retired_at(cycle: int) -> int | None:
+    """Retire index of the instruction leaving WB at ``cycle``."""
+    index = cycle - (DEPTH - 1)
+    return index if index >= 0 else None

@@ -1,0 +1,48 @@
+"""Execution outcome record returned by the instruction set simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one simulated program run.
+
+    Attributes:
+        finished: True if the program reached its exit hook
+            (``l.nop NOP_EXIT``); False if aborted by a fatal condition.
+        abort_reason: machine-readable reason tag when not finished
+            (e.g. ``"infinite-loop"``, ``"memory-fault"``).
+        cycles: total executed cycles (IPC is 1 on this core, so this
+            equals retired instructions).
+        kernel_cycles: cycles executed inside the FI window (the
+            benchmark's kernel region).
+        fault_count: number of injected faults (bits corrupted).
+        faulty_cycles: kernel cycles in which at least one endpoint was
+            corrupted.
+        alu_cycles: kernel cycles with an FI-eligible instruction in the
+            execute stage.
+        reports: values reported through the ``l.nop NOP_REPORT`` hook.
+        exit_code: value of r3 at the exit hook, if finished.
+        class_counts: retired-instruction counts per timing class name
+            (only populated when profiling is enabled).
+    """
+
+    finished: bool
+    abort_reason: str | None
+    cycles: int
+    kernel_cycles: int
+    fault_count: int
+    faulty_cycles: int
+    alu_cycles: int
+    reports: list[int] = field(default_factory=list)
+    exit_code: int | None = None
+    class_counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def fi_rate_per_kcycle(self) -> float:
+        """Injected faults per 1000 kernel cycles (the paper's FI rate)."""
+        if self.kernel_cycles <= 0:
+            return 0.0
+        return 1000.0 * self.fault_count / self.kernel_cycles

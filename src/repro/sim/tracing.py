@@ -1,0 +1,74 @@
+"""Execution tracing utilities for the ISS.
+
+Tracing is an opt-in slow path: a :class:`Tracer` is passed to the CPU
+as its ``trace_hook`` and records every executed instruction, optionally
+with a register-file snapshot.  It is the primary debugging aid for the
+hand-written benchmark kernels and for post-mortem analysis of
+fault-corrupted control flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.disassembler import format_decoded
+from repro.isa.encoding import Decoded
+
+
+@dataclass
+class TraceEntry:
+    """One executed instruction."""
+
+    index: int
+    address: int
+    decoded: Decoded
+    regs: list[int] | None = None
+
+    def render(self) -> str:
+        text = format_decoded(self.decoded, self.address)
+        return f"[{self.index:>8}] {self.address:#06x}: {text}"
+
+
+@dataclass
+class Tracer:
+    """Records executed instructions; pass as ``Cpu(trace_hook=...)``.
+
+    Args:
+        limit: stop recording after this many entries (the run itself
+            continues); None records everything.
+        snapshot_regs: capture a copy of the register file per entry
+            (expensive; for fine-grained debugging only).
+    """
+
+    limit: int | None = None
+    snapshot_regs: bool = False
+    entries: list[TraceEntry] = field(default_factory=list)
+    cpu = None  # set by attach()
+
+    def attach(self, cpu) -> "Tracer":
+        """Associate with a CPU so register snapshots can be taken."""
+        self.cpu = cpu
+        return self
+
+    def __call__(self, address: int, decoded: Decoded) -> None:
+        if self.limit is not None and len(self.entries) >= self.limit:
+            return
+        regs = None
+        if self.snapshot_regs and self.cpu is not None:
+            regs = list(self.cpu.regs)
+        self.entries.append(TraceEntry(
+            index=len(self.entries), address=address, decoded=decoded,
+            regs=regs))
+
+    def render(self, last: int | None = None) -> str:
+        """Render the trace (optionally only the last N entries)."""
+        entries = self.entries if last is None else self.entries[-last:]
+        return "\n".join(entry.render() for entry in entries)
+
+    def mnemonic_histogram(self) -> dict[str, int]:
+        """Executed-instruction counts by mnemonic."""
+        histogram: dict[str, int] = {}
+        for entry in self.entries:
+            name = entry.decoded.mnemonic
+            histogram[name] = histogram.get(name, 0) + 1
+        return histogram

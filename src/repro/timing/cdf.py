@@ -1,0 +1,156 @@
+"""Timing-error probability CDFs and their runtime grid compilation.
+
+From the DTA arrival statistics of one instruction we derive, per ALU
+endpoint, the cumulative distribution function of the timing-error
+probability over clock frequency: ``P_{E,V,I}(f) = v_f / n_I`` (paper
+Section 3.4, Fig. 2).
+
+Two views are provided:
+
+* :class:`EndpointCdfs` -- the exact empirical CDFs, queried by period
+  or frequency (used for plots, tables and tests);
+* :class:`CdfGrid` -- a dense period-grid compilation used by the
+  statistical fault injector on its per-cycle fast path: one bisect
+  finds the grid row, which holds the per-endpoint probabilities, the
+  any-endpoint violation probability and the tail products needed for
+  conditional sampling.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class EndpointCdfs:
+    """Empirical per-endpoint timing-error CDFs for one instruction.
+
+    Attributes:
+        mnemonic: instruction these statistics belong to.
+        vdd: characterization supply voltage.
+        critical_sorted: (32, n) critical periods [ps], each endpoint
+            row sorted ascending.
+        row_max_sorted: (n,) per-cycle worst critical period, sorted
+            ascending (drives the any-endpoint probability).
+        critical_rows: (n, 32) the raw per-cycle critical periods in
+            row-max sorted order (for joint empirical sampling).
+    """
+
+    mnemonic: str
+    vdd: float
+    critical_sorted: np.ndarray
+    row_max_sorted: np.ndarray
+    critical_rows: np.ndarray
+
+    @classmethod
+    def from_critical(cls, mnemonic: str, vdd: float,
+                      critical_ps: np.ndarray) -> "EndpointCdfs":
+        """Build from a DTA (n_cycles, 32) critical-period matrix."""
+        if critical_ps.ndim != 2:
+            raise ValueError("critical_ps must be 2-D (cycles, endpoints)")
+        row_max = critical_ps.max(axis=1)
+        order = np.argsort(row_max)
+        return cls(
+            mnemonic=mnemonic,
+            vdd=vdd,
+            critical_sorted=np.sort(critical_ps.T, axis=1),
+            row_max_sorted=row_max[order],
+            critical_rows=critical_ps[order],
+        )
+
+    @property
+    def n_cycles(self) -> int:
+        return self.critical_rows.shape[0]
+
+    @property
+    def n_endpoints(self) -> int:
+        return self.critical_rows.shape[1]
+
+    def error_probs(self, period_ps: float) -> np.ndarray:
+        """Per-endpoint violation probability at a clock period."""
+        n = self.n_cycles
+        counts = np.array([
+            n - np.searchsorted(row, period_ps, side="right")
+            for row in self.critical_sorted
+        ])
+        return counts / n
+
+    def any_error_prob(self, period_ps: float) -> float:
+        """Probability that at least one endpoint violates at a period."""
+        n = self.n_cycles
+        index = np.searchsorted(self.row_max_sorted, period_ps,
+                                side="right")
+        return float(n - index) / n
+
+    def error_probs_at_frequency(self, frequency_hz: float) -> np.ndarray:
+        """Per-endpoint violation probability at a clock frequency."""
+        return self.error_probs(1e12 / frequency_hz)
+
+    def poff_frequency_hz(self) -> float:
+        """Lowest frequency with a non-zero violation probability."""
+        return 1e12 / float(self.row_max_sorted[-1])
+
+
+@dataclass
+class CdfGrid:
+    """Dense period-grid compilation of one instruction's CDFs.
+
+    Attributes:
+        periods: (G,) ascending clock-period grid [ps].
+        probs: (G, 32) per-endpoint violation probabilities.
+        p_any: (G,) any-endpoint violation probability.
+        tail_products: (G, 33) suffix products of (1 - p_bit), i.e.
+            ``tail_products[g, i] = prod_{j >= i} (1 - probs[g, j])``;
+            used for exact conditional sampling in independent mode.
+    """
+
+    periods: np.ndarray
+    probs: np.ndarray
+    p_any: np.ndarray
+    tail_products: np.ndarray
+
+    @classmethod
+    def compile(cls, cdfs: EndpointCdfs, period_min_ps: float,
+                period_max_ps: float, points: int = 2048) -> "CdfGrid":
+        """Sample the CDFs onto a dense period grid."""
+        if period_min_ps <= 0 or period_max_ps <= period_min_ps:
+            raise ValueError("bad grid period range")
+        periods = np.linspace(period_min_ps, period_max_ps, points)
+        n = cdfs.n_cycles
+        # Vectorized: for each endpoint row (sorted ascending), the
+        # count of cycles exceeding each grid period is n - insertion
+        # index of that period.
+        probs = np.stack([
+            n - np.searchsorted(row, periods, side="right")
+            for row in cdfs.critical_sorted
+        ]).T / n
+        p_any = (n - np.searchsorted(cdfs.row_max_sorted, periods,
+                                     side="right")) / n
+        one_minus = 1.0 - probs
+        tails = np.ones((points, probs.shape[1] + 1))
+        tails[:, :-1] = np.cumprod(one_minus[:, ::-1], axis=1)[:, ::-1]
+        return cls(periods=periods, probs=probs, p_any=p_any,
+                   tail_products=tails)
+
+    def __post_init__(self) -> None:
+        # The injector's fast path uses plain-Python bisect on a list,
+        # which is faster than numpy for scalar lookups.
+        self._period_list = self.periods.tolist()
+        self._p_any_list = self.p_any.tolist()
+
+    def row_index(self, period_ps: float) -> int:
+        """Grid row whose probabilities apply at an effective period.
+
+        Periods below the grid clamp to the most pessimistic row;
+        periods above the grid return -1 (no violations possible).
+        """
+        if period_ps >= self._period_list[-1]:
+            return -1
+        index = bisect_left(self._period_list, period_ps) - 1
+        return max(index, 0)
+
+    def p_any_at(self, row: int) -> float:
+        return self._p_any_list[row]

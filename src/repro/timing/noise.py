@@ -1,0 +1,76 @@
+"""Supply-voltage noise model.
+
+The paper models supply noise as an i.i.d. per-cycle normal random
+variable with zero mean and standard deviation sigma, clipped at
++-2 sigma to suppress physically unrealistic tail spikes (Section 3.3).
+Each cycle's noise value modulates every path delay of that cycle
+through the fitted Vdd-delay curve.
+
+Noise is sampled in pre-generated blocks so the per-cycle cost inside
+the instruction set simulator stays negligible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class VoltageNoise:
+    """Gaussian supply-voltage noise, clipped at ``clip_sigmas``.
+
+    Attributes:
+        sigma_v: standard deviation in volts (e.g. 0.010 for 10 mV).
+        clip_sigmas: symmetric clipping point in sigmas (paper: 2.0).
+    """
+
+    sigma_v: float
+    clip_sigmas: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.sigma_v < 0:
+            raise ValueError("noise sigma must be non-negative")
+        if self.clip_sigmas <= 0:
+            raise ValueError("clip point must be positive")
+
+    @property
+    def max_droop_v(self) -> float:
+        """Largest possible voltage drop (positive number, volts)."""
+        return self.clip_sigmas * self.sigma_v
+
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``count`` per-cycle noise values [V], clipped."""
+        if self.sigma_v == 0.0:
+            return np.zeros(count)
+        values = rng.normal(0.0, self.sigma_v, count)
+        bound = self.max_droop_v
+        return np.clip(values, -bound, bound)
+
+
+class NoiseStream:
+    """Blocked sampler handing out one noise value per simulated cycle.
+
+    Refills from the underlying :class:`VoltageNoise` in blocks to keep
+    per-cycle overhead to an array index.
+    """
+
+    def __init__(self, noise: VoltageNoise, rng: np.random.Generator,
+                 block: int = 65536):
+        if block <= 0:
+            raise ValueError("block size must be positive")
+        self._noise = noise
+        self._rng = rng
+        self._block = block
+        self._values = noise.sample(block, rng)
+        self._cursor = 0
+
+    def next(self) -> float:
+        """Noise value [V] for the next cycle."""
+        if self._cursor >= self._block:
+            self._values = self._noise.sample(self._block, self._rng)
+            self._cursor = 0
+        value = self._values[self._cursor]
+        self._cursor += 1
+        return value

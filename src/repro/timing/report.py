@@ -1,0 +1,107 @@
+"""Timing report generation (STA endpoint-slack reports).
+
+Produces the familiar sign-off-style view of the ALU's timing: per
+endpoint bit, the worst static arrival, the required time (clock period
+minus setup), the slack, and which functional unit owns the worst path.
+Used by the examples and handy when exploring alternative calibration
+targets or adder topologies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.netlist.alu import AluNetlist
+from repro.netlist.library import VDD_REF
+
+
+@dataclass(frozen=True)
+class EndpointSlack:
+    """One endpoint's timing at a given clock."""
+
+    bit: int
+    unit: str
+    arrival_ps: float
+    required_ps: float
+
+    @property
+    def slack_ps(self) -> float:
+        return self.required_ps - self.arrival_ps
+
+    @property
+    def violated(self) -> bool:
+        return self.slack_ps < 0
+
+
+@dataclass
+class TimingReport:
+    """STA endpoint report for one operating point."""
+
+    vdd: float
+    frequency_hz: float
+    endpoints: list[EndpointSlack]
+
+    @property
+    def worst(self) -> EndpointSlack:
+        return min(self.endpoints, key=lambda e: e.slack_ps)
+
+    @property
+    def violations(self) -> list[EndpointSlack]:
+        return [e for e in self.endpoints if e.violated]
+
+    def render(self, limit: int | None = 10) -> str:
+        """Sign-off style text report (worst endpoints first)."""
+        ordered = sorted(self.endpoints, key=lambda e: e.slack_ps)
+        if limit is not None:
+            ordered = ordered[:limit]
+        lines = [
+            f"Timing report @ {self.vdd:.2f} V, "
+            f"{self.frequency_hz / 1e6:.1f} MHz "
+            f"(period {1e12 / self.frequency_hz:.1f} ps)",
+            f"{'endpoint':>10s} {'unit':>12s} {'arrival':>9s} "
+            f"{'required':>9s} {'slack':>9s}",
+        ]
+        for endpoint in ordered:
+            marker = " (VIOLATED)" if endpoint.violated else ""
+            lines.append(
+                f"  result[{endpoint.bit:>2d}] {endpoint.unit:>12s} "
+                f"{endpoint.arrival_ps:9.1f} {endpoint.required_ps:9.1f} "
+                f"{endpoint.slack_ps:9.1f}{marker}")
+        total = len(self.violations)
+        lines.append(f"{total} violated endpoint(s) of "
+                     f"{len(self.endpoints)}")
+        return "\n".join(lines)
+
+
+def timing_report(alu: "AluNetlist", frequency_hz: float,
+                  vdd: float = VDD_REF) -> TimingReport:
+    """Build the STA endpoint-slack report of an ALU.
+
+    The arrival per endpoint bit is the worst over all functional
+    units (the model-B view); the owning unit is recorded so reports
+    show which block limits each bit.
+    """
+    if frequency_hz <= 0:
+        raise ValueError("frequency must be positive")
+    per_unit = alu.endpoint_sta(vdd)
+    units = list(per_unit)
+    stacked = np.stack([per_unit[u] for u in units])  # (units, 32)
+    owner_index = np.argmax(stacked, axis=0)
+    worst_arrival = stacked.max(axis=0)
+    required = 1e12 / frequency_hz - alu.library.setup(vdd)
+    endpoints = [
+        EndpointSlack(
+            bit=bit,
+            unit=units[int(owner_index[bit])],
+            arrival_ps=float(worst_arrival[bit]),
+            required_ps=required,
+        )
+        for bit in range(stacked.shape[1])
+    ]
+    return TimingReport(vdd=vdd, frequency_hz=frequency_hz,
+                        endpoints=endpoints)

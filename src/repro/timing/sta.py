@@ -1,0 +1,68 @@
+"""Static timing analysis over gate-level circuits.
+
+Classic topological longest-path analysis: every primary input launches
+at the flip-flop clock-to-Q delay, every gate output's static arrival is
+its delay plus the latest input arrival, and endpoint slack is measured
+against the clock period minus the capture flip-flop's setup time.
+
+STA is the timing view used by fault-injection models B and B+ (the
+paper's Section 3.2/3.3) and the upper bound that dynamic timing
+analysis can never exceed (property-tested).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.library import CellLibrary, VDD_REF
+
+
+def static_arrivals(circuit: Circuit, library: CellLibrary,
+                    vdd: float = VDD_REF, scale: float = 1.0,
+                    include_clk_to_q: bool = True) -> dict[str, np.ndarray]:
+    """Static (worst-case) data arrival time per output bit.
+
+    Args:
+        circuit: the netlist to analyze.
+        library: timing library.
+        vdd: supply voltage for the delay view.
+        scale: unit sizing scale (see the library docs).
+        include_clk_to_q: launch inputs at the flip-flop clock-to-Q
+            delay (True for register-to-register paths).
+
+    Returns:
+        output bus name -> array of per-bit arrival times [ps].
+        Setup time is *not* included; add ``library.setup(vdd)`` when
+        comparing against a clock period.
+    """
+    delays = circuit.gate_delays(library, vdd, scale)
+    launch = library.clk_to_q(vdd) if include_clk_to_q else 0.0
+    arrival = np.zeros(circuit.n_nets)
+    for net in range(2, circuit.n_nets):
+        arrival[net] = launch  # primary inputs (overwritten for gates)
+    arrival[0] = 0.0
+    arrival[1] = 0.0
+    for index, (ins, out) in enumerate(
+            zip(circuit.gate_inputs, circuit.gate_outputs)):
+        worst_in = max(arrival[i] for i in ins)
+        arrival[out] = worst_in + delays[index]
+    return {
+        name: np.array([arrival[n] for n in circuit.output_nets(name)])
+        for name in circuit.output_names
+    }
+
+
+def worst_arrival(circuit: Circuit, library: CellLibrary,
+                  vdd: float = VDD_REF, scale: float = 1.0) -> float:
+    """Worst static arrival over all outputs [ps], incl. clock-to-Q."""
+    per_bus = static_arrivals(circuit, library, vdd, scale)
+    return max(float(bits.max()) for bits in per_bus.values())
+
+
+def max_frequency_hz(worst_arrival_ps: float, setup_ps: float) -> float:
+    """Maximum clock frequency for a worst arrival + setup [Hz]."""
+    period_ps = worst_arrival_ps + setup_ps
+    if period_ps <= 0:
+        raise ValueError("non-positive critical period")
+    return 1e12 / period_ps

@@ -1,0 +1,46 @@
+"""Shared fixtures: the calibrated hardware model and its timing data.
+
+Everything expensive is session-scoped -- the gate-level ALU, the DTA
+characterization and the fitted voltage model are immutable once built,
+so all tests can share one instance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.netlist.alu import AluNetlist
+from repro.netlist.calibrate import calibrate_alu
+from repro.timing.characterize import (
+    CharacterizationConfig,
+    get_characterization,
+)
+from repro.timing.voltage import VddDelayModel
+
+
+@pytest.fixture(scope="session")
+def alu() -> AluNetlist:
+    """The calibrated case-study ALU (707 MHz STA limit at 0.7 V)."""
+    instance = AluNetlist()
+    calibrate_alu(instance)
+    return instance
+
+
+@pytest.fixture(scope="session")
+def characterization(alu):
+    """Small but real DTA characterization at 0.7 V."""
+    return get_characterization(
+        alu, CharacterizationConfig(n_cycles_per_instr=256, seed=7))
+
+
+@pytest.fixture(scope="session")
+def vdd_model(alu) -> VddDelayModel:
+    """Fitted Vdd-delay curve of the calibrated ALU."""
+    return VddDelayModel.from_alu_sta(alu)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Fresh deterministic RNG per test."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,172 @@
+"""Tests for the benchmark kernels and their golden references."""
+
+import numpy as np
+import pytest
+
+from repro.bench import dijkstra, kmeans, matmul, median
+from repro.bench.suite import BENCHMARK_NAMES, build_kernel
+from repro.sim.cpu import Cpu
+
+
+def execute(kernel):
+    cpu = Cpu(kernel.program)
+    result = cpu.run(kernel.entry)
+    outputs = cpu.dmem.read_words(kernel.output_address,
+                                  kernel.output_count)
+    return result, outputs
+
+
+class TestFaultFreeExecution:
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_quick_kernels_correct(self, name):
+        kernel = build_kernel(name, "quick")
+        result, outputs = execute(kernel)
+        assert result.finished
+        assert kernel.is_correct(outputs)
+        assert kernel.error_value(outputs, kernel.golden) == 0.0
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_kernel_cycles_dominate(self, name):
+        """FI covers the kernel part, which must dominate the runtime
+        (the paper: 99 %+; small problem sizes still exceed 95 %)."""
+        kernel = build_kernel(name, "quick")
+        result, _ = execute(kernel)
+        assert result.kernel_cycles / result.cycles > 0.95
+
+    def test_deterministic_given_seed(self):
+        a = build_kernel("median", "quick", seed=5)
+        b = build_kernel("median", "quick", seed=5)
+        assert a.program.words == b.program.words
+        assert a.golden == b.golden
+
+    def test_different_seeds_differ(self):
+        a = build_kernel("median", "quick", seed=5)
+        b = build_kernel("median", "quick", seed=6)
+        assert a.program.words != b.program.words
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            build_kernel("quicksort", "quick")
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError, match="scale"):
+            build_kernel("median", "huge")
+
+
+class TestMedian:
+    def test_golden_matches_numpy(self):
+        values = median.generate_inputs(33, seed=9)
+        assert median.golden_median(values) == int(np.median(values))
+
+    def test_even_size_takes_upper_middle(self):
+        assert median.golden_median([1, 2, 3, 4]) == 3
+
+    def test_asm_matches_golden_for_various_sizes(self):
+        for size in (5, 17, 33):
+            kernel = median.build(size, seed=size)
+            result, outputs = execute(kernel)
+            assert result.finished
+            assert outputs == kernel.golden
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            median.build(0)
+
+
+class TestMatmul:
+    def test_golden_matches_numpy(self):
+        size = 8
+        a, b = matmul.generate_inputs(size, 16, seed=3)
+        golden = matmul.golden_matmul(a, b, size)
+        mat_a = np.array(a, dtype=np.uint64).reshape(size, size)
+        mat_b = np.array(b, dtype=np.uint64).reshape(size, size)
+        product = (mat_a @ mat_b) & np.uint64(0xFFFFFFFF)
+        assert golden == [int(v) for v in product.ravel()]
+
+    def test_8bit_values_smaller_than_16bit(self):
+        a8, _ = matmul.generate_inputs(8, 8, seed=1)
+        a16, _ = matmul.generate_inputs(8, 16, seed=1)
+        assert max(a8) < 256
+        assert max(a16) >= 256
+
+    def test_asm_matches_golden(self):
+        kernel = matmul.build(4, width_bits=16, seed=2)
+        result, outputs = execute(kernel)
+        assert result.finished and outputs == kernel.golden
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="power of two"):
+            matmul.build(6)
+        with pytest.raises(ValueError, match="width_bits"):
+            matmul.build(8, width_bits=12)
+
+
+class TestKmeans:
+    def test_two_blobs_separate(self):
+        px, py = kmeans.generate_inputs(8, seed=4)
+        assign = kmeans.golden_kmeans(px, py, iters=15)
+        # Both clusters must be populated for a sane instance.
+        assert 0 < sum(assign) < len(assign)
+
+    def test_asm_matches_golden(self):
+        for seed in (1, 2, 3):
+            kernel = kmeans.build(8, iters=5, seed=seed)
+            result, outputs = execute(kernel)
+            assert result.finished, kernel.params
+            assert outputs == kernel.golden, kernel.params
+
+    def test_iteration_count_matters(self):
+        px, py = kmeans.generate_inputs(8, seed=4)
+        one = kmeans.golden_kmeans(px, py, iters=1)
+        many = kmeans.golden_kmeans(px, py, iters=15)
+        assert len(one) == len(many) == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kmeans.build(1)
+        with pytest.raises(ValueError):
+            kmeans.build(8, iters=0)
+
+
+class TestDijkstra:
+    def test_golden_matches_networkx(self):
+        networkx = pytest.importorskip("networkx")
+        nodes = 8
+        adj = dijkstra.generate_inputs(nodes, seed=5)
+        golden = dijkstra.golden_dijkstra(adj, nodes)
+        graph = networkx.Graph()
+        graph.add_nodes_from(range(nodes))
+        for i in range(nodes):
+            for j in range(nodes):
+                w = adj[i * nodes + j]
+                if i != j and w != dijkstra.INF:
+                    graph.add_edge(i, j, weight=w)
+        lengths = dict(networkx.all_pairs_dijkstra_path_length(graph))
+        for src in range(nodes):
+            for dst in range(nodes):
+                expected = lengths.get(src, {}).get(dst, dijkstra.INF)
+                assert golden[src * nodes + dst] == expected
+
+    def test_asm_matches_golden(self):
+        for seed in (1, 7):
+            kernel = dijkstra.build(6, seed=seed)
+            result, outputs = execute(kernel)
+            assert result.finished
+            assert outputs == kernel.golden
+
+    def test_unreachable_nodes_stay_inf(self):
+        adj = dijkstra.generate_inputs(6, seed=1, density=0.0)
+        golden = dijkstra.golden_dijkstra(adj, 6)
+        assert golden[1] == dijkstra.INF  # off-diagonal unreachable
+        assert golden[0] == 0             # self distance
+
+    def test_symmetric_weights(self):
+        nodes = 6
+        adj = dijkstra.generate_inputs(nodes, seed=2)
+        for i in range(nodes):
+            for j in range(nodes):
+                assert adj[i * nodes + j] == adj[j * nodes + i]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dijkstra.build(1)

@@ -1,0 +1,86 @@
+"""Unit tests for the output-quality metrics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bench.metrics import (
+    mean_squared_error,
+    mismatch_fraction,
+    normalized_rmse,
+    relative_difference,
+)
+
+u32 = st.integers(min_value=0, max_value=(1 << 32) - 1)
+
+
+class TestRelativeDifference:
+    def test_exact_match(self):
+        assert relative_difference(100, 100) == 0.0
+
+    def test_simple_ratio(self):
+        assert relative_difference(110, 100) == pytest.approx(0.10)
+
+    def test_clipped_at_one(self):
+        assert relative_difference(10**9, 1) == 1.0
+
+    def test_zero_reference(self):
+        assert relative_difference(0, 0) == 0.0
+        assert relative_difference(5, 0) == 1.0
+
+
+class TestMse:
+    def test_zero_for_identical(self):
+        assert mean_squared_error([1, 2, 3], [1, 2, 3]) == 0.0
+
+    def test_simple_value(self):
+        assert mean_squared_error([3, 0], [1, 0]) == pytest.approx(2.0)
+
+    def test_wraparound_distance(self):
+        # 0xFFFFFFFF vs 0: distance 1, not (2^32 - 1).
+        assert mean_squared_error([0xFFFFFFFF], [0]) == pytest.approx(1.0)
+
+    def test_half_range_is_max(self):
+        assert mean_squared_error([0x80000000], [0]) == pytest.approx(
+            float(0x80000000) ** 2)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_squared_error([1], [1, 2])
+
+    def test_empty(self):
+        assert mean_squared_error([], []) == 0.0
+
+    @given(st.lists(u32, min_size=1, max_size=10))
+    def test_symmetric(self, values):
+        shifted = [(v + 7) & 0xFFFFFFFF for v in values]
+        assert mean_squared_error(values, shifted) == pytest.approx(
+            mean_squared_error(shifted, values))
+
+
+class TestMismatchFraction:
+    def test_all_match(self):
+        assert mismatch_fraction([1, 2], [1, 2]) == 0.0
+
+    def test_half_mismatch(self):
+        assert mismatch_fraction([1, 9], [1, 2]) == 0.5
+
+    def test_empty(self):
+        assert mismatch_fraction([], []) == 0.0
+
+    @given(st.lists(u32, min_size=1, max_size=20))
+    def test_bounded(self, values):
+        assert 0.0 <= mismatch_fraction(values, values[::-1]) <= 1.0
+
+
+class TestNormalizedRmse:
+    def test_scaling(self):
+        assert normalized_rmse([12], [10], full_scale=2.0) == 1.0
+        assert normalized_rmse([11], [10], full_scale=2.0) == \
+            pytest.approx(0.5)
+
+    def test_clip(self):
+        assert normalized_rmse([10**6], [0], full_scale=1.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            normalized_rmse([1], [1], full_scale=0.0)

@@ -1,0 +1,113 @@
+"""Tests for the injector base class and conditional mask sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fi.base import FaultInjector, NullInjector
+from repro.fi.sampling import BitSampler
+
+
+class _ScriptedInjector(FaultInjector):
+    """Test double replaying a fixed sequence of masks."""
+
+    def __init__(self, masks, semantics="flip"):
+        super().__init__(semantics)
+        self._masks = list(masks)
+        self._cursor = 0
+
+    def fault_mask(self, mnemonic):
+        mask = self._masks[self._cursor % len(self._masks)]
+        self._cursor += 1
+        return mask
+
+
+class TestFaultSemantics:
+    def test_flip_inverts_masked_bits(self):
+        injector = _ScriptedInjector([0b101])
+        assert injector.on_alu("l.add", 0b111) == 0b010
+
+    def test_stale_relatches_previous_value(self):
+        injector = _ScriptedInjector([0, 0xF], semantics="stale")
+        first = injector.on_alu("l.add", 0x12345678)   # clean, latched
+        assert first == 0x12345678
+        second = injector.on_alu("l.add", 0xABCDEF00)
+        # Low nibble re-latches the previous value's low nibble (0x8).
+        assert second == 0xABCDEF08
+
+    def test_stale_initial_latch_is_zero(self):
+        injector = _ScriptedInjector([0xFF], semantics="stale")
+        assert injector.on_alu("l.add", 0x12345678) == 0x12345600
+
+    def test_counters(self):
+        injector = _ScriptedInjector([0b11, 0, 0b1])
+        for value in (1, 2, 3):
+            injector.on_alu("l.add", value)
+        assert injector.alu_cycles == 3
+        assert injector.faulty_cycles == 2
+        assert injector.fault_count == 3
+
+    def test_begin_run_resets(self):
+        injector = _ScriptedInjector([1])
+        injector.on_alu("l.add", 0)
+        injector.begin_run()
+        assert injector.fault_count == 0
+        assert injector.alu_cycles == 0
+
+    def test_unknown_semantics_rejected(self):
+        with pytest.raises(ValueError, match="semantics"):
+            NullInjector(semantics="quantum")
+
+    def test_null_injector_is_transparent(self):
+        injector = NullInjector()
+        assert injector.on_alu("l.mul", 42) == 42
+        assert injector.fault_count == 0
+
+
+class TestBitSampler:
+    def test_p_any_formula(self):
+        p = np.array([0.5, 0.5])
+        sampler = BitSampler.from_probs(p)
+        assert sampler.p_any == pytest.approx(0.75)
+
+    def test_zero_probs(self):
+        sampler = BitSampler.from_probs(np.zeros(4))
+        assert sampler.p_any == 0.0
+        with pytest.raises(ValueError, match="p_any"):
+            sampler.sample_mask(np.random.default_rng(0))
+
+    def test_mask_always_nonzero(self, rng):
+        sampler = BitSampler.from_probs(np.full(8, 0.01))
+        for _ in range(200):
+            assert sampler.sample_mask(rng) != 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BitSampler.from_probs(np.array([1.5]))
+        with pytest.raises(ValueError):
+            BitSampler.from_probs(np.array([[0.1]]))
+
+    def test_conditional_marginals_match(self, rng):
+        """Gated sampling reproduces the unconditional marginals."""
+        p = np.array([0.02, 0.0, 0.10, 0.05])
+        sampler = BitSampler.from_probs(p)
+        trials = 40000
+        counts = np.zeros(4)
+        for _ in range(trials):
+            if rng.random() < sampler.p_any:
+                mask = sampler.sample_mask(rng)
+                for bit in range(4):
+                    counts[bit] += (mask >> bit) & 1
+        observed = counts / trials
+        assert np.allclose(observed, p, atol=0.005)
+        assert counts[1] == 0  # zero-probability bit never fires
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=0.9), min_size=1,
+                    max_size=16))
+    @settings(max_examples=30)
+    def test_first_cdf_is_monotone_and_bounded(self, probs):
+        sampler = BitSampler.from_probs(np.array(probs))
+        cdf = sampler.first_cdf
+        assert np.all(np.diff(cdf) >= -1e-12)
+        if sampler.p_any > 0:
+            assert cdf[-1] == pytest.approx(1.0)

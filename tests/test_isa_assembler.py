@@ -1,0 +1,167 @@
+"""Unit tests for the two-pass assembler."""
+
+import pytest
+
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.encoding import decode
+
+
+class TestBasics:
+    def test_single_instruction(self):
+        program = assemble("l.addi r1, r0, 5\n")
+        assert len(program.words) == 1
+        decoded = decode(program.words[0])
+        assert decoded.mnemonic == "l.addi"
+        assert decoded.rd == 1 and decoded.imm == 5
+
+    def test_comments_and_blank_lines(self):
+        program = assemble("""
+        # full comment line
+        l.nop          ; trailing comment
+        l.nop 0x1      # another
+        """)
+        assert len(program.words) == 2
+
+    def test_labels_resolve_forward_and_backward(self):
+        program = assemble("""
+        start:
+            l.j end
+            l.nop
+        mid:
+            l.j start
+            l.nop
+        end:
+            l.nop 0x1
+        """)
+        assert program.symbol("start") == 0
+        assert program.symbol("mid") == 8
+        assert program.symbol("end") == 16
+        assert decode(program.words[0]).imm == 4  # (16 - 0) / 4
+        assert decode(program.words[2]).imm == -2
+
+    def test_label_on_same_line_as_instruction(self):
+        program = assemble("loop: l.j loop2\nloop2: l.nop 0x1\n")
+        assert program.symbol("loop") == 0
+        assert program.symbol("loop2") == 4
+
+    def test_negative_immediates(self):
+        program = assemble("l.addi r1, r1, -1\n")
+        assert decode(program.words[0]).imm == -1
+
+    def test_memory_operands(self):
+        program = assemble("l.lwz r2, 8(r3)\nl.sw -4(r5), r6\n")
+        load = decode(program.words[0])
+        assert (load.rd, load.ra, load.imm) == (2, 3, 8)
+        store = decode(program.words[1])
+        assert (store.ra, store.rb, store.imm) == (5, 6, -4)
+
+
+class TestDirectives:
+    def test_word_and_space(self):
+        program = assemble("""
+        .org 0x0
+        l.nop 0x1
+        data:
+            .word 1, 2, 3
+        buf:
+            .space 8
+        """)
+        assert program.symbol("data") == 4
+        assert program.symbol("buf") == 16
+        assert program.words[1:4] == [1, 2, 3]
+        assert program.words[4:6] == [0, 0]
+
+    def test_equ_constants(self):
+        program = assemble("""
+        .equ BASE, 0x100
+        .equ OFF, 8
+        l.addi r1, r0, BASE + OFF
+        """)
+        assert decode(program.words[0]).imm == 0x108
+
+    def test_hi_lo_split(self):
+        program = assemble("""
+        .equ ADDR, 0x12345678
+        l.movhi r4, hi(ADDR)
+        l.ori   r4, r4, lo(ADDR)
+        """)
+        assert decode(program.words[0]).imm == 0x1234
+        assert decode(program.words[1]).imm == 0x5678
+
+    def test_org_gap_zero_filled(self):
+        program = assemble("l.nop 0x1\n.org 0x10\n.word 7\n")
+        assert program.words[1:4] == [0, 0, 0]
+        assert program.words[4] == 7
+
+    def test_org_backwards_rejected(self):
+        with pytest.raises(AssemblerError, match="backwards"):
+            assemble(".org 0x10\nl.nop\n.org 0x0\nl.nop\n")
+
+    def test_word_expression_with_label(self):
+        program = assemble("""
+        a: .word 1
+        b: .word a + 4
+        """)
+        assert program.words[1] == 4
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError, match="unknown instruction"):
+            assemble("l.frobnicate r1, r2, r3\n")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblerError, match="duplicate"):
+            assemble("x:\nl.nop\nx:\nl.nop\n")
+
+    def test_undefined_symbol(self):
+        with pytest.raises(AssemblerError, match="undefined symbol"):
+            assemble("l.addi r1, r0, nowhere\n")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblerError, match="bad register"):
+            assemble("l.add r1, r40, r2\n")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError, match="expects 3"):
+            assemble("l.add r1, r2\n")
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AssemblerError, match="memory operand"):
+            assemble("l.lwz r1, r2\n")
+
+    def test_immediate_out_of_range_reports_line(self):
+        with pytest.raises(AssemblerError, match="line 1"):
+            assemble("l.addi r1, r0, 100000\n")
+
+    def test_unknown_directive(self):
+        with pytest.raises(AssemblerError, match="directive"):
+            assemble(".bogus 1\n")
+
+    def test_misaligned_branch_target(self):
+        with pytest.raises(AssemblerError, match="aligned"):
+            assemble(".equ T, 2\nl.j T\nl.nop\n")
+
+
+class TestProgramMetadata:
+    def test_line_map_points_at_instructions(self):
+        program = assemble("l.nop\nl.nop 0x1\n")
+        assert program.line_map[0] == 1
+        assert program.line_map[4] == 2
+
+    def test_symbol_lookup_error_lists_known(self):
+        program = assemble("here:\nl.nop\n")
+        with pytest.raises(KeyError, match="here"):
+            program.symbol("missing")
+
+    def test_word_at(self):
+        program = assemble(".word 42, 43\n")
+        assert program.word_at(0) == 42
+        assert program.word_at(4) == 43
+        with pytest.raises(IndexError):
+            program.word_at(8)
+
+    def test_base_address_offsets_symbols(self):
+        program = assemble("x:\nl.nop\n", base_address=0x100)
+        assert program.symbol("x") == 0x100
+        assert program.end_address == 0x104

@@ -1,0 +1,52 @@
+"""Unit and property tests for the disassembler."""
+
+from hypothesis import given, strategies as st
+
+from repro.isa.assembler import assemble
+from repro.isa.disassembler import disassemble, disassemble_range, \
+    format_decoded
+from repro.isa.encoding import decode, encode, make
+from repro.isa.instructions import INSTRUCTIONS
+
+
+class TestFormat:
+    def test_rrr(self):
+        assert format_decoded(make("l.add", rd=1, ra=2, rb=3)) == \
+            "l.add r1, r2, r3"
+
+    def test_load_store(self):
+        assert format_decoded(make("l.lwz", rd=2, ra=3, imm=8)) == \
+            "l.lwz r2, 8(r3)"
+        assert format_decoded(make("l.sw", ra=5, rb=6, imm=-4)) == \
+            "l.sw -4(r5), r6"
+
+    def test_jump_with_address_context(self):
+        text = format_decoded(make("l.j", imm=4), address=0x10)
+        assert text == "l.j 0x20"
+
+    def test_jump_without_address_context(self):
+        assert format_decoded(make("l.j", imm=-2)) == "l.j .-8"
+
+    def test_nop_reason_code(self):
+        assert format_decoded(make("l.nop", imm=1)) == "l.nop 0x1"
+        assert format_decoded(make("l.nop", imm=0)) == "l.nop"
+
+    def test_illegal_word_renders_as_data(self):
+        assert disassemble(0xFC001234) == ".word 0xfc001234"
+
+
+class TestRoundTrip:
+    @given(st.sampled_from(sorted(INSTRUCTIONS)))
+    def test_disassembly_reassembles_to_same_word(self, mnemonic):
+        decoded = make(mnemonic, rd=5, ra=6, rb=7, imm=4)
+        word = encode(decoded)
+        # Render at address 0 so jump targets are absolute.
+        text = format_decoded(decode(word), address=0)
+        program = assemble(text + "\n")
+        assert program.words[0] == word
+
+    def test_range_listing(self):
+        program = assemble("l.nop\nl.addi r1, r0, 3\n")
+        lines = disassemble_range(program.words)
+        assert lines[0].startswith("0x0000: l.nop")
+        assert "l.addi r1, r0, 3" in lines[1]

@@ -1,0 +1,159 @@
+"""Unit and property tests for instruction encoding/decoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.encoding import (
+    Decoded,
+    EncodingError,
+    decode,
+    encode,
+    make,
+    sign_extend,
+)
+from repro.isa.instructions import Format, INSTRUCTIONS, spec_for
+
+
+class TestSignExtend:
+    @pytest.mark.parametrize("value,bits,expected", [
+        (0x7FFF, 16, 0x7FFF),
+        (0x8000, 16, -0x8000),
+        (0xFFFF, 16, -1),
+        (0, 16, 0),
+        (0x2000000, 26, -0x2000000),
+        (0x1FFFFFF, 26, 0x1FFFFFF),
+    ])
+    def test_known_values(self, value, bits, expected):
+        assert sign_extend(value, bits) == expected
+
+    @given(st.integers(min_value=0, max_value=0xFFFF))
+    def test_roundtrip_16(self, value):
+        assert sign_extend(value, 16) & 0xFFFF == value
+
+
+def _decoded_strategy():
+    """Random valid Decoded instances for round-trip testing."""
+    regs = st.integers(min_value=0, max_value=31)
+
+    def build(mnemonic):
+        spec = spec_for(mnemonic)
+        fmt = spec.fmt
+        if fmt is Format.RRR:
+            return st.builds(Decoded, st.just(spec), rd=regs, ra=regs,
+                             rb=regs)
+        if fmt is Format.RRI:
+            if spec.signed_imm:
+                imm = st.integers(min_value=-(1 << 15),
+                                  max_value=(1 << 15) - 1)
+            else:
+                imm = st.integers(min_value=0, max_value=(1 << 16) - 1)
+            return st.builds(Decoded, st.just(spec), rd=regs, ra=regs,
+                             imm=imm)
+        if fmt is Format.RRL:
+            return st.builds(Decoded, st.just(spec), rd=regs, ra=regs,
+                             imm=st.integers(min_value=0, max_value=63))
+        if fmt is Format.RI_HI:
+            return st.builds(Decoded, st.just(spec), rd=regs,
+                             imm=st.integers(min_value=0,
+                                             max_value=(1 << 16) - 1))
+        if fmt in (Format.LOAD, Format.STORE):
+            imm = st.integers(min_value=-(1 << 15), max_value=(1 << 15) - 1)
+            if fmt is Format.LOAD:
+                return st.builds(Decoded, st.just(spec), rd=regs, ra=regs,
+                                 imm=imm)
+            return st.builds(Decoded, st.just(spec), ra=regs, rb=regs,
+                             imm=imm)
+        if fmt is Format.SF_RR:
+            return st.builds(Decoded, st.just(spec), ra=regs, rb=regs)
+        if fmt is Format.SF_RI:
+            return st.builds(Decoded, st.just(spec), ra=regs,
+                             imm=st.integers(min_value=-(1 << 15),
+                                             max_value=(1 << 15) - 1))
+        if fmt is Format.JUMP:
+            return st.builds(Decoded, st.just(spec),
+                             imm=st.integers(min_value=-(1 << 25),
+                                             max_value=(1 << 25) - 1))
+        if fmt is Format.JUMP_REG:
+            return st.builds(Decoded, st.just(spec), rb=regs)
+        return st.builds(Decoded, st.just(spec),
+                         imm=st.integers(min_value=0,
+                                         max_value=(1 << 16) - 1))
+
+    return st.sampled_from(sorted(INSTRUCTIONS)).flatmap(build)
+
+
+class TestRoundTrip:
+    @given(_decoded_strategy())
+    def test_encode_decode_roundtrip(self, decoded):
+        word = encode(decoded)
+        assert 0 <= word < (1 << 32)
+        again = decode(word)
+        assert again.spec.mnemonic == decoded.spec.mnemonic
+        fmt = decoded.spec.fmt
+        if fmt in (Format.RRR, Format.RRI, Format.RRL, Format.RI_HI,
+                   Format.LOAD):
+            assert again.rd == decoded.rd
+        if fmt not in (Format.JUMP, Format.JUMP_REG, Format.NOP,
+                       Format.RI_HI):
+            assert again.ra == decoded.ra
+        if fmt in (Format.RRR, Format.STORE, Format.SF_RR,
+                   Format.JUMP_REG):
+            assert again.rb == decoded.rb
+        if fmt not in (Format.RRR, Format.SF_RR, Format.JUMP_REG):
+            assert again.imm == decoded.imm
+
+    def test_every_mnemonic_roundtrips_once(self):
+        for mnemonic in INSTRUCTIONS:
+            decoded = make(mnemonic, rd=1, ra=2, rb=3, imm=4)
+            assert decode(encode(decoded)).mnemonic == mnemonic
+
+
+class TestValidation:
+    def test_register_out_of_range(self):
+        with pytest.raises(EncodingError, match="register"):
+            encode(make("l.add", rd=32, ra=0, rb=0))
+
+    def test_signed_immediate_overflow(self):
+        with pytest.raises(EncodingError, match="immediate"):
+            encode(make("l.addi", rd=1, ra=1, imm=40000))
+
+    def test_unsigned_immediate_negative(self):
+        with pytest.raises(EncodingError, match="immediate"):
+            encode(make("l.ori", rd=1, ra=1, imm=-1))
+
+    def test_jump_offset_overflow(self):
+        with pytest.raises(EncodingError, match="immediate"):
+            encode(make("l.j", imm=1 << 26))
+
+    def test_illegal_word_raises(self):
+        with pytest.raises(EncodingError, match="illegal"):
+            decode(0xFC000000)  # opcode 0x3F is unassigned
+
+    def test_bad_alu_subopcode(self):
+        word = encode(make("l.add", rd=1, ra=2, rb=3)) | 0xF
+        with pytest.raises(EncodingError):
+            decode(word)
+
+    def test_bad_setflag_subopcode(self):
+        # rd field carries the compare kind; 0x1F is unassigned.
+        word = (0x39 << 26) | (0x1F << 21)
+        with pytest.raises(EncodingError):
+            decode(word)
+
+
+class TestFieldPlacement:
+    def test_major_opcode_position(self):
+        assert encode(make("l.j", imm=0)) >> 26 == 0x00
+        assert encode(make("l.sw", ra=0, rb=0, imm=0)) >> 26 == 0x35
+
+    def test_store_immediate_split(self):
+        # Store immediates split across bits [25:21] and [10:0].
+        decoded = make("l.sw", ra=3, rb=4, imm=-4)
+        word = encode(decoded)
+        assert decode(word).imm == -4
+        assert decode(word).ra == 3
+        assert decode(word).rb == 4
+
+    def test_mul_group_marker_bits(self):
+        word = encode(make("l.mul", rd=1, ra=2, rb=3))
+        assert (word >> 8) & 0b11 == 0b11

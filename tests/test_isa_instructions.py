@@ -1,0 +1,93 @@
+"""Unit tests for the instruction-set registry."""
+
+import pytest
+
+from repro.isa.instructions import (
+    ALU_MNEMONICS,
+    Format,
+    INSTRUCTIONS,
+    TimingClass,
+    alu_mnemonics_for_class,
+    spec_for,
+)
+
+
+class TestRegistry:
+    def test_registry_is_nonempty_and_keyed_by_mnemonic(self):
+        assert len(INSTRUCTIONS) > 40
+        for mnemonic, spec in INSTRUCTIONS.items():
+            assert spec.mnemonic == mnemonic
+            assert mnemonic.startswith("l.")
+
+    def test_opcodes_fit_in_six_bits(self):
+        for spec in INSTRUCTIONS.values():
+            assert 0 <= spec.opcode < 64
+
+    def test_spec_for_known(self):
+        assert spec_for("l.add").timing_class is TimingClass.ADDER
+
+    def test_spec_for_unknown_raises_with_message(self):
+        with pytest.raises(KeyError, match="l.bogus"):
+            spec_for("l.bogus")
+
+    def test_unique_encodings_per_format_group(self):
+        seen = set()
+        for spec in INSTRUCTIONS.values():
+            key = (spec.opcode, spec.subopcode, spec.fmt)
+            assert key not in seen, f"encoding collision for {spec.mnemonic}"
+            seen.add(key)
+
+
+class TestClassification:
+    def test_alu_mnemonics_cover_all_four_units(self):
+        classes = {spec_for(m).timing_class for m in ALU_MNEMONICS}
+        assert classes == {
+            TimingClass.ADDER, TimingClass.MULTIPLIER,
+            TimingClass.SHIFTER, TimingClass.LOGIC,
+        }
+
+    def test_alu_mnemonics_are_fi_eligible(self):
+        for mnemonic in ALU_MNEMONICS:
+            assert spec_for(mnemonic).is_alu
+
+    def test_non_alu_examples(self):
+        for mnemonic in ("l.lwz", "l.sw", "l.bf", "l.j", "l.nop",
+                         "l.sfeq", "l.movhi"):
+            assert not spec_for(mnemonic).is_alu
+
+    def test_compare_class_is_not_alu(self):
+        # Compares drive only the flag endpoint, which the constraint
+        # strategy keeps safe -- they must not be FI-eligible.
+        for mnemonic, spec in INSTRUCTIONS.items():
+            if spec.timing_class is TimingClass.COMPARE:
+                assert not spec.is_alu
+
+    def test_branches_flagged(self):
+        assert spec_for("l.j").is_branch
+        assert spec_for("l.jr").is_branch
+        assert spec_for("l.bf").is_branch
+        assert not spec_for("l.add").is_branch
+
+    def test_loads_and_stores_flagged(self):
+        assert spec_for("l.lwz").is_load
+        assert spec_for("l.sw").is_store
+        assert not spec_for("l.lwz").is_store
+
+    def test_class_lookup(self):
+        adders = alu_mnemonics_for_class(TimingClass.ADDER)
+        assert set(adders) == {"l.add", "l.addi", "l.sub"}
+        multipliers = alu_mnemonics_for_class(TimingClass.MULTIPLIER)
+        assert set(multipliers) == {"l.mul", "l.muli"}
+
+    def test_immediate_signedness_follows_or1k(self):
+        assert spec_for("l.addi").signed_imm
+        assert spec_for("l.xori").signed_imm
+        assert not spec_for("l.andi").signed_imm
+        assert not spec_for("l.ori").signed_imm
+
+    def test_compare_variants_complete(self):
+        kinds = ("eq", "ne", "gtu", "geu", "ltu", "leu",
+                 "gts", "ges", "lts", "les")
+        for kind in kinds:
+            assert f"l.sf{kind}" in INSTRUCTIONS
+            assert f"l.sf{kind}i" in INSTRUCTIONS

@@ -1,0 +1,47 @@
+"""Unit tests for ALU timing calibration."""
+
+import pytest
+
+from repro.netlist.alu import AluNetlist
+from repro.netlist.calibrate import (
+    CalibrationError,
+    DEFAULT_TARGETS_PS,
+    calibrate_alu,
+    calibrated_alu,
+    verify_calibration,
+)
+
+
+class TestCalibration:
+    def test_targets_met_exactly(self, alu):
+        measured = verify_calibration(alu)
+        for unit, target in DEFAULT_TARGETS_PS.items():
+            assert measured[unit] == pytest.approx(target, rel=1e-9)
+
+    def test_multiplier_is_critical(self, alu):
+        assert alu.worst_sta_period_ps(0.7) == pytest.approx(
+            DEFAULT_TARGETS_PS["multiplier"], rel=1e-9)
+
+    def test_custom_targets(self):
+        alu = AluNetlist()
+        calibrate_alu(alu, {"adder": 1200.0})
+        measured = verify_calibration(alu, {"adder": 1200.0})
+        assert measured["adder"] == pytest.approx(1200.0, rel=1e-9)
+
+    def test_infeasible_target_rejected(self):
+        alu = AluNetlist()
+        with pytest.raises(CalibrationError, match="budget"):
+            calibrate_alu(alu, {"adder": 50.0})
+
+    def test_verify_detects_drift(self):
+        alu = calibrated_alu()
+        alu.unit_scales["adder"] *= 1.5
+        with pytest.raises(CalibrationError, match="adder"):
+            verify_calibration(alu)
+
+    def test_scales_are_positive(self, alu):
+        assert all(s > 0 for s in alu.unit_scales.values())
+
+    def test_calibrated_alu_convenience(self):
+        alu = calibrated_alu()
+        assert alu.sta_limit_hz(0.7) / 1e6 == pytest.approx(707.1, abs=0.5)

@@ -1,0 +1,205 @@
+"""Unit and property tests for the circuit graph and its engines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netlist.circuit import (
+    Circuit,
+    CircuitError,
+    bits_from_ints,
+    ints_from_bits,
+)
+from repro.netlist.library import CellLibrary
+
+
+class TestBitPlanes:
+    @given(st.lists(st.integers(min_value=0, max_value=(1 << 32) - 1),
+                    min_size=1, max_size=20))
+    def test_roundtrip(self, values):
+        array = np.array(values, dtype=np.uint64)
+        assert np.array_equal(ints_from_bits(bits_from_ints(array, 32)),
+                              array)
+
+    def test_bit_order_lsb_first(self):
+        planes = bits_from_ints(np.array([0b101]), 3)
+        assert planes[:, 0].tolist() == [True, False, True]
+
+
+class TestConstruction:
+    def test_topological_order_enforced(self):
+        circuit = Circuit("t")
+        with pytest.raises(CircuitError, match="not driven"):
+            circuit.gate("INV", 99)
+
+    def test_arity_checked(self):
+        circuit = Circuit("t")
+        a = circuit.input_bus("a", 1)[0]
+        with pytest.raises(CircuitError, match="expects 2"):
+            circuit.gate("AND2", a)
+
+    def test_duplicate_bus_name(self):
+        circuit = Circuit("t")
+        circuit.input_bus("a", 1)
+        with pytest.raises(CircuitError, match="duplicate"):
+            circuit.input_bus("a", 2)
+
+    def test_output_over_undriven_net(self):
+        circuit = Circuit("t")
+        with pytest.raises(CircuitError, match="not driven"):
+            circuit.output_bus("y", [55])
+
+    def test_cell_histogram(self):
+        circuit = Circuit("t")
+        a = circuit.input_bus("a", 2)
+        circuit.gate("AND2", a[0], a[1])
+        circuit.gate("AND2", a[0], a[1])
+        circuit.gate("INV", a[0])
+        assert circuit.cell_histogram() == {"AND2": 2, "INV": 1}
+
+
+def _mux_circuit() -> Circuit:
+    circuit = Circuit("mux")
+    s = circuit.input_bus("s", 1)[0]
+    a = circuit.input_bus("a", 1)[0]
+    b = circuit.input_bus("b", 1)[0]
+    circuit.output_bus("y", [circuit.gate("MUX2", s, a, b)])
+    return circuit
+
+
+class TestEvaluate:
+    def test_mux_semantics(self):
+        circuit = _mux_circuit()
+        out = circuit.evaluate({
+            "s": np.array([0, 0, 1, 1]),
+            "a": np.array([0, 1, 0, 1]),
+            "b": np.array([1, 0, 1, 0]),
+        })
+        assert out["y"].tolist() == [0, 1, 1, 0]
+
+    def test_full_adder_truth_table(self):
+        circuit = Circuit("fa")
+        a = circuit.input_bus("a", 1)[0]
+        b = circuit.input_bus("b", 1)[0]
+        c = circuit.input_bus("c", 1)[0]
+        s, cout = circuit.full_adder(a, b, c)
+        circuit.output_bus("s", [s])
+        circuit.output_bus("cout", [cout])
+        stim = {
+            "a": np.array([0, 0, 0, 0, 1, 1, 1, 1]),
+            "b": np.array([0, 0, 1, 1, 0, 0, 1, 1]),
+            "c": np.array([0, 1, 0, 1, 0, 1, 0, 1]),
+        }
+        out = circuit.evaluate(stim)
+        total = stim["a"] + stim["b"] + stim["c"]
+        assert np.array_equal(out["s"], total & 1)
+        assert np.array_equal(out["cout"], total >> 1)
+
+    def test_missing_stimulus(self):
+        circuit = _mux_circuit()
+        with pytest.raises(CircuitError, match="missing"):
+            circuit.evaluate({"s": np.array([0])})
+
+    def test_unknown_stimulus(self):
+        circuit = _mux_circuit()
+        with pytest.raises(CircuitError, match="unknown"):
+            circuit.evaluate({"s": [0], "a": [0], "b": [0], "z": [0]})
+
+    def test_length_mismatch(self):
+        circuit = _mux_circuit()
+        with pytest.raises(CircuitError, match="differ"):
+            circuit.evaluate({"s": [0, 1], "a": [0], "b": [0]})
+
+
+class TestPropagateEvents:
+    """Event/masking rules of the sensitized glitch model."""
+
+    def _single_gate(self, kind: str, n_inputs: int):
+        circuit = Circuit("g")
+        buses = [circuit.input_bus(f"i{k}", 1)[0] for k in range(n_inputs)]
+        circuit.output_bus("y", [circuit.gate(kind, *buses)])
+        delays = circuit.gate_delays(CellLibrary(), 0.7)
+        return circuit, delays
+
+    def _arrival(self, circuit, delays, prev, new):
+        _, arrivals = circuit.propagate(
+            {f"i{k}": np.array([v]) for k, v in enumerate(prev)},
+            {f"i{k}": np.array([v]) for k, v in enumerate(new)},
+            delays, input_arrival=10.0)
+        return float(arrivals["y"][0, 0])
+
+    def test_and_stable_zero_masks(self):
+        circuit, delays = self._single_gate("AND2", 2)
+        # Input 0 toggles, input 1 is stable 0 -> no output event.
+        assert self._arrival(circuit, delays, (0, 0), (1, 0)) == 0.0
+
+    def test_and_stable_one_passes(self):
+        circuit, delays = self._single_gate("AND2", 2)
+        arrival = self._arrival(circuit, delays, (0, 1), (1, 1))
+        assert arrival > 10.0
+
+    def test_or_stable_one_masks(self):
+        circuit, delays = self._single_gate("OR2", 2)
+        assert self._arrival(circuit, delays, (0, 1), (1, 1)) == 0.0
+
+    def test_xor_never_masks(self):
+        circuit, delays = self._single_gate("XOR2", 2)
+        # Both inputs toggle; the value is unchanged but the node may
+        # glitch, so an event must propagate.
+        arrival = self._arrival(circuit, delays, (0, 0), (1, 1))
+        assert arrival > 10.0
+
+    def test_mux_select_masked_leg(self):
+        circuit, delays = self._single_gate("MUX2", 3)
+        # Select stable at 1 (chooses leg b = input 2); a toggles.
+        assert self._arrival(circuit, delays, (1, 0, 0), (1, 1, 0)) == 0.0
+
+    def test_mux_select_toggle_equal_legs_masked(self):
+        circuit, delays = self._single_gate("MUX2", 3)
+        assert self._arrival(circuit, delays, (0, 1, 1), (1, 1, 1)) == 0.0
+
+    def test_mux_select_toggle_different_legs_event(self):
+        circuit, delays = self._single_gate("MUX2", 3)
+        arrival = self._arrival(circuit, delays, (0, 0, 1), (1, 0, 1))
+        assert arrival > 10.0
+
+    def test_value_change_model_ignores_glitches(self):
+        circuit, delays = self._single_gate("XOR2", 2)
+        _, arrivals = circuit.propagate(
+            {"i0": np.array([0]), "i1": np.array([0])},
+            {"i0": np.array([1]), "i1": np.array([1])},
+            delays, input_arrival=10.0, glitch_model="value-change")
+        assert float(arrivals["y"][0, 0]) == 0.0
+
+    def test_unknown_glitch_model(self):
+        circuit, delays = self._single_gate("INV", 1)
+        with pytest.raises(CircuitError, match="glitch"):
+            circuit.propagate({"i0": [0]}, {"i0": [1]}, delays,
+                              glitch_model="bogus")
+
+    def test_delay_vector_length_checked(self):
+        circuit, _ = self._single_gate("INV", 1)
+        with pytest.raises(CircuitError, match="delay vector"):
+            circuit.propagate({"i0": [0]}, {"i0": [1]},
+                              np.array([1.0, 2.0]))
+
+    def test_values_still_correct_under_propagate(self):
+        circuit, delays = self._single_gate("AND2", 2)
+        outputs, _ = circuit.propagate(
+            {"i0": np.array([0, 1]), "i1": np.array([1, 1])},
+            {"i0": np.array([1, 0]), "i1": np.array([1, 1])},
+            delays)
+        assert outputs["y"].tolist() == [1, 0]
+
+    def test_arrival_chains_accumulate(self):
+        circuit = Circuit("chain")
+        a = circuit.input_bus("a", 1)[0]
+        x = circuit.gate("INV", a)
+        y = circuit.gate("INV", x)
+        circuit.output_bus("y", [y])
+        library = CellLibrary()
+        delays = circuit.gate_delays(library, 0.7)
+        _, arrivals = circuit.propagate({"a": [0]}, {"a": [1]}, delays,
+                                        input_arrival=5.0)
+        expected = 5.0 + 2 * library.delay_ps("INV", 0.7)
+        assert arrivals["y"][0, 0] == pytest.approx(expected)

@@ -1,0 +1,126 @@
+"""Property tests: the ALU unit netlists compute exact integer semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netlist.adders import ADDER_KINDS, adder_circuit
+from repro.netlist.logic_unit import OP_AND, OP_OR, OP_XOR, logic_circuit
+from repro.netlist.multiplier import multiplier_circuit
+from repro.netlist.shifter import shifter_circuit
+
+MASK = (1 << 32) - 1
+
+u32 = st.integers(min_value=0, max_value=MASK)
+
+# Build each circuit once per session (construction dominates runtime).
+_ADDERS = {kind: adder_circuit(32, kind) for kind in ADDER_KINDS}
+_MUL = multiplier_circuit(32)
+_SHIFT = shifter_circuit(32)
+_LOGIC = logic_circuit(32)
+
+
+class TestAdders:
+    @pytest.mark.parametrize("kind", ADDER_KINDS)
+    @given(a=u32, b=u32)
+    @settings(max_examples=30)
+    def test_addition(self, kind, a, b):
+        out = _ADDERS[kind].evaluate(
+            {"a": [a], "b": [b], "sub": [0]})
+        assert int(out["result"][0]) == (a + b) & MASK
+        assert int(out["cout"][0]) == (a + b) >> 32
+
+    @pytest.mark.parametrize("kind", ADDER_KINDS)
+    @given(a=u32, b=u32)
+    @settings(max_examples=30)
+    def test_subtraction(self, kind, a, b):
+        out = _ADDERS[kind].evaluate(
+            {"a": [a], "b": [b], "sub": [1]})
+        assert int(out["result"][0]) == (a - b) & MASK
+
+    @pytest.mark.parametrize("kind", ADDER_KINDS)
+    def test_carry_chain_corner_cases(self, kind):
+        circuit = _ADDERS[kind]
+        cases = [(MASK, 1), (MASK, MASK), (0, 0), (0x80000000, 0x80000000),
+                 (0x55555555, 0xAAAAAAAA)]
+        a = np.array([x for x, _ in cases], dtype=np.uint64)
+        b = np.array([y for _, y in cases], dtype=np.uint64)
+        out = circuit.evaluate({"a": a, "b": b,
+                                "sub": np.zeros(len(cases), dtype=np.uint64)})
+        expected = [(x + y) & MASK for x, y in cases]
+        assert out["result"].tolist() == expected
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown adder"):
+            adder_circuit(32, "magic")
+
+    def test_gate_counts_are_plausible(self):
+        # Ripple is the smallest; Kogge-Stone trades gates for depth.
+        assert _ADDERS["ripple"].n_gates < _ADDERS["kogge-stone"].n_gates
+
+
+class TestMultiplier:
+    @given(a=u32, b=u32)
+    @settings(max_examples=30)
+    def test_low_word_product(self, a, b):
+        out = _MUL.evaluate({"a": [a], "b": [b]})
+        assert int(out["result"][0]) == (a * b) & MASK
+
+    def test_signed_equivalence_mod_2_32(self):
+        # l.mul is signed, but the low word is sign-agnostic.
+        a, b = (-3) & MASK, 7
+        out = _MUL.evaluate({"a": [a], "b": [b]})
+        assert int(out["result"][0]) == (-21) & MASK
+
+    def test_size_grows_quadratically(self):
+        small = multiplier_circuit(8)
+        assert small.n_gates < _MUL.n_gates / 8
+
+
+class TestShifter:
+    @given(a=u32, amount=st.integers(min_value=0, max_value=31))
+    @settings(max_examples=30)
+    def test_logical_left(self, a, amount):
+        out = _SHIFT.evaluate({"a": [a], "amount": [amount],
+                               "right": [0], "arith": [0]})
+        assert int(out["result"][0]) == (a << amount) & MASK
+
+    @given(a=u32, amount=st.integers(min_value=0, max_value=31))
+    @settings(max_examples=30)
+    def test_logical_right(self, a, amount):
+        out = _SHIFT.evaluate({"a": [a], "amount": [amount],
+                               "right": [1], "arith": [0]})
+        assert int(out["result"][0]) == a >> amount
+
+    @given(a=u32, amount=st.integers(min_value=0, max_value=31))
+    @settings(max_examples=30)
+    def test_arithmetic_right(self, a, amount):
+        signed = a - (1 << 32) if a & 0x80000000 else a
+        out = _SHIFT.evaluate({"a": [a], "amount": [amount],
+                               "right": [1], "arith": [1]})
+        assert int(out["result"][0]) == (signed >> amount) & MASK
+
+    def test_bad_amount_bus_width(self):
+        from repro.netlist.circuit import Circuit
+        from repro.netlist.shifter import build_barrel_shifter
+        circuit = Circuit("bad")
+        a = circuit.input_bus("a", 32)
+        amount = circuit.input_bus("amount", 4)  # 16 != 32
+        right = circuit.input_bus("right", 1)[0]
+        arith = circuit.input_bus("arith", 1)[0]
+        with pytest.raises(ValueError, match="address"):
+            build_barrel_shifter(circuit, a, amount, right, arith)
+
+
+class TestLogicUnit:
+    @given(a=u32, b=u32)
+    @settings(max_examples=20)
+    def test_ops(self, a, b):
+        for op, expected in ((OP_AND, a & b), (OP_OR, a | b),
+                             (OP_XOR, a ^ b)):
+            out = _LOGIC.evaluate({"a": [a], "b": [b], "op": [op]})
+            assert int(out["result"][0]) == expected
+
+    def test_op_3_is_also_xor(self):
+        out = _LOGIC.evaluate({"a": [0b1100], "b": [0b1010], "op": [3]})
+        assert int(out["result"][0]) == 0b0110

@@ -1,0 +1,48 @@
+"""Unit tests for the core power model."""
+
+import pytest
+
+from repro.power.model import CorePowerModel
+
+
+@pytest.fixture()
+def model() -> CorePowerModel:
+    return CorePowerModel()
+
+
+class TestReferencePoints:
+    def test_reference_coefficients_met(self, model):
+        # The paper's pair is within ~1 % of a pure quadratic.
+        assert model.active_uw_per_mhz(0.6) == pytest.approx(10.9, rel=0.01)
+        assert model.active_uw_per_mhz(0.7) == pytest.approx(15.0, rel=0.01)
+
+    def test_leakage_interpolation(self, model):
+        assert model.leakage_fraction(0.6) == pytest.approx(0.02)
+        assert model.leakage_fraction(0.7) == pytest.approx(0.03)
+        assert model.leakage_fraction(0.65) == pytest.approx(0.025)
+
+
+class TestScaling:
+    def test_monotone_in_voltage(self, model):
+        assert model.core_power_uw(0.65, 707) < model.core_power_uw(0.7, 707)
+
+    def test_linear_in_frequency(self, model):
+        assert model.core_power_uw(0.7, 1400) == pytest.approx(
+            2 * model.core_power_uw(0.7, 700), rel=1e-9)
+
+    def test_normalized_power_reference_is_one(self, model):
+        assert model.normalized_power(0.7, 707.0) == pytest.approx(1.0)
+
+    def test_paper_savings_band(self, model):
+        """The paper reports ~0.93x power at 0.667 V and ~0.88x at
+        0.657 V (both at the fixed 707 MHz nominal frequency)."""
+        assert model.normalized_power(0.667, 707.0) == pytest.approx(
+            0.93, abs=0.03)
+        assert model.normalized_power(0.657, 707.0) == pytest.approx(
+            0.88, abs=0.03)
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            model.active_uw_per_mhz(0.0)
+        with pytest.raises(ValueError):
+            model.core_power_uw(0.7, 0.0)

@@ -1,0 +1,50 @@
+"""Unit tests for the pipeline-stage model."""
+
+import pytest
+
+from repro.sim.pipeline import (
+    DEPTH,
+    EX_INDEX,
+    STAGES,
+    ex_cycle_of,
+    occupancy_at,
+    retired_at,
+)
+
+
+class TestStructure:
+    def test_six_stages(self):
+        assert DEPTH == 6
+        assert STAGES[0] == "IF1"
+        assert STAGES[-1] == "WB"
+
+    def test_ex_is_fourth_stage(self):
+        assert STAGES[EX_INDEX] == "EX"
+        assert EX_INDEX == 3
+
+
+class TestOccupancy:
+    def test_fill_phase_has_bubbles(self):
+        occupancy = occupancy_at(0)
+        assert occupancy.in_stage("IF1") == 0
+        assert occupancy.in_stage("WB") is None
+
+    def test_steady_state(self):
+        occupancy = occupancy_at(10)
+        assert occupancy.in_stage("IF1") == 10
+        assert occupancy.in_stage("EX") == 10 - EX_INDEX
+        assert occupancy.in_stage("WB") == 10 - (DEPTH - 1)
+
+    def test_ex_cycle_inverse(self):
+        for retire_index in (0, 1, 17, 1000):
+            cycle = ex_cycle_of(retire_index)
+            assert occupancy_at(cycle).in_stage("EX") == retire_index
+
+    def test_ex_cycle_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ex_cycle_of(-1)
+
+    def test_retired_at(self):
+        assert retired_at(DEPTH - 1) == 0
+        assert retired_at(0) is None
+        assert retired_at(100) == 100 - (DEPTH - 1)

@@ -1,0 +1,47 @@
+"""Unit tests for the execution tracer."""
+
+from repro.isa.assembler import assemble
+from repro.sim.cpu import Cpu
+from repro.sim.tracing import Tracer
+
+SOURCE = """
+start:
+    l.addi r1, r0, 2
+    l.addi r1, r1, 3
+    l.mul  r2, r1, r1
+    l.nop 0x1
+"""
+
+
+class TestTracer:
+    def test_records_executed_instructions(self):
+        tracer = Tracer()
+        cpu = Cpu(assemble(SOURCE), trace_hook=tracer)
+        tracer.attach(cpu)
+        cpu.run("start")
+        mnemonics = [e.decoded.mnemonic for e in tracer.entries]
+        assert mnemonics == ["l.addi", "l.addi", "l.mul", "l.nop"]
+        assert tracer.entries[0].address == 0
+
+    def test_limit_stops_recording_not_execution(self):
+        tracer = Tracer(limit=2)
+        cpu = Cpu(assemble(SOURCE), trace_hook=tracer)
+        result = cpu.run("start")
+        assert result.finished
+        assert len(tracer.entries) == 2
+
+    def test_register_snapshots(self):
+        tracer = Tracer(snapshot_regs=True)
+        cpu = Cpu(assemble(SOURCE), trace_hook=tracer)
+        tracer.attach(cpu)
+        cpu.run("start")
+        # Snapshot taken before execution: r1 still 2 at the second add.
+        assert tracer.entries[1].regs[1] == 2
+
+    def test_render_and_histogram(self):
+        tracer = Tracer()
+        cpu = Cpu(assemble(SOURCE), trace_hook=tracer)
+        cpu.run("start")
+        text = tracer.render(last=2)
+        assert "l.mul" in text and "l.nop" in text
+        assert tracer.mnemonic_histogram()["l.addi"] == 2

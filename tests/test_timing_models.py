@@ -1,0 +1,181 @@
+"""Tests for STA, the voltage-delay fit, the noise model, the library."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.library import CHARACTERIZED_VDDS, CellLibrary, VDD_REF
+from repro.timing.noise import NoiseStream, VoltageNoise
+from repro.timing.sta import max_frequency_hz, static_arrivals, worst_arrival
+from repro.timing.voltage import VddDelayModel
+
+
+class TestLibrary:
+    def test_voltage_factor_reference_is_unity(self):
+        library = CellLibrary()
+        assert library.voltage_factor(VDD_REF) == pytest.approx(1.0)
+
+    def test_voltage_factor_monotone(self):
+        library = CellLibrary()
+        factors = [library.voltage_factor(v) for v in CHARACTERIZED_VDDS]
+        assert factors == sorted(factors, reverse=True)
+
+    def test_below_threshold_rejected(self):
+        library = CellLibrary()
+        with pytest.raises(ValueError, match="threshold"):
+            library.voltage_factor(0.3)
+
+    def test_unknown_cell_kind(self):
+        library = CellLibrary()
+        with pytest.raises(KeyError, match="NAND9"):
+            library.delay_ps("NAND9")
+
+    def test_scale_is_linear(self):
+        library = CellLibrary()
+        assert library.delay_ps("INV", scale=2.0) == pytest.approx(
+            2.0 * library.delay_ps("INV"))
+
+    def test_sequential_overheads_scale_with_voltage(self):
+        library = CellLibrary()
+        assert library.clk_to_q(0.6) > library.clk_to_q(0.7)
+        assert library.setup(0.8) < library.setup(0.7)
+
+
+class TestSta:
+    def _chain(self, n: int) -> Circuit:
+        circuit = Circuit("chain")
+        a = circuit.input_bus("a", 1)[0]
+        net = a
+        for _ in range(n):
+            net = circuit.gate("INV", net)
+        circuit.output_bus("y", [net])
+        return circuit
+
+    def test_chain_arrival(self):
+        library = CellLibrary()
+        circuit = self._chain(5)
+        arrivals = static_arrivals(circuit, library, 0.7)
+        expected = library.clk_to_q(0.7) + 5 * library.delay_ps("INV", 0.7)
+        assert arrivals["y"][0] == pytest.approx(expected)
+
+    def test_without_clk_to_q(self):
+        library = CellLibrary()
+        circuit = self._chain(3)
+        arrivals = static_arrivals(circuit, library, 0.7,
+                                   include_clk_to_q=False)
+        assert arrivals["y"][0] == pytest.approx(
+            3 * library.delay_ps("INV", 0.7))
+
+    def test_worst_takes_max_over_outputs(self):
+        library = CellLibrary()
+        circuit = Circuit("two")
+        a = circuit.input_bus("a", 1)[0]
+        short = circuit.gate("INV", a)
+        long = circuit.gate("INV", circuit.gate("INV", short))
+        circuit.output_bus("s", [short])
+        circuit.output_bus("l", [long])
+        assert worst_arrival(circuit, library) == pytest.approx(
+            static_arrivals(circuit, library)["l"][0])
+
+    def test_max_frequency(self):
+        assert max_frequency_hz(960.0, 40.0) == pytest.approx(1e9)
+        with pytest.raises(ValueError):
+            max_frequency_hz(-50.0, 40.0)
+
+
+class TestVddDelayModel:
+    def test_fit_recovers_polynomial(self):
+        vdds = np.array([0.6, 0.7, 0.8, 0.9, 1.0])
+        delays = 3000 - 2000 * vdds + 500 * vdds ** 2
+        model = VddDelayModel.fit(vdds, delays, degree=2)
+        assert model.delay_ps(0.75) == pytest.approx(
+            3000 - 2000 * 0.75 + 500 * 0.75 ** 2, rel=1e-9)
+
+    def test_fit_needs_enough_points(self):
+        with pytest.raises(ValueError, match="at least"):
+            VddDelayModel.fit(np.array([0.6, 0.7]), np.array([1.0, 2.0]),
+                              degree=3)
+
+    def test_from_alu_sta_monotone(self, alu, vdd_model):
+        delays = [vdd_model.delay_ps(v) for v in CHARACTERIZED_VDDS]
+        assert delays == sorted(delays, reverse=True)
+
+    def test_fit_matches_sta_at_corners(self, alu, vdd_model):
+        for vdd in CHARACTERIZED_VDDS:
+            assert vdd_model.delay_ps(vdd) == pytest.approx(
+                alu.worst_sta_period_ps(vdd), rel=0.02)
+
+    def test_droop_scale_factor_above_one(self, vdd_model):
+        factor = vdd_model.scale_factor(0.68, 0.7)
+        assert factor > 1.0
+
+    def test_overdrive_scale_factor_below_one(self, vdd_model):
+        assert vdd_model.scale_factor(0.72, 0.7) < 1.0
+
+    def test_clamped_outside_fit_range(self, vdd_model):
+        assert vdd_model.delay_ps(0.1) == vdd_model.delay_ps(0.6)
+        assert vdd_model.delay_ps(2.0) == vdd_model.delay_ps(1.0)
+
+    def test_sensitivity_matches_paper_band(self, vdd_model):
+        """A 20 mV droop costs roughly 5-9 % delay (paper: B+ onset at
+        661 MHz from a 707 MHz limit, i.e. ~7 %)."""
+        factor = float(vdd_model.scale_factor(0.68, 0.7))
+        assert 1.04 < factor < 1.10
+
+    def test_against_scipy_interpolation(self, alu, vdd_model):
+        scipy = pytest.importorskip("scipy.interpolate")
+        vdds = np.array(CHARACTERIZED_VDDS)
+        delays = np.array([alu.worst_sta_period_ps(v) for v in vdds])
+        spline = scipy.CubicSpline(vdds, delays)
+        for v in (0.65, 0.72, 0.85):
+            assert vdd_model.delay_ps(v) == pytest.approx(
+                float(spline(v)), rel=0.025)
+
+
+class TestVoltageNoise:
+    def test_zero_sigma_is_silent(self, rng):
+        noise = VoltageNoise(0.0)
+        assert np.all(noise.sample(100, rng) == 0.0)
+
+    def test_clipping_at_two_sigma(self, rng):
+        noise = VoltageNoise(0.010)
+        samples = noise.sample(20000, rng)
+        assert samples.max() <= 0.020 + 1e-12
+        assert samples.min() >= -0.020 - 1e-12
+        # The clip boundary actually accumulates probability mass.
+        assert np.mean(np.isclose(np.abs(samples), 0.020)) > 0.02
+
+    def test_distribution_moments(self, rng):
+        noise = VoltageNoise(0.010)
+        samples = noise.sample(50000, rng)
+        assert abs(samples.mean()) < 5e-4
+        assert 0.008 < samples.std() < 0.011
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VoltageNoise(-0.01)
+        with pytest.raises(ValueError):
+            VoltageNoise(0.01, clip_sigmas=0)
+
+    def test_max_droop(self):
+        assert VoltageNoise(0.025).max_droop_v == pytest.approx(0.05)
+
+    def test_stream_refills(self, rng):
+        stream = NoiseStream(VoltageNoise(0.010), rng, block=16)
+        values = [stream.next() for _ in range(50)]
+        assert len(set(values)) > 20  # fresh randomness across refills
+
+    def test_stream_block_validation(self, rng):
+        with pytest.raises(ValueError):
+            NoiseStream(VoltageNoise(0.01), rng, block=0)
+
+
+class TestStatisticalClipBehavior:
+    @given(sigma=st.floats(min_value=1e-4, max_value=0.05))
+    @settings(max_examples=10)
+    def test_bounds_hold_for_any_sigma(self, sigma):
+        rng = np.random.default_rng(0)
+        noise = VoltageNoise(sigma)
+        samples = noise.sample(1000, rng)
+        assert np.all(np.abs(samples) <= noise.max_droop_v + 1e-15)
