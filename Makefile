@@ -1,0 +1,22 @@
+# Developer entry points.  `make tier1` is the gate every PR must keep
+# green: the full unit/property suite followed by the quick-scale
+# engine benches, so perf regressions fail loudly alongside functional
+# ones (bench_engines asserts compiled/reference bit-identity and
+# refreshes BENCH_engines.json).
+
+PYTHON ?= python
+PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
+
+.PHONY: tier1 test bench-engines bench-figures
+
+tier1: test bench-engines
+
+test:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+bench-engines:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/bench_engines.py -x -q
+
+# Full figure/table reproduction benches (slow; scale via REPRO_BENCH_SCALE).
+bench-figures:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ -x -q

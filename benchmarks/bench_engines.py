@@ -1,0 +1,143 @@
+"""Engine micro-benchmarks: compiled netlist plan and MC runner reuse.
+
+Times the hot paths that PR "compiled structure-of-arrays netlist
+engine" optimized, against the retained per-gate / per-trial reference
+paths, and emits a ``BENCH_engines.json`` summary at the repo root so
+future PRs have a perf trajectory.  Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_engines.py -q
+
+The pytest-benchmark fixture times the optimized path; the reference
+path is measured once per test with ``perf_counter`` (it is 5-30x
+slower, timing it with full rounds would dominate the suite).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.bench.suite import build_kernel
+from repro.fi.base import FaultInjector
+from repro.mc.runner import run_point, run_trial
+from repro.timing.dta import run_dta
+
+#: Block width pinned by the acceptance criterion of the engines PR.
+BLOCK = 512
+
+RESULTS: dict[str, dict] = {}
+
+
+def _time_best(fn, reps: int = 3) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _record(name: str, compiled_s: float, reference_s: float) -> None:
+    RESULTS[name] = {
+        "compiled_ms": round(compiled_s * 1e3, 3),
+        "reference_ms": round(reference_s * 1e3, 3),
+        "speedup": round(reference_s / compiled_s, 2),
+    }
+
+
+@pytest.fixture(scope="module", autouse=True)
+def emit_summary():
+    yield
+    if RESULTS:
+        path = Path(__file__).resolve().parent.parent / "BENCH_engines.json"
+        payload = {"block": BLOCK, "results": RESULTS}
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def _operand_block(seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, 1 << 32, BLOCK + 1, dtype=np.uint64)
+    b = rng.integers(0, 1 << 32, BLOCK + 1, dtype=np.uint64)
+    return a, b
+
+
+@pytest.mark.parametrize("mnemonic", ["l.add", "l.mul"])
+@pytest.mark.parametrize("glitch_model", ["sensitized", "value-change"])
+def test_propagate_block(benchmark, ctx, mnemonic, glitch_model):
+    """Circuit.propagate on one ALU unit at block=512, both engines."""
+    alu = ctx.alu
+    a, b = _operand_block()
+    prev, new = (a[:BLOCK], b[:BLOCK]), (a[1:], b[1:])
+
+    def run(engine):
+        return alu.propagate(mnemonic, prev, new, 0.7, glitch_model,
+                             engine=engine)
+
+    run("compiled")  # warm the plan, workspace and delay tiles
+    compiled = benchmark(lambda: run("compiled"))
+    reference_s = _time_best(lambda: run("reference"))
+    values, arrivals = run("compiled")
+    ref_values, ref_arrivals = run("reference")
+    assert np.array_equal(values, ref_values)
+    assert np.array_equal(arrivals, ref_arrivals)
+    _record(f"propagate[{mnemonic},{glitch_model}]",
+            benchmark.stats.stats.min, reference_s)
+    assert compiled is not None
+
+
+@pytest.mark.parametrize("mnemonic", ["l.add", "l.mul"])
+def test_run_dta(benchmark, ctx, mnemonic):
+    """DTA characterization throughput at block=512."""
+    alu = ctx.alu
+    n_cycles = 2 * BLOCK
+
+    def run(engine):
+        return run_dta(alu, mnemonic, n_cycles, vdd=0.7, seed=11,
+                       block=BLOCK, engine=engine)
+
+    run("compiled")
+    benchmark(lambda: run("compiled"))
+    reference_s = _time_best(lambda: run("reference"))
+    compiled_res = run("compiled")
+    reference_res = run("reference")
+    assert np.array_equal(compiled_res.critical_ps,
+                          reference_res.critical_ps)
+    _record(f"run_dta[{mnemonic},1024cyc]", benchmark.stats.stats.min,
+            reference_s)
+
+
+class _RareInjector(FaultInjector):
+    def __init__(self, rng, period=60):
+        super().__init__()
+        self._rng = rng
+        self._period = period
+
+    def fault_mask(self, mnemonic):
+        return 1 if self._rng.random() < 1.0 / self._period else 0
+
+
+def test_run_point_reuse(benchmark):
+    """run_point with CPU reuse vs fresh-CPU-per-trial reference."""
+    kernel = build_kernel("median", "quick")
+    n_trials = 10
+
+    def reuse():
+        return run_point(kernel, lambda rng: _RareInjector(rng),
+                         n_trials=n_trials, seed=3)
+
+    def fresh():
+        injector = _RareInjector(np.random.default_rng(3))
+        return [run_trial(kernel, injector) for _ in range(n_trials)]
+
+    reuse()
+    benchmark(reuse)
+    reference_s = _time_best(fresh, reps=2)
+    point = reuse()
+    fresh_trials = fresh()
+    assert point.trials == fresh_trials
+    _record(f"run_point[median,{n_trials}trials]",
+            benchmark.stats.stats.min, reference_s)

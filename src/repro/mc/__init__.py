@@ -6,6 +6,8 @@ from repro.mc.runner import (
     golden_cycles,
     run_point,
     run_trial,
+    trial_budget,
+    trial_seeds,
 )
 from repro.mc.stats import geometric_mean, mean, std, wilson_interval
 from repro.mc.sweep import FrequencySweep, frequency_grid, sweep_frequencies
@@ -23,5 +25,7 @@ __all__ = [
     "run_trial",
     "std",
     "sweep_frequencies",
+    "trial_budget",
+    "trial_seeds",
     "wilson_interval",
 ]

@@ -1,13 +1,34 @@
 """Monte-Carlo execution of fault-injected benchmark runs.
 
-The runner owns the reproducibility story: a master seed derives one
-RNG substream per (configuration, trial), new CPU state per trial, and
-a cycle budget tied to the fault-free execution length of the kernel
-(the infinite-loop detector of the paper's ISS).
+The runner owns the reproducibility story: a master seed derives the
+injector RNG stream(s), and a cycle budget tied to the fault-free
+execution length of the kernel (the infinite-loop detector of the
+paper's ISS) bounds every trial.
+
+Two execution schemes:
+
+* **Serial** (``n_jobs=None``, the historical default): one injector
+  serves all trials of a point and its random stream continues across
+  trials.  Since the compiled-code rework, the CPU is constructed once
+  per point and restored between trials via :meth:`Cpu.reset` (the
+  instruction closures are compiled exactly once per point) -- results
+  are bit-identical to the per-trial-CPU scheme because ``reset``
+  restores the exact construction-time architectural state.
+* **Per-trial streams** (``n_jobs`` set): every trial gets an
+  independent child seed spawned from the master
+  :class:`numpy.random.SeedSequence` and builds its own injector, so
+  trial outcomes do not depend on execution order.  This is what makes
+  process-parallel execution (``n_jobs >= 2``) bit-identical to the
+  same scheme run serially (``n_jobs=1``).  The parallel pool uses
+  fork workers (the injector factory is typically a closure, which
+  cannot be pickled; fork inherits it), and falls back to in-process
+  execution where fork is unavailable.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 from typing import Callable
 
 import numpy as np
@@ -45,15 +66,15 @@ def golden_cycles(kernel: KernelInstance,
     return kernel._golden_cycles
 
 
-def run_trial(kernel: KernelInstance, injector: FaultInjector,
-              config: MachineConfig | None = None,
-              budget_factor: int = BUDGET_FACTOR) -> TrialResult:
-    """Execute one fault-injected run and judge its outputs."""
-    base_config = config or MachineConfig()
-    budget = budget_factor * golden_cycles(kernel, base_config) + 1000
-    cpu = Cpu(kernel.program, config=base_config.with_max_cycles(budget),
-              injector=injector)
-    result = cpu.run(kernel.entry)
+def trial_budget(kernel: KernelInstance,
+                 config: MachineConfig | None = None,
+                 budget_factor: int = BUDGET_FACTOR) -> int:
+    """Cycle budget applied to every fault-injected trial."""
+    return budget_factor * golden_cycles(kernel, config) + 1000
+
+
+def _judge(cpu: Cpu, kernel: KernelInstance, result) -> TrialResult:
+    """Fold one execution result into a :class:`TrialResult`."""
     finished = result.finished
     correct = False
     error_value = 0.0
@@ -77,9 +98,100 @@ def run_trial(kernel: KernelInstance, injector: FaultInjector,
     )
 
 
+def run_trial(kernel: KernelInstance, injector: FaultInjector,
+              config: MachineConfig | None = None,
+              budget_factor: int = BUDGET_FACTOR,
+              cpu: Cpu | None = None) -> TrialResult:
+    """Execute one fault-injected run and judge its outputs.
+
+    Args:
+        kernel: the benchmark instance.
+        injector: fault injector for this trial.
+        config: machine configuration override.
+        budget_factor: cycle-budget multiplier on the golden run.
+        cpu: optional CPU to reuse: it is reset (registers, data
+            memory, counters restored from the construction-time
+            snapshot) and re-armed with ``injector`` instead of
+            constructing -- and re-compiling -- a fresh CPU.  Results
+            are bit-identical either way; the reused CPU must have been
+            built with the same machine ``config`` (a mismatch raises
+            ``ValueError`` rather than silently running with the old
+            memory map).
+    """
+    base_config = config or MachineConfig()
+    budget = trial_budget(kernel, base_config, budget_factor)
+    if cpu is None:
+        cpu = Cpu(kernel.program,
+                  config=base_config.with_max_cycles(budget),
+                  injector=injector)
+    else:
+        if cpu.config.with_max_cycles(budget) != \
+                base_config.with_max_cycles(budget):
+            raise ValueError(
+                "reused cpu was built with a different MachineConfig "
+                f"({cpu.config}) than requested ({base_config})")
+        cpu.reset()
+        cpu.injector = injector
+    result = cpu.run(kernel.entry, max_cycles=budget)
+    return _judge(cpu, kernel, result)
+
+
+def trial_seeds(seed: int, n_trials: int) -> list[np.random.SeedSequence]:
+    """Independent per-trial child seeds of one master seed."""
+    return np.random.SeedSequence(seed).spawn(n_trials)
+
+
+def _point_cpu(kernel: KernelInstance,
+               config: MachineConfig | None,
+               injector: FaultInjector) -> Cpu:
+    """Budget-configured CPU, compiled once and reset between trials."""
+    base_config = config or MachineConfig()
+    budget = trial_budget(kernel, base_config)
+    return Cpu(kernel.program, config=base_config.with_max_cycles(budget),
+               injector=injector)
+
+
+def _run_seeded_trials(kernel: KernelInstance,
+                       injector_factory: InjectorFactory,
+                       seeds: list[np.random.SeedSequence],
+                       config: MachineConfig | None) -> list[TrialResult]:
+    """Run trials with independent per-trial injectors, reusing one CPU."""
+    cpu: Cpu | None = None
+    results = []
+    for child in seeds:
+        injector = injector_factory(np.random.default_rng(child))
+        if cpu is None:
+            cpu = _point_cpu(kernel, config, injector)
+        results.append(run_trial(kernel, injector, config, cpu=cpu))
+    return results
+
+
+# Fork-worker state, set inside each worker process by the pool
+# initializer.  Passing the state through ``initargs`` (inherited via
+# fork, never pickled) keeps concurrent ``run_point`` calls from
+# different threads isolated: each pool's workers see exactly the
+# state that pool was created with.
+_WORKER_STATE: dict | None = None
+
+
+def _init_worker(state: dict) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = state
+
+
+def _run_trial_chunk(chunk: list[int]) -> list[TrialResult]:
+    """Pool worker: run the trials at the given indices."""
+    state = _WORKER_STATE
+    assert state is not None, "worker state missing (pool without fork?)"
+    seeds = [state["seeds"][index] for index in chunk]
+    return _run_seeded_trials(state["kernel"], state["factory"], seeds,
+                              state["config"])
+
+
 def run_point(kernel: KernelInstance, injector_factory: InjectorFactory,
               n_trials: int, seed: int = 0, label: str = "",
-              config: MachineConfig | None = None) -> McPoint:
+              config: MachineConfig | None = None,
+              n_jobs: int | None = None) -> McPoint:
     """Run ``n_trials`` Monte-Carlo trials of one configuration.
 
     Args:
@@ -89,19 +201,65 @@ def run_point(kernel: KernelInstance, injector_factory: InjectorFactory,
         seed: master seed; trials use independent child streams.
         label: point label for reports.
         config: machine configuration override.
+        n_jobs: ``None`` (default) keeps the historical serial scheme:
+            one injector whose stream spans all trials.  An integer
+            switches to per-trial child seeds -- ``n_jobs=1`` runs them
+            in-process, ``n_jobs>=2`` fans trials out over fork worker
+            processes; both orderings produce bit-identical points.
 
     Returns:
         The aggregated :class:`McPoint`.
     """
     if n_trials <= 0:
         raise ValueError("n_trials must be positive")
+    if n_jobs is not None and n_jobs <= 0:
+        raise ValueError("n_jobs must be positive (or None for serial)")
     point = McPoint(label=label or kernel.name)
-    master = np.random.default_rng(seed)
-    # One injector serves all trials of the point: construction (CDF
-    # grids, noise blocks) is much more expensive than a trial, and the
-    # CPU calls begin_run() before every run, which resets the per-run
-    # counters while the random stream continues across trials.
-    injector = injector_factory(master)
-    for _ in range(n_trials):
-        point.add(run_trial(kernel, injector, config))
+    # Resolve the golden run up front: workers then inherit the cached
+    # cycle count instead of each re-deriving it.
+    golden_cycles(kernel, config or MachineConfig())
+
+    if n_jobs is None:
+        master = np.random.default_rng(seed)
+        # One injector serves all trials of the point: construction
+        # (CDF grids, noise blocks) is much more expensive than a
+        # trial, and the CPU calls begin_run() before every run, which
+        # resets the per-run counters while the random stream continues
+        # across trials.  The CPU itself is also constructed once --
+        # the compiled instruction closures are reused and reset()
+        # restores the architectural state between trials.
+        injector = injector_factory(master)
+        cpu = _point_cpu(kernel, config, injector)
+        for _ in range(n_trials):
+            point.add(run_trial(kernel, injector, config, cpu=cpu))
+        return point
+
+    seeds = trial_seeds(seed, n_trials)
+    if n_jobs == 1 or n_trials == 1 or not _fork_available():
+        for trial in _run_seeded_trials(kernel, injector_factory, seeds,
+                                        config):
+            point.add(trial)
+        return point
+
+    chunks = [list(range(start, n_trials, n_jobs))
+              for start in range(n_jobs)]
+    state = {"kernel": kernel, "factory": injector_factory,
+             "seeds": seeds, "config": config}
+    context = multiprocessing.get_context("fork")
+    with context.Pool(processes=n_jobs, initializer=_init_worker,
+                      initargs=(state,)) as pool:
+        per_chunk = pool.map(_run_trial_chunk, chunks)
+    # Reassemble in trial order so the point is identical to serial.
+    ordered: list[TrialResult | None] = [None] * n_trials
+    for chunk, results in zip(chunks, per_chunk):
+        for index, trial in zip(chunk, results):
+            ordered[index] = trial
+    for trial in ordered:
+        assert trial is not None
+        point.add(trial)
     return point
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods() \
+        and hasattr(os, "fork")

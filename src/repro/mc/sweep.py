@@ -86,12 +86,13 @@ def sweep_frequencies(kernel: KernelInstance,
                       n_trials: int,
                       sta_limit_hz: float,
                       seed: int = 0,
-                      config: dict | None = None) -> FrequencySweep:
+                      config: dict | None = None,
+                      n_jobs: int | None = None) -> FrequencySweep:
     """Run a Monte-Carlo frequency sweep.
 
     Args:
-        kernel: benchmark instance (reused across points; each trial
-            gets a fresh CPU).
+        kernel: benchmark instance (reused across points; the CPU is
+            compiled once per point and reset between trials).
         injector_factory: builds an injector for a frequency and RNG.
         frequencies_hz: frequencies to sweep (any order; stored sorted).
         n_trials: Monte-Carlo trials per frequency.
@@ -99,6 +100,10 @@ def sweep_frequencies(kernel: KernelInstance,
         seed: master seed; every (frequency, trial) pair derives an
             independent stream.
         config: description recorded on the sweep.
+        n_jobs: forwarded to :func:`repro.mc.runner.run_point`; an
+            integer switches every point to independent per-trial
+            streams (bit-identical for any job count), ``None`` keeps
+            the historical serial scheme.
     """
     ordered = sorted(frequencies_hz)
     points = []
@@ -109,6 +114,7 @@ def sweep_frequencies(kernel: KernelInstance,
             n_trials=n_trials,
             seed=seed + 104729 * index,
             label=f"{kernel.name}@{frequency / 1e6:.1f}MHz",
+            n_jobs=n_jobs,
         )
         point.config = {"frequency_hz": frequency}
         points.append(point)

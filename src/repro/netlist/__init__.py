@@ -17,9 +17,11 @@ from repro.netlist.calibrate import (
 from repro.netlist.circuit import (
     Circuit,
     CircuitError,
+    ENGINES,
     bits_from_ints,
     ints_from_bits,
 )
+from repro.netlist.plan import CompiledPlan, compile_plan
 from repro.netlist.gates import GATE_KINDS, arity_of, eval_gate
 from repro.netlist.library import (
     CHARACTERIZED_VDDS,
@@ -41,7 +43,9 @@ __all__ = [
     "CellLibrary",
     "Circuit",
     "CircuitError",
+    "CompiledPlan",
     "DEFAULT_CELL_DELAYS_PS",
+    "ENGINES",
     "DEFAULT_TARGETS_PS",
     "GATE_KINDS",
     "N_ENDPOINTS",
@@ -53,6 +57,7 @@ __all__ = [
     "build_adder",
     "calibrate_alu",
     "calibrated_alu",
+    "compile_plan",
     "eval_gate",
     "ints_from_bits",
     "logic_circuit",

@@ -209,7 +209,8 @@ class AluNetlist:
     def propagate(self, mnemonic: str, prev_ops: tuple[np.ndarray, np.ndarray],
                   new_ops: tuple[np.ndarray, np.ndarray],
                   vdd: float = VDD_REF,
-                  glitch_model: str = "sensitized") -> \
+                  glitch_model: str = "sensitized",
+                  engine: str = "compiled") -> \
             tuple[np.ndarray, np.ndarray]:
         """Two-vector timing simulation of one mnemonic.
 
@@ -219,6 +220,9 @@ class AluNetlist:
             new_ops: (a, b) operand arrays of the current cycle.
             vdd: supply voltage of the timing view.
             glitch_model: event model, see :meth:`Circuit.propagate`.
+            engine: circuit engine (``"compiled"`` uses the unit's
+                levelized plan and reuses its block workspace across
+                calls; ``"reference"`` is the per-gate loop).
 
         Returns:
             ``(values, arrivals)``: the new result words (N,) and the
@@ -235,7 +239,7 @@ class AluNetlist:
         new = build(np.atleast_1d(np.asarray(new_ops[0], dtype=np.uint64)),
                     np.atleast_1d(np.asarray(new_ops[1], dtype=np.uint64)))
         outputs, arrivals = unit.propagate(prev, new, delays, launch,
-                                           glitch_model)
+                                           glitch_model, engine=engine)
         changed = arrivals["result"] > 0.0
         return outputs["result"], np.where(
             changed, arrivals["result"] + self.mux_delay_ps(vdd), 0.0)

@@ -86,6 +86,10 @@ class Cpu:
         self._code: list[Callable[[], int | None] | None] = []
         self._imem_words: list[int] = []
         self._load_program()
+        # Snapshot the loaded data image once: reset() restores it
+        # instead of re-splitting the program and re-compiling every
+        # instruction closure (the Monte-Carlo trial-reuse fast path).
+        self._dmem_image = self.dmem.snapshot()
 
     # ------------------------------------------------------------------
     # Program loading and pre-compilation
@@ -115,17 +119,24 @@ class Cpu:
             self._code.append(self._compile(decoded, address))
 
     def reset(self) -> None:
-        """Restore architectural state for a fresh run."""
-        self.regs = [0] * 32
+        """Restore architectural state for a fresh run.
+
+        Restores from the construction-time snapshot instead of
+        re-decoding and re-compiling the program image.  All state
+        containers are mutated in place -- the compiled instruction
+        closures hold references to ``regs``, ``reports``, ``dmem`` and
+        ``_class_counts``, so rebinding any of them would silently
+        disconnect the compiled code from the architectural state.
+        """
+        self.regs[:] = [0] * 32
         self.flag = False
-        self.reports = []
+        self.reports.clear()
         self.cycles = 0
         self.kernel_cycles = 0
         self._fi_window = False
         self._active_hook = None
-        self._class_counts = {}
-        self.dmem.clear()
-        self._load_program()
+        self._class_counts.clear()
+        self.dmem.restore(self._dmem_image)
 
     # ------------------------------------------------------------------
     # Execution

@@ -99,3 +99,17 @@ class DataMemory:
     def clear(self) -> None:
         """Zero the entire memory (fresh SRAM state between runs)."""
         self._bytes = bytearray(self.size)
+
+    # -- snapshot/restore (the CPU-reuse fast path between MC trials) ----
+
+    def snapshot(self) -> bytes:
+        """Immutable copy of the current memory image."""
+        return bytes(self._bytes)
+
+    def restore(self, image: bytes) -> None:
+        """Restore a :meth:`snapshot` image in place."""
+        if len(image) != self.size:
+            raise ValueError(
+                f"snapshot is {len(image)} bytes for a {self.size}-byte "
+                f"memory")
+        self._bytes[:] = image

@@ -91,8 +91,8 @@ class DtaResult:
 def run_dta(alu: "AluNetlist", mnemonic: str, n_cycles: int,
             vdd: float = VDD_REF, seed: int = 2016,
             block: int = 512, glitch_model: str = "sensitized",
-            operands: tuple[np.ndarray, np.ndarray] | None = None) -> \
-        DtaResult:
+            operands: tuple[np.ndarray, np.ndarray] | None = None,
+            engine: str = "compiled") -> DtaResult:
     """Characterize one instruction's endpoint arrival statistics.
 
     Args:
@@ -107,10 +107,16 @@ def run_dta(alu: "AluNetlist", mnemonic: str, n_cycles: int,
             ``n_cycles + 1`` (overrides the default random sampling;
             used e.g. for restricted operand ranges in the
             instruction-characterization study, paper Section 4.1).
+        engine: circuit engine, see :meth:`Circuit.propagate`.
 
     Returns:
         A :class:`DtaResult` with the (n_cycles, 32) critical periods
         and the functional result values per cycle.
+
+    The result arrays are preallocated once and filled chunk by chunk;
+    together with the circuit-level workspace reuse (one scratch block
+    per unit, see :mod:`repro.netlist.plan`) and the per-corner delay
+    tile cache, steady-state chunks run allocation-free.
     """
     if n_cycles <= 0:
         raise ValueError("n_cycles must be positive")
@@ -126,17 +132,21 @@ def run_dta(alu: "AluNetlist", mnemonic: str, n_cycles: int,
             raise ValueError(
                 f"explicit operand streams need {n_cycles + 1} entries")
     setup = alu.library.setup(vdd)
-    chunks = []
-    value_chunks = []
+    critical: np.ndarray | None = None
+    all_values: np.ndarray | None = None
     for start in range(0, n_cycles, block):
         stop = min(start + block, n_cycles)
         prev = (a[start:stop], b[start:stop])
         new = (a[start + 1:stop + 1], b[start + 1:stop + 1])
         values, arrivals = alu.propagate(mnemonic, prev, new, vdd,
-                                         glitch_model)
-        chunks.append(arrivals.T + setup)
-        value_chunks.append(values)
+                                         glitch_model, engine=engine)
+        if critical is None:
+            critical = np.empty((n_cycles, arrivals.shape[0]))
+            all_values = np.empty(n_cycles, dtype=values.dtype)
+        critical[start:stop] = arrivals.T
+        critical[start:stop] += setup
+        all_values[start:stop] = values
     return DtaResult(mnemonic=mnemonic, unit=unit, vdd=vdd,
-                     critical_ps=np.vstack(chunks),
+                     critical_ps=critical,
                      glitch_model=glitch_model,
-                     values=np.concatenate(value_chunks))
+                     values=all_values)

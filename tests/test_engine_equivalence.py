@@ -1,0 +1,216 @@
+"""Equivalence of the compiled bucketed engine with the per-gate reference.
+
+The compiled structure-of-arrays plan (`repro.netlist.plan`) must be a
+pure performance transformation: on any feed-forward circuit, both
+glitch models, it has to produce bit-identical output values and
+arrival times to the retained per-gate reference engine.  The property
+test below builds random circuits (random kinds, random wiring depths,
+shared fan-out, constants as inputs) and cross-checks every observable.
+
+The Monte-Carlo layer rides on the same guarantee: CPU reuse via
+``Cpu.reset()`` and process-parallel ``run_point`` must both be
+invisible in the results.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.suite import build_kernel
+from repro.fi.base import FaultInjector
+from repro.mc.runner import run_point, run_trial, trial_seeds
+from repro.netlist.circuit import Circuit, CircuitError
+from repro.netlist.gates import GATE_KINDS, arity_of
+from repro.sim.cpu import Cpu
+from repro.sim.machine import MachineConfig
+
+
+# ---------------------------------------------------------------------------
+# Random-circuit property tests
+# ---------------------------------------------------------------------------
+
+@st.composite
+def random_circuits(draw):
+    """A random feed-forward circuit plus matched stimulus blocks."""
+    n_inputs = draw(st.integers(min_value=1, max_value=3))
+    widths = [draw(st.integers(min_value=1, max_value=6))
+              for _ in range(n_inputs)]
+    n_gates = draw(st.integers(min_value=1, max_value=40))
+    circuit = Circuit("random")
+    nets = [0, 1]
+    for index, width in enumerate(widths):
+        nets.extend(circuit.input_bus(f"i{index}", width))
+    kinds = sorted(GATE_KINDS)
+    outputs = []
+    for _ in range(n_gates):
+        kind = draw(st.sampled_from(kinds))
+        ins = [nets[draw(st.integers(0, len(nets) - 1))]
+               for _ in range(arity_of(kind))]
+        out = circuit.gate(kind, *ins)
+        nets.append(out)
+        outputs.append(out)
+    # Expose a random selection of internal nets (plus the last gate).
+    n_out = draw(st.integers(min_value=1, max_value=min(6, len(outputs))))
+    chosen = [outputs[draw(st.integers(0, len(outputs) - 1))]
+              for _ in range(n_out - 1)] + [outputs[-1]]
+    circuit.output_bus("y", chosen)
+    n_vectors = draw(st.integers(min_value=1, max_value=16))
+    stim = {}
+    for index, width in enumerate(widths):
+        limit = (1 << width) - 1
+        stim[f"i{index}"] = np.array(
+            [draw(st.integers(0, limit)) for _ in range(2 * n_vectors)],
+            dtype=np.uint64)
+    prev = {k: v[:n_vectors] for k, v in stim.items()}
+    new = {k: v[n_vectors:] for k, v in stim.items()}
+    delays = np.array([draw(st.floats(0.5, 40.0, allow_nan=False))
+                       for _ in range(n_gates)])
+    arrival = draw(st.floats(0.0, 25.0, allow_nan=False))
+    return circuit, prev, new, delays, arrival
+
+
+@given(random_circuits())
+@settings(max_examples=60, deadline=None)
+def test_compiled_engine_bit_identical(case):
+    circuit, prev, new, delays, arrival = case
+    evaluated = {}
+    for engine in ("compiled", "reference"):
+        evaluated[engine] = circuit.evaluate(new, engine=engine)
+    assert np.array_equal(evaluated["compiled"]["y"],
+                          evaluated["reference"]["y"])
+    for glitch_model in ("sensitized", "value-change"):
+        out_c, arr_c = circuit.propagate(prev, new, delays, arrival,
+                                         glitch_model, engine="compiled")
+        out_r, arr_r = circuit.propagate(prev, new, delays, arrival,
+                                         glitch_model, engine="reference")
+        assert np.array_equal(out_c["y"], out_r["y"]), glitch_model
+        assert np.array_equal(arr_c["y"], arr_r["y"]), glitch_model
+
+
+def test_plan_invalidated_by_gate_add():
+    circuit = Circuit("grow")
+    a, b = circuit.input_bus("a", 1)[0], circuit.input_bus("b", 1)[0]
+    x = circuit.gate("AND2", a, b)
+    circuit.output_bus("x", [x])
+    first = circuit.plan
+    assert first.n_nets == circuit.n_nets
+    assert circuit.evaluate({"a": [1], "b": [1]})["x"].tolist() == [1]
+    y = circuit.gate("XOR2", a, x)
+    assert circuit.plan is not first
+    assert circuit.plan.n_nets == circuit.n_nets
+    circuit._output_buses["x"].nets.append(y)  # widen for the check
+    out = circuit.evaluate({"a": [1], "b": [1]})
+    assert out["x"].tolist() == [1]  # and2=1, xor=0 -> bits 0b01
+
+
+def test_plan_invalidated_by_input_bus_add():
+    circuit = Circuit("grow-in")
+    a = circuit.input_bus("a", 1)[0]
+    circuit.output_bus("na", [circuit.gate("INV", a)])
+    assert circuit.plan.n_nets == circuit.n_nets
+    # A new input bus adds matrix rows too, so it must rebuild the plan.
+    b = circuit.input_bus("b", 1)[0]
+    circuit.output_bus("y", [circuit.gate("AND2", a, b)])
+    assert circuit.plan.n_nets == circuit.n_nets
+    out = circuit.evaluate({"a": np.array([0, 1, 1]),
+                            "b": np.array([1, 0, 1])})
+    assert out["na"].tolist() == [1, 0, 0]
+    assert out["y"].tolist() == [0, 0, 1]
+
+
+def test_delay_cache_cleared_lazily():
+    from repro.netlist.library import CellLibrary
+    library = CellLibrary()
+    circuit = Circuit("lazy")
+    a, b = circuit.input_bus("a", 1)[0], circuit.input_bus("b", 1)[0]
+    circuit.gate("AND2", a, b)
+    first = circuit.gate_delays(library, 0.7)
+    assert len(first) == 1
+    # Adding a gate only marks dirty; the next gate_delays() rebuilds.
+    circuit.gate("OR2", a, b)
+    assert circuit._dirty
+    second = circuit.gate_delays(library, 0.7)
+    assert len(second) == 2
+    assert not circuit._dirty
+
+
+def test_engine_argument_validated():
+    circuit = Circuit("bad")
+    a = circuit.input_bus("a", 1)[0]
+    circuit.output_bus("y", [circuit.gate("BUF", a)])
+    with pytest.raises(CircuitError, match="engine"):
+        circuit.evaluate({"a": [0]}, engine="turbo")
+    with pytest.raises(CircuitError, match="engine"):
+        circuit.propagate({"a": [0]}, {"a": [1]}, np.array([1.0]),
+                          engine="turbo")
+
+
+# ---------------------------------------------------------------------------
+# Monte-Carlo reuse and parallel equivalence
+# ---------------------------------------------------------------------------
+
+class _RareInjector(FaultInjector):
+    """One single-bit fault roughly every ``period`` ALU cycles."""
+
+    def __init__(self, rng, period=60):
+        super().__init__()
+        self._rng = rng
+        self._period = period
+
+    def fault_mask(self, mnemonic):
+        return 1 if self._rng.random() < 1.0 / self._period else 0
+
+
+@pytest.fixture(scope="module")
+def kernel():
+    return build_kernel("median", "quick")
+
+
+def test_cpu_reuse_matches_fresh_cpu(kernel):
+    """run_trial(cpu=...) must be bit-identical to a fresh CPU."""
+    fresh = run_trial(kernel, _RareInjector(np.random.default_rng(11)))
+    cpu = Cpu(kernel.program, injector=None)
+    cpu.run(kernel.entry)  # dirty the architectural state first
+    reused = run_trial(kernel, _RareInjector(np.random.default_rng(11)),
+                       cpu=cpu)
+    assert fresh == reused
+
+
+def test_cpu_reuse_rejects_config_mismatch(kernel):
+    """A reused CPU built under a different memory map must not run."""
+    cpu = Cpu(kernel.program, injector=None)
+    other = MachineConfig(dmem_size=2 * cpu.config.dmem_size)
+    with pytest.raises(ValueError, match="MachineConfig"):
+        run_trial(kernel, _RareInjector(np.random.default_rng(3)),
+                  config=other, cpu=cpu)
+
+
+def test_reset_restores_dmem_snapshot(kernel):
+    cpu = Cpu(kernel.program, injector=None)
+    before = cpu.dmem.snapshot()
+    cpu.run(kernel.entry)
+    assert cpu.dmem.snapshot() != before  # the kernel writes outputs
+    cpu.reset()
+    assert cpu.dmem.snapshot() == before
+    assert cpu.regs == [0] * 32 and cpu.cycles == 0
+
+
+def test_parallel_run_point_equals_serial(kernel):
+    serial = run_point(kernel, lambda rng: _RareInjector(rng),
+                       n_trials=8, seed=5, n_jobs=1)
+    parallel = run_point(kernel, lambda rng: _RareInjector(rng),
+                         n_trials=8, seed=5, n_jobs=2)
+    assert serial.trials == parallel.trials
+    assert serial.summary() == parallel.summary()
+
+
+def test_trial_seeds_are_deterministic():
+    first = [s.generate_state(2).tolist() for s in trial_seeds(42, 4)]
+    second = [s.generate_state(2).tolist() for s in trial_seeds(42, 4)]
+    assert first == second
+
+
+def test_run_point_validates_n_jobs(kernel):
+    with pytest.raises(ValueError, match="n_jobs"):
+        run_point(kernel, lambda rng: _RareInjector(rng),
+                  n_trials=2, n_jobs=0)
