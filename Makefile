@@ -1,21 +1,27 @@
 # Developer entry points.  `make tier1` is the gate every PR must keep
-# green: the full unit/property suite followed by the quick-scale
-# engine benches, so perf regressions fail loudly alongside functional
-# ones (bench_engines asserts compiled/reference bit-identity and
-# refreshes BENCH_engines.json).
+# green: the full unit/property suite, the quick-scale engine benches
+# (bench_engines asserts compiled/reference bit-identity and refreshes
+# BENCH_engines.json), and the campaign smoke test (run -> kill ->
+# resume -> diff over the persistent result store).
 
 PYTHON ?= python
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: tier1 test bench-engines bench-figures
+.PHONY: tier1 test bench-engines bench-figures campaign-smoke
 
-tier1: test bench-engines
+tier1: test bench-engines campaign-smoke
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
 
 bench-engines:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/bench_engines.py -x -q
+
+# Kill a quick-scale fig5 campaign mid-run, resume it, and require the
+# rendered output to be byte-identical to an uninterrupted run; then
+# prove a warm rerun performs zero Monte-Carlo simulation.
+campaign-smoke:
+	$(PYTHON) scripts/campaign_smoke.py
 
 # Full figure/table reproduction benches (slow; scale via REPRO_BENCH_SCALE).
 bench-figures:

@@ -22,8 +22,10 @@ import numpy as np
 import pytest
 
 from repro.bench.suite import build_kernel
+from repro.experiments import fig7
 from repro.fi.base import FaultInjector
 from repro.mc.runner import run_point, run_trial
+from repro.store import ResultStore
 from repro.timing.dta import run_dta
 
 #: Block width pinned by the acceptance criterion of the engines PR.
@@ -118,6 +120,25 @@ class _RareInjector(FaultInjector):
 
     def fault_mask(self, mnemonic):
         return 1 if self._rng.random() < 1.0 / self._period else 0
+
+
+def test_fig7_warm_store(benchmark, ctx, scale, tmp_path):
+    """Store-served fig7 rerun vs the cold compute-and-persist run.
+
+    The warm path is the subsystem's acceptance criterion: every
+    Monte-Carlo point is a store hit, so the rerun costs JSON decode +
+    assembly + render only.
+    """
+    store = ResultStore(tmp_path / "warm-store")
+    start = time.perf_counter()
+    cold_result = fig7.run(scale, context=ctx, store=store)
+    cold_s = time.perf_counter() - start
+
+    warm_result = fig7.run(scale, context=ctx, store=store)
+    assert fig7.render(warm_result) == fig7.render(cold_result)
+    benchmark(lambda: fig7.run(scale, context=ctx, store=store))
+    _record(f"fig7[{scale.name},warm-store]", benchmark.stats.stats.min,
+            cold_s)
 
 
 def test_run_point_reuse(benchmark):

@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""Campaign smoke test: run -> kill -> resume -> diff, at quick scale.
+
+Exercises the persistence guarantees end to end with real processes:
+
+1. an uninterrupted ``repro campaign run fig5 --scale quick`` into
+   store A (the reference output);
+2. the same campaign into store B, SIGKILLed as soon as a few Monte-
+   Carlo units have been persisted;
+3. ``repro campaign resume`` on store B -- it must reuse the surviving
+   units and render **byte-identical** output to step 1;
+4. a warm ``repro fig5`` rerun against store A with ``REPRO_FORBID_MC``
+   set: any attempt to reach the simulator aborts, proving the rerun
+   is served entirely from the store.
+
+Exit code 0 = all invariants hold.  Wired into ``make campaign-smoke``
+(part of ``make tier1``).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+SCALE = "quick"
+SEED = "2016"
+JOBS = "2"
+#: Kill once this many Monte-Carlo points are on disk in store B.
+KILL_AFTER_POINTS = 3
+KILL_TIMEOUT_S = 600.0
+
+
+def repro(args: list[str], store: Path, env_extra: dict | None = None,
+          check: bool = True) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    root = Path(__file__).resolve().parent.parent
+    env["PYTHONPATH"] = f"{root / 'src'}" + (
+        f":{env['PYTHONPATH']}" if env.get("PYTHONPATH") else "")
+    env.update(env_extra or {})
+    command = [sys.executable, "-m", "repro", *args,
+               "--scale", SCALE, "--seed", SEED, "--store", str(store)]
+    result = subprocess.run(command, capture_output=True, text=True,
+                            env=env)
+    if check and result.returncode != 0:
+        sys.stderr.write(result.stdout + result.stderr)
+        raise SystemExit(f"FAIL: {' '.join(command)} exited "
+                         f"{result.returncode}")
+    return result
+
+
+def count_points(store: Path) -> int:
+    """Monte-Carlo point envelopes currently persisted in a store."""
+    return sum(1 for path in store.glob("objects/*/*.json")
+               if '"kind":"mc_point"' in path.read_text())
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as tmp:
+        store_a = Path(tmp) / "store-a"
+        store_b = Path(tmp) / "store-b"
+
+        print("[1/4] uninterrupted campaign into store A ...",
+              flush=True)
+        fresh = repro(["campaign", "run", "fig5", "--jobs", JOBS],
+                      store_a)
+        reference = fresh.stdout
+
+        print("[2/4] campaign into store B, SIGKILL mid-run ...",
+              flush=True)
+        env = dict(os.environ)
+        root = Path(__file__).resolve().parent.parent
+        env["PYTHONPATH"] = f"{root / 'src'}" + (
+            f":{env['PYTHONPATH']}" if env.get("PYTHONPATH") else "")
+        victim = subprocess.Popen(
+            [sys.executable, "-m", "repro", "campaign", "run", "fig5",
+             "--jobs", JOBS, "--scale", SCALE, "--seed", SEED,
+             "--store", str(store_b)],
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+            env=env, start_new_session=True)
+        deadline = time.monotonic() + KILL_TIMEOUT_S
+        killed_midway = False
+        while time.monotonic() < deadline:
+            if victim.poll() is not None:
+                break  # finished before we could kill it
+            if count_points(store_b) >= KILL_AFTER_POINTS:
+                # Kill the whole process group (campaign + fork workers).
+                os.killpg(victim.pid, signal.SIGKILL)
+                victim.wait()
+                killed_midway = True
+                break
+            time.sleep(0.05)
+        else:
+            os.killpg(victim.pid, signal.SIGKILL)
+            victim.wait()
+            raise SystemExit("FAIL: campaign produced no units to kill "
+                             "within the timeout")
+        survivors = count_points(store_b)
+        print(f"      killed={killed_midway} with {survivors} points "
+              f"persisted", flush=True)
+
+        print("[3/4] resume store B and diff against store A ...",
+              flush=True)
+        resumed = repro(["campaign", "resume", "fig5", "--jobs", JOBS],
+                        store_b)
+        if resumed.stdout != reference:
+            sys.stderr.write(resumed.stdout)
+            raise SystemExit("FAIL: resumed campaign output differs "
+                             "from the uninterrupted run")
+        reused = re.search(r"(\d+) cached", resumed.stderr)
+        if killed_midway and (reused is None or int(reused.group(1)) == 0):
+            raise SystemExit("FAIL: resume recomputed everything "
+                             "(no units were reused)")
+
+        print("[4/4] warm `repro fig5` rerun must do zero simulation ...",
+              flush=True)
+        warm = repro(["fig5"], store_a, env_extra={"REPRO_FORBID_MC": "1"})
+        if warm.stdout != reference:
+            raise SystemExit("FAIL: warm store-served fig5 differs from "
+                             "the campaign output")
+
+        print("campaign smoke OK: resume byte-identical, warm rerun "
+              "simulation-free")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""Campaign orchestration: figure-level experiments as sharded,
+resumable sweeps of store-addressed Monte-Carlo work units."""
+
+from repro.campaign.orchestrator import (
+    CAMPAIGN_EXPERIMENTS,
+    CampaignPlan,
+    CampaignReport,
+    CampaignStatus,
+    campaign_status,
+    plan_campaign,
+    run_campaign,
+)
+
+__all__ = [
+    "CAMPAIGN_EXPERIMENTS",
+    "CampaignPlan",
+    "CampaignReport",
+    "CampaignStatus",
+    "campaign_status",
+    "plan_campaign",
+    "run_campaign",
+]

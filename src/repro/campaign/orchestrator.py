@@ -1,0 +1,259 @@
+"""Sharded campaign orchestration over the result store.
+
+A *campaign* is one figure-level experiment decomposed into its
+point-level Monte-Carlo work units (see :mod:`repro.mc.units`), run
+with three guarantees:
+
+* **Idempotence** -- units already in the store are never recomputed;
+  a campaign restarted after a kill (``resume``) picks up exactly the
+  missing units.
+* **Determinism** -- every unit owns a derived master seed and the
+  serial random-stream scheme, so its result is independent of which
+  worker computes it or in what order; the rendered output of a
+  resumed or sharded campaign is byte-identical to an uninterrupted
+  single-process run.
+* **Kill-safety** -- workers persist each unit atomically the moment
+  it completes; at worst the unit in flight at kill time is redone.
+
+The process pool uses fork workers (unit closures capture injector
+factories and compiled kernels, which cannot be pickled; fork inherits
+them along with the parent's characterization tables), falling back to
+serial execution where fork is unavailable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.experiments import ablations, fig5, fig6, fig7
+from repro.experiments.context import ExperimentContext
+from repro.experiments.scale import Scale, get_scale
+from repro.mc.results import McPoint
+from repro.mc.runner import _fork_available
+from repro.mc.units import PointUnit
+
+#: Experiments that decompose into campaigns.
+CAMPAIGN_EXPERIMENTS = ("fig5", "fig6", "fig7", "ablations")
+
+
+@dataclass
+class CampaignPlan:
+    """An experiment decomposed into units plus its renderer."""
+
+    experiment: str
+    units: list[PointUnit]
+    render: Callable[[list[McPoint]], str]
+
+
+@dataclass
+class CampaignReport:
+    """Outcome of one ``run_campaign`` invocation."""
+
+    experiment: str
+    scale: str
+    seed: int
+    jobs: int
+    total: int
+    cached: int
+    computed: int
+    rendered: str
+
+    def summary(self) -> str:
+        return (f"campaign {self.experiment} scale={self.scale} "
+                f"seed={self.seed} jobs={self.jobs}: {self.total} units, "
+                f"{self.cached} cached, {self.computed} computed")
+
+
+@dataclass
+class CampaignStatus:
+    """Store-side progress of a campaign."""
+
+    experiment: str
+    scale: str
+    seed: int
+    total: int
+    done: int
+    pending: list[str]
+
+    def summary(self) -> str:
+        return (f"campaign {self.experiment} scale={self.scale} "
+                f"seed={self.seed}: {self.done}/{self.total} units "
+                f"complete, {self.total - self.done} pending")
+
+
+def plan_campaign(experiment: str, ctx: ExperimentContext,
+                  seed: int) -> CampaignPlan:
+    """Decompose an experiment into units and a render function.
+
+    Planning forces the experiment's characterizations (grids depend
+    on them); with a store attached to ``ctx`` they persist, so a
+    resumed campaign replans without re-running DTA.
+    """
+    if experiment == "fig5":
+        units = fig5.point_units(ctx, seed=seed)
+        render = lambda points: fig5.render(  # noqa: E731
+            fig5.assemble(ctx, points))
+    elif experiment == "fig6":
+        units = fig6.point_units(ctx, seed=seed)
+        render = lambda points: fig6.render(  # noqa: E731
+            fig6.assemble(ctx, points))
+    elif experiment == "fig7":
+        units = fig7.point_units(ctx, seed=seed)
+        render = lambda points: fig7.render(  # noqa: E731
+            fig7.assemble(ctx, points))
+    elif experiment == "ablations":
+        units = ablations.semantics_point_units(ctx, seed=seed)
+
+        def render(points):
+            # The glitch-model and adder-topology studies are pure
+            # DTA/characterization work: the former is store-served
+            # through the context, the latter is recomputed (it owns
+            # no Monte-Carlo points).
+            return ablations.render_all(
+                ablations.run_glitch_model_ablation(
+                    ctx.scale, seed=seed, context=ctx),
+                ablations.assemble_semantics(points),
+                ablations.run_adder_topology_ablation(ctx.scale,
+                                                      seed=seed))
+    else:
+        raise KeyError(
+            f"unknown campaign experiment {experiment!r}; known: "
+            f"{CAMPAIGN_EXPERIMENTS}")
+    return CampaignPlan(experiment=experiment, units=units, render=render)
+
+
+def campaign_status(experiment: str, scale: str | Scale, seed: int,
+                    store, log: Callable[[str], None] | None = None) \
+        -> CampaignStatus:
+    """Report which units of a campaign are already in the store.
+
+    Planning needs the experiment's DTA characterizations (frequency
+    grids derive from them), so on a *cold* store even ``status`` runs
+    and persists them once -- expensive at paper scale.  ``log`` is
+    told before that happens; every later status call is served from
+    the store.
+    """
+    resolved = get_scale(scale)
+    if log is not None and not any(
+            entry.kind == "alu_characterization"
+            for entry in store.ls()):
+        log(f"cold store: planning {experiment} will run the DTA "
+            f"characterization first (persisted for every later call)")
+    ctx = ExperimentContext.create(resolved, seed, store=store)
+    plan = plan_campaign(experiment, ctx, seed)
+    pending = [unit.label for unit in plan.units
+               if not store.contains(unit.key)]
+    return CampaignStatus(
+        experiment=experiment,
+        scale=resolved.name,
+        seed=seed,
+        total=len(plan.units),
+        done=len(plan.units) - len(pending),
+        pending=pending,
+    )
+
+
+# Fork-worker state, inherited through the pool initializer (the unit
+# closures are not picklable; initargs travel by fork inheritance).
+_WORKER_STATE: dict | None = None
+
+
+def _init_worker(state: dict) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = state
+
+
+def _run_shard(indices: list[int]) -> list[int]:
+    """Pool worker: compute and persist the units at ``indices``."""
+    state = _WORKER_STATE
+    assert state is not None, "worker state missing (pool without fork?)"
+    store = state["store"]
+    for index in indices:
+        unit = state["units"][index]
+        # Another worker of a concurrent campaign may have raced us to
+        # this unit; the recheck keeps the work (not the result) unique.
+        if not store.contains(unit.key):
+            store.put(unit.key, unit.compute(), label=unit.label)
+    return indices
+
+
+def run_campaign(experiment: str, scale: str | Scale = "default",
+                 seed: int = 2016, store=None, jobs: int = 1,
+                 log: Callable[[str], None] | None = None) \
+        -> CampaignReport:
+    """Run (or resume) a campaign to its rendered figure output.
+
+    Args:
+        experiment: one of :data:`CAMPAIGN_EXPERIMENTS`.
+        scale: fidelity preset (name or :class:`Scale`).
+        seed: master seed (every unit derives its own).
+        store: the :class:`repro.store.ResultStore` holding results;
+            required -- the store *is* the campaign state.
+        jobs: worker processes for pending units (1 = in-process).
+        log: optional progress sink (e.g. stderr writer).
+
+    Resuming is the same call again: completed units are store hits
+    and only the missing ones execute, with byte-identical rendered
+    output for any jobs value.
+    """
+    if store is None:
+        raise ValueError("run_campaign needs a result store; it is the "
+                         "campaign's persistent state")
+    if jobs <= 0:
+        raise ValueError("jobs must be positive")
+    emit = log or (lambda message: None)
+    resolved = get_scale(scale)
+    ctx = ExperimentContext.create(resolved, seed, store=store)
+    plan = plan_campaign(experiment, ctx, seed)
+    # Envelope-level existence scan: no artifact decoding here, the
+    # single full decode per unit happens in the collection loop below.
+    pending = [index for index, unit in enumerate(plan.units)
+               if not store.contains(unit.key)]
+    cached = len(plan.units) - len(pending)
+    emit(f"{experiment}: {len(plan.units)} units, {cached} cached, "
+         f"{len(pending)} to compute")
+
+    if len(pending) > 1 and jobs >= 2 and _fork_available():
+        shards = [pending[start::jobs] for start in range(jobs)
+                  if pending[start::jobs]]
+        state = {"units": plan.units, "store": store}
+        context = multiprocessing.get_context("fork")
+        with context.Pool(processes=len(shards),
+                          initializer=_init_worker,
+                          initargs=(state,)) as pool:
+            for indices in pool.imap_unordered(_run_shard, shards):
+                emit(f"shard of {len(indices)} units done")
+    else:
+        for index in pending:
+            unit = plan.units[index]
+            store.put(unit.key, unit.compute(), label=unit.label)
+            emit(f"computed {unit.label}")
+
+    points = []
+    for unit in plan.units:
+        point = store.get(unit.key)
+        if point is None:
+            # A unit that passed the envelope scan but fails to decode
+            # (corrupted artifact body): self-heal by recomputing.
+            emit(f"recomputing undecodable unit {unit.label}")
+            point = unit.compute()
+            store.put(unit.key, point, label=unit.label)
+        points.append(point)
+    return CampaignReport(
+        experiment=experiment,
+        scale=resolved.name,
+        seed=seed,
+        jobs=jobs,
+        total=len(plan.units),
+        cached=cached,
+        computed=len(pending),
+        rendered=plan.render(points),
+    )
+
+
+def stderr_log(message: str) -> None:
+    """Default CLI progress sink."""
+    print(message, file=sys.stderr, flush=True)

@@ -3,11 +3,19 @@
 Examples::
 
     python -m repro table1 --scale paper
-    python -m repro fig5 --scale default
+    python -m repro fig5 --scale default --jobs 4
     python -m repro all --scale quick
+    python -m repro campaign run fig5 --scale paper --jobs 8
+    python -m repro campaign status fig5 --scale paper
+    python -m repro cache ls
     python -m repro timing-report --frequency-mhz 750
     python -m repro verilog --unit multiplier --out mul32.v
     python -m repro kernels
+
+Experiment and campaign commands persist Monte-Carlo points and DTA
+characterizations in a content-addressed result store (``REPRO_STORE``
+or the XDG cache dir by default), so reruns at the same configuration
+are served without re-simulating; ``--no-store`` opts out.
 """
 
 from __future__ import annotations
@@ -16,6 +24,9 @@ import argparse
 import sys
 
 from repro.bench.suite import BENCHMARK_NAMES, build_kernel
+from repro.campaign import CAMPAIGN_EXPERIMENTS, campaign_status, \
+    run_campaign
+from repro.campaign.orchestrator import stderr_log
 from repro.experiments import (
     ExperimentContext,
     ablations,
@@ -31,22 +42,37 @@ from repro.experiments import (
 from repro.mc.runner import golden_cycles
 from repro.netlist.calibrate import calibrated_alu
 from repro.netlist.verilog import to_verilog
+from repro.store import ResultStore
 from repro.timing.report import timing_report
 
-#: Experiment name -> callable(scale, context) -> rendered text.
+#: Experiment name -> callable(scale, seed, ctx, store, jobs) ->
+#: rendered text.  The seed is forwarded to the drivers so *serial*
+#: fig runs (no --jobs) and campaigns at the same --seed share store
+#: entries and render identical output; --jobs runs use per-trial
+#: streams, which are a different scheme cached under their own keys.
 _EXPERIMENTS = {
-    "table1": lambda scale, ctx: table1.render(table1.run(scale)),
-    "table2": lambda scale, ctx: table2.render(),
-    "fig1": lambda scale, ctx: fig1.render(fig1.run(scale, context=ctx)),
-    "fig2": lambda scale, ctx: fig2.render(fig2.run(scale, context=ctx)),
-    "fig4": lambda scale, ctx: fig4.render(fig4.run(scale, context=ctx)),
-    "fig5": lambda scale, ctx: fig5.render(fig5.run(scale, context=ctx)),
-    "fig6": lambda scale, ctx: fig6.render(fig6.run(scale, context=ctx)),
-    "fig7": lambda scale, ctx: fig7.render(fig7.run(scale, context=ctx)),
-    "ablations": lambda scale, ctx: ablations.render_all(
-        ablations.run_glitch_model_ablation(scale, context=ctx),
-        ablations.run_semantics_ablation(scale, context=ctx),
-        ablations.run_adder_topology_ablation(scale)),
+    "table1": lambda scale, seed, ctx, store, jobs: table1.render(
+        table1.run(scale)),
+    "table2": lambda scale, seed, ctx, store, jobs: table2.render(),
+    "fig1": lambda scale, seed, ctx, store, jobs: fig1.render(
+        fig1.run(scale, seed, context=ctx, store=store, n_jobs=jobs)),
+    "fig2": lambda scale, seed, ctx, store, jobs: fig2.render(
+        fig2.run(scale, seed, context=ctx)),
+    "fig4": lambda scale, seed, ctx, store, jobs: fig4.render(
+        fig4.run(scale, seed, context=ctx)),
+    "fig5": lambda scale, seed, ctx, store, jobs: fig5.render(
+        fig5.run(scale, seed, context=ctx, store=store, n_jobs=jobs)),
+    "fig6": lambda scale, seed, ctx, store, jobs: fig6.render(
+        fig6.run(scale, seed, context=ctx, store=store, n_jobs=jobs)),
+    "fig7": lambda scale, seed, ctx, store, jobs: fig7.render(
+        fig7.run(scale, seed, context=ctx, store=store, n_jobs=jobs)),
+    "ablations": lambda scale, seed, ctx, store, jobs:
+        ablations.render_all(
+            ablations.run_glitch_model_ablation(scale, seed,
+                                                context=ctx),
+            ablations.run_semantics_ablation(scale, seed, context=ctx,
+                                             store=store, n_jobs=jobs),
+            ablations.run_adder_topology_ablation(scale, seed)),
 }
 
 
@@ -56,6 +82,21 @@ def _add_scale(parser: argparse.ArgumentParser) -> None:
                         help="experiment fidelity preset")
     parser.add_argument("--seed", type=int, default=2016,
                         help="master random seed")
+
+
+def _add_store(parser: argparse.ArgumentParser,
+               with_jobs: bool = True) -> None:
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="result-store directory (default: "
+                             "$REPRO_STORE or the user cache dir)")
+    parser.add_argument("--no-store", action="store_true",
+                        help="compute everything fresh; do not read or "
+                             "write the result store")
+    if with_jobs:
+        parser.add_argument("--jobs", type=int, default=None,
+                            help="worker processes (per-trial streams "
+                                 "for fig commands, unit sharding for "
+                                 "campaigns)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -70,6 +111,35 @@ def build_parser() -> argparse.ArgumentParser:
             name, help=f"regenerate {name}" if name != "all"
             else "regenerate every table and figure")
         _add_scale(sub)
+        _add_store(sub)
+
+    campaign = subparsers.add_parser(
+        "campaign", help="persistent, sharded, resumable figure "
+                         "campaigns over the result store")
+    campaign_sub = campaign.add_subparsers(dest="campaign_command",
+                                           required=True)
+    for action, text in (("run", "run a campaign (skips stored units)"),
+                         ("resume", "resume a killed campaign"),
+                         ("status", "show stored/pending units")):
+        sub = campaign_sub.add_parser(action, help=text)
+        sub.add_argument("experiment", choices=CAMPAIGN_EXPERIMENTS)
+        _add_scale(sub)
+        _add_store(sub, with_jobs=(action != "status"))
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect or clean the result store")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    ls = cache_sub.add_parser("ls", help="list stored artifacts")
+    ls.add_argument("--store", default=None, metavar="DIR")
+    gc = cache_sub.add_parser(
+        "gc", help="drop corrupted, stale-schema and abandoned-temp "
+                   "entries (--all wipes everything, --kind K wipes "
+                   "one artifact kind)")
+    gc.add_argument("--store", default=None, metavar="DIR")
+    gc.add_argument("--all", action="store_true",
+                    help="remove every entry, not just dead ones")
+    gc.add_argument("--kind", default=None,
+                    help="remove every entry of this artifact kind")
 
     report = subparsers.add_parser(
         "timing-report", help="STA endpoint-slack report of the ALU")
@@ -93,20 +163,72 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _resolve_store(args) -> ResultStore | None:
+    if getattr(args, "no_store", False):
+        return None
+    if getattr(args, "store", None):
+        return ResultStore(args.store)
+    return ResultStore.default()
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
 
     if args.command in _EXPERIMENTS or args.command == "all":
-        ctx = ExperimentContext.create(args.scale, args.seed)
+        store = _resolve_store(args)
+        ctx = ExperimentContext.create(args.scale, args.seed, store=store)
         names = (list(_EXPERIMENTS) if args.command == "all"
                  else [args.command])
         for name in names:
             if len(names) > 1:
                 print(f"\n{'=' * 72}\n{name} (scale: {args.scale})\n"
                       f"{'=' * 72}")
-            print(_EXPERIMENTS[name](args.scale, ctx))
+            print(_EXPERIMENTS[name](args.scale, args.seed, ctx, store,
+                                     args.jobs))
         return 0
+
+    if args.command == "campaign":
+        store = _resolve_store(args)
+        if store is None:
+            print("campaigns need the result store (drop --no-store)",
+                  file=sys.stderr)
+            return 2
+        if args.campaign_command == "status":
+            status = campaign_status(args.experiment, args.scale,
+                                     args.seed, store, log=stderr_log)
+            print(status.summary())
+            for label in status.pending:
+                print(f"  pending {label}")
+            return 0
+        report = run_campaign(args.experiment, args.scale, args.seed,
+                              store=store, jobs=args.jobs or 1,
+                              log=stderr_log)
+        print(report.summary(), file=sys.stderr)
+        print(report.rendered)
+        return 0
+
+    if args.command == "cache":
+        store = _resolve_store(args)
+        if args.cache_command == "ls":
+            entries = store.ls()
+            total = sum(entry.n_bytes for entry in entries)
+            print(f"{'hash':12s} {'kind':22s} {'experiment':10s} "
+                  f"{'bytes':>10s} label")
+            for entry in entries:
+                print(f"{entry.sha256[:12]:12s} {entry.kind:22s} "
+                      f"{entry.experiment:10s} {entry.n_bytes:>10d} "
+                      f"{entry.label}")
+            print(f"{len(entries)} entries, {total} bytes "
+                  f"({store.root})")
+            return 0
+        if args.cache_command == "gc":
+            kinds = (args.kind,) if args.kind else None
+            removed, freed = store.gc(
+                remove_all=args.all or kinds is not None, kinds=kinds)
+            print(f"removed {removed} entries, freed {freed} bytes "
+                  f"({store.root})")
+            return 0
 
     if args.command == "timing-report":
         alu = calibrated_alu()

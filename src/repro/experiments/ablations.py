@@ -28,14 +28,14 @@ import numpy as np
 
 from repro.bench.suite import build_kernel
 from repro.fi.model_c import StatisticalInjector
+from repro.mc.results import McPoint
 from repro.mc.runner import run_point
+from repro.mc.units import PointUnit, mc_point_key, resolve_units, \
+    stream_scheme
 from repro.netlist.adders import ADDER_KINDS
 from repro.netlist.alu import AluConfig, AluNetlist
 from repro.netlist.calibrate import calibrate_alu
-from repro.timing.characterize import (
-    CharacterizationConfig,
-    get_characterization,
-)
+from repro.timing.characterize import CharacterizationConfig
 from repro.timing.dta import run_dta
 from repro.timing.noise import VoltageNoise
 from repro.timing.voltage import VddDelayModel
@@ -66,12 +66,13 @@ def run_glitch_model_ablation(scale: str | Scale = "default",
     ctx = context or ExperimentContext.create(scale, seed)
     poffs = {}
     for model in ("sensitized", "value-change"):
-        characterization = get_characterization(
-            ctx.alu, CharacterizationConfig(
-                vdd=NOMINAL_VDD,
-                n_cycles_per_instr=scale.char_cycles,
-                seed=seed,
-                glitch_model=model))
+        # Through the context: glitch-model characterizations land in
+        # the attached result store like the default ones.
+        characterization = ctx.characterized(CharacterizationConfig(
+            vdd=NOMINAL_VDD,
+            n_cycles_per_instr=scale.char_cycles,
+            seed=seed,
+            glitch_model=model))
         poffs[model] = {
             mnemonic: characterization.poff_frequency_hz(mnemonic)
             for mnemonic in characterization.mnemonics
@@ -90,30 +91,65 @@ class SemanticsAblation:
     summary_stale: dict[str, float]
 
 
+def semantics_point_units(ctx: ExperimentContext, seed: int = 2016,
+                          frequency_hz: float = 730e6,
+                          sigma_v: float = 0.010,
+                          n_jobs: int | None = None) -> list[PointUnit]:
+    """One Monte-Carlo unit per fault-semantics variant (flip, stale)."""
+    characterization = ctx.characterization(NOMINAL_VDD)
+    kernel = build_kernel("mat_mult_8bit", ctx.scale.kernel_scale)
+    noise = ctx.noise(sigma_v)
+    stream = stream_scheme(n_jobs)
+    units = []
+    for semantics in ("flip", "stale"):
+        def compute(semantics=semantics):
+            return run_point(
+                kernel,
+                lambda rng, semantics=semantics: StatisticalInjector(
+                    characterization, frequency_hz, noise,
+                    vdd_model=ctx.vdd_model, rng=rng,
+                    semantics=semantics),
+                n_trials=ctx.scale.trials, seed=seed, n_jobs=n_jobs)
+
+        units.append(PointUnit(
+            label=f"ablations:semantics/{semantics}",
+            key=mc_point_key(
+                "ablations", ctx.scale, seed, stream, kernel,
+                ctx.scale.trials,
+                {"study": "semantics", "semantics": semantics,
+                 "sigma_v": sigma_v, "model": "C",
+                 "frequency_hz": float(frequency_hz),
+                 **ctx.char_fingerprint(NOMINAL_VDD)}),
+            compute=compute))
+    return units
+
+
+def assemble_semantics(points: list[McPoint],
+                       frequency_hz: float = 730e6) -> SemanticsAblation:
+    """Fold the (flip, stale) points into the ablation summary."""
+    return SemanticsAblation(
+        frequency_hz=frequency_hz,
+        summary_flip=points[0].summary(),
+        summary_stale=points[1].summary())
+
+
 def run_semantics_ablation(scale: str | Scale = "default",
                            seed: int = 2016,
                            context: ExperimentContext | None = None,
                            frequency_hz: float = 730e6,
-                           sigma_v: float = 0.010) -> SemanticsAblation:
+                           sigma_v: float = 0.010,
+                           store=None,
+                           n_jobs: int | None = None) -> SemanticsAblation:
     """Compare fault semantics on the 8-bit matmul benchmark."""
     scale = get_scale(scale)
-    ctx = context or ExperimentContext.create(scale, seed)
-    characterization = ctx.characterization(NOMINAL_VDD)
-    kernel = build_kernel("mat_mult_8bit", scale.kernel_scale)
-    noise = ctx.noise(sigma_v)
-    summaries = {}
-    for semantics in ("flip", "stale"):
-        point = run_point(
-            kernel,
-            lambda rng, semantics=semantics: StatisticalInjector(
-                characterization, frequency_hz, noise,
-                vdd_model=ctx.vdd_model, rng=rng, semantics=semantics),
-            n_trials=scale.trials, seed=seed)
-        summaries[semantics] = point.summary()
-    return SemanticsAblation(
-        frequency_hz=frequency_hz,
-        summary_flip=summaries["flip"],
-        summary_stale=summaries["stale"])
+    ctx = context or ExperimentContext.create(scale, seed, store=store)
+    if store is None:
+        store = ctx.store
+    units = semantics_point_units(ctx, seed=seed,
+                                  frequency_hz=frequency_hz,
+                                  sigma_v=sigma_v, n_jobs=n_jobs)
+    points, _, _ = resolve_units(units, store)
+    return assemble_semantics(points, frequency_hz=frequency_hz)
 
 
 @dataclass

@@ -24,6 +24,7 @@ from repro.experiments.scale import Scale, get_scale
 from repro.fi.model_b import StaInjector
 from repro.fi.model_bplus import StaNoiseInjector
 from repro.mc.sweep import FrequencySweep, sweep_frequencies
+from repro.timing.characterize import alu_fingerprint
 
 
 @dataclass
@@ -45,10 +46,13 @@ def _onset_grid(onset_hz: float, points: int) -> list[float]:
 
 
 def run(scale: str | Scale = "default", seed: int = 2016,
-        context: ExperimentContext | None = None) -> list[Fig1Result]:
+        context: ExperimentContext | None = None,
+        store=None, n_jobs: int | None = None) -> list[Fig1Result]:
     """Run the three sub-figures on the median benchmark."""
     scale = get_scale(scale)
-    ctx = context or ExperimentContext.create(scale, seed)
+    ctx = context or ExperimentContext.create(scale, seed, store=store)
+    if store is None:
+        store = ctx.store
     kernel = build_kernel("median", scale.kernel_scale)
     sta_limit = ctx.sta_limit_hz(NOMINAL_VDD)
     results = []
@@ -71,7 +75,12 @@ def run(scale: str | Scale = "default", seed: int = 2016,
             sta_limit_hz=sta_limit,
             seed=seed,
             config={"model": model, "sigma_v": sigma,
-                    "vdd": NOMINAL_VDD})
+                    "vdd": NOMINAL_VDD},
+            n_jobs=n_jobs,
+            store=store,
+            experiment="fig1",
+            scale=scale,
+            key_extra={"alu": alu_fingerprint(ctx.alu)})
         results.append(Fig1Result(sigma_v=sigma, model=model,
                                   onset_hz=onset, sweep=sweep))
     return results

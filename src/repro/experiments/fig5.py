@@ -30,7 +30,9 @@ from repro.experiments.context import (
 )
 from repro.experiments.scale import Scale, get_scale
 from repro.fi.model_c import StatisticalInjector
-from repro.mc.sweep import FrequencySweep, sweep_frequencies
+from repro.mc.results import McPoint
+from repro.mc.sweep import FrequencySweep, sweep_units
+from repro.mc.units import PointUnit, resolve_units
 
 #: Supply voltages of the six sub-figures.
 PLOT_VDDS = (0.7, 0.8)
@@ -87,40 +89,91 @@ def transition_grid(ctx: ExperimentContext, vdd: float, sigma_v: float,
     return list(np.linspace(0.97 * onset, max(top, 1.05 * onset), points))
 
 
+def conditions() -> list[Fig5Config]:
+    """The six (Vdd, sigma) sub-figure conditions, in figure order."""
+    return [Fig5Config(vdd=vdd, sigma_v=sigma)
+            for vdd in PLOT_VDDS for sigma in NOISE_SIGMAS]
+
+
+def point_units(ctx: ExperimentContext, seed: int = 2016,
+                benchmark: str = "median",
+                n_jobs: int | None = None) -> list[PointUnit]:
+    """Decompose the figure into per-frequency Monte-Carlo units.
+
+    Units are ordered by condition then ascending frequency, matching
+    :func:`assemble`'s grouping.  Building them forces the per-voltage
+    characterizations (needed for the transition grids), so campaign
+    workers fork with the expensive substrate already in place.
+    """
+    kernel = build_kernel(benchmark, ctx.scale.kernel_scale)
+    units: list[PointUnit] = []
+    for config in conditions():
+        characterization = ctx.characterization(config.vdd)
+        noise = ctx.noise(config.sigma_v)
+
+        def factory(f, rng, characterization=characterization,
+                    noise=noise, vdd=config.vdd):
+            return StatisticalInjector(
+                characterization, f, noise,
+                vdd_operating=vdd,
+                vdd_model=ctx.vdd_model, rng=rng)
+
+        units.extend(sweep_units(
+            kernel, factory,
+            frequencies_hz=transition_grid(
+                ctx, config.vdd, config.sigma_v, ctx.scale.freq_points),
+            n_trials=ctx.scale.trials,
+            seed=seed,
+            n_jobs=n_jobs,
+            experiment="fig5",
+            scale=ctx.scale,
+            condition={"vdd": config.vdd, "sigma_v": config.sigma_v,
+                       "model": "C",
+                       **ctx.char_fingerprint(config.vdd)}))
+    return units
+
+
+def assemble(ctx: ExperimentContext, points: list[McPoint],
+             benchmark: str = "median") -> list[Fig5Result]:
+    """Group resolved points back into the six sub-figure sweeps."""
+    results = []
+    offset = 0
+    for config in conditions():
+        grid = sorted(transition_grid(
+            ctx, config.vdd, config.sigma_v, ctx.scale.freq_points))
+        sweep = FrequencySweep(
+            kernel_name=benchmark,
+            frequencies_hz=grid,
+            points=points[offset:offset + len(grid)],
+            sta_limit_hz=ctx.sta_limit_hz(config.vdd),
+            config={"vdd": config.vdd, "sigma_v": config.sigma_v,
+                    "model": "C"})
+        offset += len(grid)
+        results.append(Fig5Result(
+            config=config,
+            sweep=sweep,
+            sta_limit_hz=ctx.sta_limit_hz(config.vdd)))
+    return results
+
+
 def run(scale: str | Scale = "default", seed: int = 2016,
         context: ExperimentContext | None = None,
-        benchmark: str = "median") -> list[Fig5Result]:
-    """Run all six sub-figures."""
+        benchmark: str = "median",
+        store=None, n_jobs: int | None = None) -> list[Fig5Result]:
+    """Run all six sub-figures.
+
+    ``store`` serves already-computed points without re-simulating and
+    persists fresh ones; ``n_jobs`` switches every point to per-trial
+    child-seed streams executed over that many fork workers.
+    """
     scale = get_scale(scale)
-    ctx = context or ExperimentContext.create(scale, seed)
-    kernel = build_kernel(benchmark, scale.kernel_scale)
-    results = []
-    for vdd in PLOT_VDDS:
-        characterization = ctx.characterization(vdd)
-        sta_limit = ctx.sta_limit_hz(vdd)
-        for sigma in NOISE_SIGMAS:
-            noise = ctx.noise(sigma)
-
-            def factory(f, rng, characterization=characterization,
-                        noise=noise, vdd=vdd):
-                return StatisticalInjector(
-                    characterization, f, noise,
-                    vdd_operating=vdd,
-                    vdd_model=ctx.vdd_model, rng=rng)
-
-            sweep = sweep_frequencies(
-                kernel, factory,
-                frequencies_hz=transition_grid(
-                    ctx, vdd, sigma, scale.freq_points),
-                n_trials=scale.trials,
-                sta_limit_hz=sta_limit,
-                seed=seed,
-                config={"vdd": vdd, "sigma_v": sigma, "model": "C"})
-            results.append(Fig5Result(
-                config=Fig5Config(vdd=vdd, sigma_v=sigma),
-                sweep=sweep,
-                sta_limit_hz=sta_limit))
-    return results
+    ctx = context or ExperimentContext.create(scale, seed, store=store)
+    if store is None:
+        store = ctx.store
+    units = point_units(ctx, seed=seed, benchmark=benchmark,
+                        n_jobs=n_jobs)
+    points, _, _ = resolve_units(units, store)
+    return assemble(ctx, points, benchmark=benchmark)
 
 
 def render(results: list[Fig5Result]) -> str:

@@ -30,7 +30,9 @@ from repro.experiments.context import ExperimentContext, NOMINAL_VDD
 from repro.experiments.fig5 import model_c_onset_hz
 from repro.experiments.scale import Scale, get_scale
 from repro.fi.model_c import StatisticalInjector
-from repro.mc.sweep import FrequencySweep, sweep_frequencies
+from repro.mc.results import McPoint
+from repro.mc.sweep import FrequencySweep, sweep_units
+from repro.mc.units import PointUnit, resolve_units
 
 #: Benchmarks of the figure (median is covered by Fig. 5).
 FIG6_BENCHMARKS = ("mat_mult_8bit", "mat_mult_16bit", "kmeans", "dijkstra")
@@ -59,23 +61,25 @@ class Fig6Result:
         return self.sweep.metric_series("mean_error")
 
 
-def run(scale: str | Scale = "default", seed: int = 2016,
-        context: ExperimentContext | None = None,
-        benchmarks: tuple[str, ...] = FIG6_BENCHMARKS,
-        sigma_v: float = SIGMA_V) -> list[Fig6Result]:
-    """Sweep every benchmark at 0.7 V with sigma = 10 mV."""
-    scale = get_scale(scale)
-    ctx = context or ExperimentContext.create(scale, seed)
-    characterization = ctx.characterization(NOMINAL_VDD)
-    sta_limit = ctx.sta_limit_hz(NOMINAL_VDD)
-    noise = ctx.noise(sigma_v)
-    bplus_threshold = ctx.bplus_onset_hz(NOMINAL_VDD, sigma_v)
+def _grid(ctx: ExperimentContext, sigma_v: float) -> list[float]:
+    """Shared frequency grid covering every benchmark's transition."""
     onset = model_c_onset_hz(ctx, NOMINAL_VDD, sigma_v)
-    grid = list(np.linspace(0.97 * onset, 1.35 * sta_limit,
-                            scale.freq_points))
-    results = []
+    return list(np.linspace(0.97 * onset,
+                            1.35 * ctx.sta_limit_hz(NOMINAL_VDD),
+                            ctx.scale.freq_points))
+
+
+def point_units(ctx: ExperimentContext, seed: int = 2016,
+                benchmarks: tuple[str, ...] = FIG6_BENCHMARKS,
+                sigma_v: float = SIGMA_V,
+                n_jobs: int | None = None) -> list[PointUnit]:
+    """Per-frequency Monte-Carlo units, grouped by benchmark."""
+    characterization = ctx.characterization(NOMINAL_VDD)
+    noise = ctx.noise(sigma_v)
+    grid = _grid(ctx, sigma_v)
+    units: list[PointUnit] = []
     for salt, name in enumerate(benchmarks):
-        kernel = build_kernel(name, scale.kernel_scale)
+        kernel = build_kernel(name, ctx.scale.kernel_scale)
 
         def factory(f, rng):
             return StatisticalInjector(
@@ -83,19 +87,58 @@ def run(scale: str | Scale = "default", seed: int = 2016,
                 vdd_operating=NOMINAL_VDD,
                 vdd_model=ctx.vdd_model, rng=rng)
 
-        sweep = sweep_frequencies(
+        units.extend(sweep_units(
             kernel, factory,
             frequencies_hz=grid,
-            n_trials=scale.trials,
-            sta_limit_hz=sta_limit,
+            n_trials=ctx.scale.trials,
             seed=seed + 6151 * salt,
-            config={"vdd": NOMINAL_VDD, "sigma_v": sigma_v, "model": "C"})
+            n_jobs=n_jobs,
+            experiment="fig6",
+            scale=ctx.scale,
+            condition={"vdd": NOMINAL_VDD, "sigma_v": sigma_v,
+                       "model": "C",
+                       **ctx.char_fingerprint(NOMINAL_VDD)}))
+    return units
+
+
+def assemble(ctx: ExperimentContext, points: list[McPoint],
+             benchmarks: tuple[str, ...] = FIG6_BENCHMARKS,
+             sigma_v: float = SIGMA_V) -> list[Fig6Result]:
+    """Group resolved points back into per-benchmark sweeps."""
+    sta_limit = ctx.sta_limit_hz(NOMINAL_VDD)
+    bplus_threshold = ctx.bplus_onset_hz(NOMINAL_VDD, sigma_v)
+    grid = sorted(_grid(ctx, sigma_v))
+    results = []
+    for index, name in enumerate(benchmarks):
+        sweep = FrequencySweep(
+            kernel_name=name,
+            frequencies_hz=grid,
+            points=points[index * len(grid):(index + 1) * len(grid)],
+            sta_limit_hz=sta_limit,
+            config={"vdd": NOMINAL_VDD, "sigma_v": sigma_v,
+                    "model": "C"})
         results.append(Fig6Result(
             benchmark=name,
             sweep=sweep,
             sta_limit_hz=sta_limit,
             bplus_threshold_hz=bplus_threshold))
     return results
+
+
+def run(scale: str | Scale = "default", seed: int = 2016,
+        context: ExperimentContext | None = None,
+        benchmarks: tuple[str, ...] = FIG6_BENCHMARKS,
+        sigma_v: float = SIGMA_V,
+        store=None, n_jobs: int | None = None) -> list[Fig6Result]:
+    """Sweep every benchmark at 0.7 V with sigma = 10 mV."""
+    scale = get_scale(scale)
+    ctx = context or ExperimentContext.create(scale, seed, store=store)
+    if store is None:
+        store = ctx.store
+    units = point_units(ctx, seed=seed, benchmarks=benchmarks,
+                        sigma_v=sigma_v, n_jobs=n_jobs)
+    points, _, _ = resolve_units(units, store)
+    return assemble(ctx, points, benchmarks=benchmarks, sigma_v=sigma_v)
 
 
 def render(results: list[Fig6Result]) -> str:

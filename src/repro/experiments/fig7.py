@@ -32,6 +32,8 @@ from repro.experiments.scale import Scale, get_scale
 from repro.fi.model_c import StatisticalInjector
 from repro.mc.results import McPoint
 from repro.mc.runner import run_point
+from repro.mc.units import PointUnit, mc_point_key, resolve_units, \
+    stream_scheme
 from repro.power.model import CorePowerModel
 
 #: Swept supply-voltage range [V] (below the nominal 0.7 V).
@@ -87,43 +89,87 @@ class Fig7Result:
         raise KeyError(f"no curve for sigma {sigma_v}")
 
 
-def run(scale: str | Scale = "default", seed: int = 2016,
-        context: ExperimentContext | None = None,
-        benchmark: str = "median") -> Fig7Result:
-    """Run the voltage-overscaling trade-off study."""
-    scale = get_scale(scale)
-    ctx = context or ExperimentContext.create(scale, seed)
-    kernel = build_kernel(benchmark, scale.kernel_scale)
+def _voltages(ctx: ExperimentContext) -> np.ndarray:
+    return np.linspace(VDD_RANGE[0], VDD_RANGE[1],
+                       ctx.scale.voltage_points)
+
+
+def point_units(ctx: ExperimentContext, seed: int = 2016,
+                benchmark: str = "median",
+                n_jobs: int | None = None) -> list[PointUnit]:
+    """One Monte-Carlo unit per (sigma, Vdd) configuration."""
+    kernel = build_kernel(benchmark, ctx.scale.kernel_scale)
     characterization = ctx.characterization(NOMINAL_VDD)
     frequency = ctx.sta_limit_hz(NOMINAL_VDD)
-    power_model = CorePowerModel()
-    voltages = np.linspace(VDD_RANGE[0], VDD_RANGE[1],
-                           scale.voltage_points)
-    curves = []
+    stream = stream_scheme(n_jobs)
+    units: list[PointUnit] = []
     for sigma in NOISE_SIGMAS:
         noise = ctx.noise(sigma)
-        points = []
-        for index, vdd in enumerate(voltages):
-            def factory(rng, vdd=vdd, noise=noise):
-                return StatisticalInjector(
-                    characterization, frequency, noise,
-                    vdd_operating=float(vdd),
-                    vdd_model=ctx.vdd_model, rng=rng)
+        for index, vdd in enumerate(_voltages(ctx)):
+            point_seed = seed + 31 * index + int(sigma * 1e6)
 
-            mc_point = run_point(
-                kernel, factory,
-                n_trials=scale.trials,
-                seed=seed + 31 * index + int(sigma * 1e6),
-                label=f"{kernel.name}@{vdd:.3f}V")
-            points.append(Fig7Point(
+            def compute(vdd=vdd, noise=noise, point_seed=point_seed):
+                def factory(rng):
+                    return StatisticalInjector(
+                        characterization, frequency, noise,
+                        vdd_operating=float(vdd),
+                        vdd_model=ctx.vdd_model, rng=rng)
+                return run_point(
+                    kernel, factory,
+                    n_trials=ctx.scale.trials,
+                    seed=point_seed,
+                    label=f"{kernel.name}@{vdd:.3f}V",
+                    n_jobs=n_jobs)
+
+            units.append(PointUnit(
+                label=f"fig7:{kernel.name}@{vdd:.3f}V/"
+                      f"{sigma * 1e3:.0f}mV",
+                key=mc_point_key(
+                    "fig7", ctx.scale, point_seed, stream, kernel,
+                    ctx.scale.trials,
+                    {"vdd": float(vdd), "sigma_v": sigma, "model": "C",
+                     "frequency_hz": float(frequency),
+                     **ctx.char_fingerprint(NOMINAL_VDD)}),
+                compute=compute))
+    return units
+
+
+def assemble(ctx: ExperimentContext, points: list[McPoint],
+             benchmark: str = "median") -> Fig7Result:
+    """Group resolved points back into per-sigma error/power curves."""
+    frequency = ctx.sta_limit_hz(NOMINAL_VDD)
+    power_model = CorePowerModel()
+    voltages = _voltages(ctx)
+    curves = []
+    offset = 0
+    for sigma in NOISE_SIGMAS:
+        curve_points = []
+        for vdd in voltages:
+            curve_points.append(Fig7Point(
                 sigma_v=sigma,
                 vdd=float(vdd),
                 normalized_power=power_model.normalized_power(
                     float(vdd), frequency / 1e6, NOMINAL_VDD,
                     frequency / 1e6),
-                point=mc_point))
-        curves.append(Fig7Curve(sigma_v=sigma, points=points))
+                point=points[offset]))
+            offset += 1
+        curves.append(Fig7Curve(sigma_v=sigma, points=curve_points))
     return Fig7Result(curves=curves, frequency_hz=frequency)
+
+
+def run(scale: str | Scale = "default", seed: int = 2016,
+        context: ExperimentContext | None = None,
+        benchmark: str = "median",
+        store=None, n_jobs: int | None = None) -> Fig7Result:
+    """Run the voltage-overscaling trade-off study."""
+    scale = get_scale(scale)
+    ctx = context or ExperimentContext.create(scale, seed, store=store)
+    if store is None:
+        store = ctx.store
+    units = point_units(ctx, seed=seed, benchmark=benchmark,
+                        n_jobs=n_jobs)
+    points, _, _ = resolve_units(units, store)
+    return assemble(ctx, points, benchmark=benchmark)
 
 
 def render(result: Fig7Result) -> str:

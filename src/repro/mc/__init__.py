@@ -1,6 +1,6 @@
 """Monte-Carlo harness: trials, aggregation, sweeps, statistics."""
 
-from repro.mc.results import McPoint, TrialResult
+from repro.mc.results import MC_POINT_SCHEMA, McPoint, TrialResult
 from repro.mc.runner import (
     BUDGET_FACTOR,
     golden_cycles,
@@ -10,21 +10,40 @@ from repro.mc.runner import (
     trial_seeds,
 )
 from repro.mc.stats import geometric_mean, mean, std, wilson_interval
-from repro.mc.sweep import FrequencySweep, frequency_grid, sweep_frequencies
+from repro.mc.sweep import (
+    FREQUENCY_SWEEP_SCHEMA,
+    FrequencySweep,
+    frequency_grid,
+    sweep_frequencies,
+    sweep_units,
+)
+from repro.mc.units import (
+    PointUnit,
+    mc_point_key,
+    resolve_units,
+    stream_scheme,
+)
 
 __all__ = [
     "BUDGET_FACTOR",
+    "FREQUENCY_SWEEP_SCHEMA",
     "FrequencySweep",
+    "MC_POINT_SCHEMA",
     "McPoint",
+    "PointUnit",
     "TrialResult",
     "frequency_grid",
     "geometric_mean",
     "golden_cycles",
+    "mc_point_key",
     "mean",
+    "resolve_units",
     "run_point",
     "run_trial",
     "std",
+    "stream_scheme",
     "sweep_frequencies",
+    "sweep_units",
     "trial_budget",
     "trial_seeds",
     "wilson_interval",

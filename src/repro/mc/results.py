@@ -13,9 +13,14 @@ metrics of Section 4.2:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 from repro.mc.stats import mean, wilson_interval
+
+#: Schema version of the McPoint JSON representation; bump on any
+#: incompatible change (store entries key on it, so old entries are
+#: invalidated rather than misread).
+MC_POINT_SCHEMA = 1
 
 
 @dataclass(frozen=True)
@@ -50,6 +55,19 @@ class TrialResult:
         if self.kernel_cycles <= 0:
             return 0.0
         return 1000.0 * self.fault_count / self.kernel_cycles
+
+    def to_json(self) -> dict:
+        """JSON-native dict; every field is losslessly representable."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "TrialResult":
+        """Inverse of :meth:`to_json` (exact round-trip)."""
+        names = {f.name for f in fields(cls)}
+        unknown = set(payload) - names
+        if unknown:
+            raise ValueError(f"unknown TrialResult fields {sorted(unknown)}")
+        return cls(**payload)
 
 
 @dataclass
@@ -134,3 +152,33 @@ class McPoint:
             "mean_error": self.mean_error_of_finished,
             "mean_relative_error": self.mean_relative_error_of_finished,
         }
+
+    # -- persistence -----------------------------------------------------
+
+    def to_json(self) -> dict:
+        """Lossless JSON body (schema ``MC_POINT_SCHEMA``).
+
+        Trials serialize field-by-field; the config dict goes through
+        the store encoder so numpy scalars keep their exact dtype.
+        """
+        from repro.store.serialize import encode
+        return {
+            "schema": MC_POINT_SCHEMA,
+            "label": self.label,
+            "config": encode(self.config),
+            "trials": [trial.to_json() for trial in self.trials],
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "McPoint":
+        """Inverse of :meth:`to_json` (exact round-trip)."""
+        from repro.store.serialize import decode
+        if payload.get("schema") != MC_POINT_SCHEMA:
+            raise ValueError(
+                f"McPoint schema mismatch: stored {payload.get('schema')}, "
+                f"current {MC_POINT_SCHEMA}")
+        return cls(
+            label=payload["label"],
+            trials=[TrialResult.from_json(t) for t in payload["trials"]],
+            config=decode(payload["config"]),
+        )

@@ -214,6 +214,12 @@ def run_point(kernel: KernelInstance, injector_factory: InjectorFactory,
         raise ValueError("n_trials must be positive")
     if n_jobs is not None and n_jobs <= 0:
         raise ValueError("n_jobs must be positive (or None for serial)")
+    if os.environ.get("REPRO_FORBID_MC"):
+        # Verification hook: a warm-cache rerun must be served entirely
+        # from the result store, so reaching the simulator is a bug.
+        raise RuntimeError(
+            "Monte-Carlo simulation attempted while REPRO_FORBID_MC is "
+            "set -- expected a result-store hit")
     point = McPoint(label=label or kernel.name)
     # Resolve the golden run up front: workers then inherit the cached
     # cycle count instead of each re-deriving it.

@@ -19,10 +19,19 @@ from repro.bench.kernel import KernelInstance
 from repro.fi.base import FaultInjector
 from repro.mc.results import McPoint
 from repro.mc.runner import run_point
+from repro.mc.units import PointUnit, mc_point_key, resolve_units, \
+    stream_scheme
 
 #: Builds an injector for (frequency_hz, rng).
 FrequencyInjectorFactory = Callable[
     [float, np.random.Generator], FaultInjector]
+
+#: Schema version of the FrequencySweep JSON representation.
+FREQUENCY_SWEEP_SCHEMA = 1
+
+#: Per-frequency seed stride (each swept point derives its own master
+#: seed as ``seed + SWEEP_SEED_STRIDE * index`` over the sorted grid).
+SWEEP_SEED_STRIDE = 104729
 
 
 @dataclass
@@ -79,6 +88,85 @@ class FrequencySweep:
             table.append(row)
         return table
 
+    # -- persistence -----------------------------------------------------
+
+    def to_json(self) -> dict:
+        """Lossless JSON body (schema ``FREQUENCY_SWEEP_SCHEMA``)."""
+        from repro.store.serialize import encode
+        return {
+            "schema": FREQUENCY_SWEEP_SCHEMA,
+            "kernel_name": self.kernel_name,
+            "frequencies_hz": [float(f) for f in self.frequencies_hz],
+            "points": [point.to_json() for point in self.points],
+            "sta_limit_hz": float(self.sta_limit_hz),
+            "config": encode(self.config),
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "FrequencySweep":
+        """Inverse of :meth:`to_json` (exact round-trip)."""
+        from repro.store.serialize import decode
+        if payload.get("schema") != FREQUENCY_SWEEP_SCHEMA:
+            raise ValueError(
+                f"FrequencySweep schema mismatch: stored "
+                f"{payload.get('schema')}, current {FREQUENCY_SWEEP_SCHEMA}")
+        return cls(
+            kernel_name=payload["kernel_name"],
+            frequencies_hz=list(payload["frequencies_hz"]),
+            points=[McPoint.from_json(p) for p in payload["points"]],
+            sta_limit_hz=payload["sta_limit_hz"],
+            config=decode(payload["config"]),
+        )
+
+
+def sweep_units(kernel: KernelInstance,
+                injector_factory: FrequencyInjectorFactory,
+                frequencies_hz: list[float],
+                n_trials: int,
+                seed: int = 0,
+                n_jobs: int | None = None,
+                experiment: str = "",
+                scale=None,
+                condition: dict | None = None) -> list[PointUnit]:
+    """Decompose a frequency sweep into per-point work units.
+
+    One unit per swept frequency, in ascending-frequency order, each
+    with the exact ``run_point`` invocation :func:`sweep_frequencies`
+    has always made (same derived seed, label and recorded config), so
+    unit-resolved sweeps are bit-identical to the historical loop.
+
+    ``experiment``/``scale``/``condition`` only parameterize the cache
+    key (see :func:`repro.mc.units.mc_point_key`); they do not affect
+    the computation.
+    """
+    stream = stream_scheme(n_jobs)
+    units = []
+    for index, frequency in enumerate(sorted(frequencies_hz)):
+        point_seed = seed + SWEEP_SEED_STRIDE * index
+        point_condition = {**(condition or {}),
+                           "frequency_hz": float(frequency)}
+
+        def compute(f=frequency, s=point_seed):
+            point = run_point(
+                kernel,
+                lambda rng, f=f: injector_factory(f, rng),
+                n_trials=n_trials,
+                seed=s,
+                label=f"{kernel.name}@{f / 1e6:.1f}MHz",
+                n_jobs=n_jobs,
+            )
+            point.config = {"frequency_hz": f}
+            return point
+
+        units.append(PointUnit(
+            label=f"{experiment or kernel.name}:"
+                  f"{kernel.name}@{frequency / 1e6:.1f}MHz",
+            key=mc_point_key(experiment, scale, point_seed, stream,
+                             kernel, n_trials, point_condition),
+            compute=compute,
+        ))
+    return units
+
 
 def sweep_frequencies(kernel: KernelInstance,
                       injector_factory: FrequencyInjectorFactory,
@@ -87,7 +175,11 @@ def sweep_frequencies(kernel: KernelInstance,
                       sta_limit_hz: float,
                       seed: int = 0,
                       config: dict | None = None,
-                      n_jobs: int | None = None) -> FrequencySweep:
+                      n_jobs: int | None = None,
+                      store=None,
+                      experiment: str = "",
+                      scale=None,
+                      key_extra: dict | None = None) -> FrequencySweep:
     """Run a Monte-Carlo frequency sweep.
 
     Args:
@@ -104,20 +196,20 @@ def sweep_frequencies(kernel: KernelInstance,
             integer switches every point to independent per-trial
             streams (bit-identical for any job count), ``None`` keeps
             the historical serial scheme.
+        store: optional :class:`repro.store.ResultStore`; points found
+            there skip their Monte-Carlo simulation, misses are
+            computed and persisted.
+        experiment: experiment name for the cache key.
+        scale: :class:`~repro.experiments.scale.Scale` for the cache key.
+        key_extra: extra condition fields for the cache key (e.g. the
+            characterization fingerprint) merged on top of ``config``.
     """
     ordered = sorted(frequencies_hz)
-    points = []
-    for index, frequency in enumerate(ordered):
-        point = run_point(
-            kernel,
-            lambda rng, f=frequency: injector_factory(f, rng),
-            n_trials=n_trials,
-            seed=seed + 104729 * index,
-            label=f"{kernel.name}@{frequency / 1e6:.1f}MHz",
-            n_jobs=n_jobs,
-        )
-        point.config = {"frequency_hz": frequency}
-        points.append(point)
+    units = sweep_units(kernel, injector_factory, ordered, n_trials,
+                        seed=seed, n_jobs=n_jobs, experiment=experiment,
+                        scale=scale,
+                        condition={**(config or {}), **(key_extra or {})})
+    points, _, _ = resolve_units(units, store)
     return FrequencySweep(
         kernel_name=kernel.name,
         frequencies_hz=ordered,

@@ -1,0 +1,111 @@
+"""Point-level work units: the campaign/store currency of the MC layer.
+
+A figure-level experiment decomposes into **point units**: one unit
+computes one :class:`McPoint` (one data point of a paper figure) and
+carries the canonical cache-key payload that addresses its result in a
+:class:`repro.store.ResultStore`.  The same units serve three callers:
+
+* the figure drivers iterate them in order (store-aware: hits skip the
+  Monte-Carlo simulation entirely);
+* the campaign orchestrator shards them across a process pool and
+  persists each result as soon as it completes (kill-safe resume);
+* tests compare resolve paths (fresh vs cached vs pooled) for
+  bit-identical output.
+
+Key discipline: the payload contains *everything* that determines the
+result -- experiment, full scale preset, master seed, stream scheme
+(serial vs per-trial child seeds), benchmark identity and the
+condition config (voltage, noise, frequency, characterization
+fingerprint) -- plus the schema version, so a schema bump invalidates
+stale entries by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Callable
+
+from repro.bench.kernel import KernelInstance
+from repro.mc.results import MC_POINT_SCHEMA, McPoint
+from repro.mc.runner import BUDGET_FACTOR
+
+
+def stream_scheme(n_jobs: int | None) -> str:
+    """Random-stream scheme implied by an ``n_jobs`` setting.
+
+    ``run_point`` draws trials from one continuing stream when
+    ``n_jobs`` is None and from independent per-trial child seeds when
+    it is set; the two produce different (both valid) points, so the
+    scheme must be part of the cache key.  Within a scheme the results
+    are bit-identical at any job count, which is why the job count
+    itself is *not* part of the key.
+    """
+    return "serial" if n_jobs is None else "per-trial"
+
+
+def mc_point_key(experiment: str, scale, seed: int, stream: str,
+                 kernel: KernelInstance, n_trials: int,
+                 condition: dict | None) -> dict:
+    """Canonical cache-key payload for one Monte-Carlo point."""
+    return {
+        "kind": "mc_point",
+        "schema": MC_POINT_SCHEMA,
+        "experiment": experiment,
+        "scale": asdict(scale) if scale is not None else None,
+        "seed": seed,
+        "stream": stream,
+        "config": {
+            **(condition or {}),
+            "benchmark": kernel.name,
+            "kernel_params": dict(kernel.params),
+            "n_trials": n_trials,
+            "budget_factor": BUDGET_FACTOR,
+        },
+    }
+
+
+@dataclass
+class PointUnit:
+    """One store-addressable unit of Monte-Carlo work.
+
+    Attributes:
+        label: human-readable unit name (shown by campaign status).
+        key: full cache-key payload (see :func:`mc_point_key`).
+        compute: runs the Monte-Carlo simulation and returns the point
+            (a closure over the kernel, injector factory and seeds; it
+            is fork-inheritable but not picklable).
+    """
+
+    label: str
+    key: dict
+    compute: Callable[[], McPoint]
+
+
+def resolve_units(units: list[PointUnit], store=None,
+                  progress: Callable[[str], None] | None = None) \
+        -> tuple[list[McPoint], int, int]:
+    """Resolve units in order against a store (or compute them all).
+
+    Every store hit skips its Monte-Carlo simulation; every miss is
+    computed and immediately persisted, so a killed run resumes from
+    the last completed unit.  Returns ``(points, n_cached,
+    n_computed)``; the points are in unit order either way.
+    """
+    points: list[McPoint] = []
+    n_cached = 0
+    n_computed = 0
+    for unit in units:
+        point = store.get(unit.key) if store is not None else None
+        if point is None:
+            point = unit.compute()
+            if store is not None:
+                store.put(unit.key, point, label=unit.label)
+            n_computed += 1
+            if progress is not None:
+                progress(f"computed {unit.label}")
+        else:
+            n_cached += 1
+            if progress is not None:
+                progress(f"cached   {unit.label}")
+        points.append(point)
+    return points, n_cached, n_computed

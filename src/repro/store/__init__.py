@@ -1,0 +1,34 @@
+"""Persistent, content-addressed result store.
+
+Monte-Carlo points, frequency sweeps and DTA characterizations are
+expensive to compute and fully determined by (experiment, scale, seed,
+condition config, schema version).  This package persists them as
+canonical JSON envelopes addressed by the SHA-256 of that key, so
+repeated invocations -- and campaign worker processes -- reuse instead
+of recompute.
+"""
+
+from repro.store.schema import (
+    KINDS,
+    artifact_from_json,
+    artifact_to_json,
+    current_schema,
+    schema_versions,
+)
+from repro.store.serialize import canonical_json, decode, encode, key_hash
+from repro.store.store import ResultStore, StoreEntry, default_root
+
+__all__ = [
+    "KINDS",
+    "ResultStore",
+    "StoreEntry",
+    "artifact_from_json",
+    "artifact_to_json",
+    "canonical_json",
+    "current_schema",
+    "decode",
+    "default_root",
+    "encode",
+    "key_hash",
+    "schema_versions",
+]

@@ -1,0 +1,355 @@
+"""Content-addressed on-disk result store.
+
+Layout under the store root::
+
+    manifest.jsonl           # append-only index cache: one entry/line
+    .lock                    # flock serializing manifest writes
+    objects/ab/abcdef...json # one envelope per artifact
+
+An object's file name is the SHA-256 of the canonical JSON of its
+*key payload* -- a dict carrying the artifact kind, schema version,
+experiment, scale, seed and condition config -- so logically identical
+requests land on the same entry across invocations and processes.
+
+Robustness rules:
+
+* Writes are **atomic**: the envelope is written to a temp file in the
+  same directory and ``os.replace``d into place, so a killed campaign
+  never leaves a half-written (and thus poisoned) entry -- at worst a
+  stray temp file that ``gc`` reclaims.
+* Reads are **paranoid**: an entry whose JSON does not parse, whose
+  embedded key does not canonically match the request, or whose schema
+  version is stale is treated as a miss (never returned).
+* The manifest is only an index *cache* and is append-only on the hot
+  path: each ``put`` appends one line under an exclusive ``flock``
+  (O(1), no read-modify-write for fork workers to corrupt); ``ls``
+  skips unparsable lines, drops entries whose object vanished, and
+  rebuilds the whole file from the objects directory -- the source of
+  truth -- whenever it is missing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.store.schema import artifact_from_json, artifact_to_json, \
+    current_schema
+from repro.store.serialize import canonical_json, key_hash
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-posix fallback
+    fcntl = None
+
+FORMAT = "repro-store/1"
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One manifest row describing a stored artifact."""
+
+    sha256: str
+    kind: str
+    schema: int
+    experiment: str
+    label: str
+    created_unix: float
+    n_bytes: int
+
+
+def default_root() -> Path:
+    """Store location used by the CLI when ``--store`` is not given.
+
+    ``REPRO_STORE`` overrides; otherwise the XDG cache directory.
+    """
+    env = os.environ.get("REPRO_STORE")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-store"
+
+
+class ResultStore:
+    """Content-addressed artifact store rooted at a directory."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.objects = self.root / "objects"
+        self.manifest_path = self.root / "manifest.jsonl"
+        self.objects.mkdir(parents=True, exist_ok=True)
+
+    @classmethod
+    def default(cls) -> "ResultStore":
+        return cls(default_root())
+
+    # -- keys and paths --------------------------------------------------
+
+    @staticmethod
+    def key_of(payload: dict) -> str:
+        """SHA-256 content address of a key payload."""
+        return key_hash(payload)
+
+    def _object_path(self, sha: str) -> Path:
+        return self.objects / sha[:2] / f"{sha}.json"
+
+    # -- core operations -------------------------------------------------
+
+    def put(self, key_payload: dict, artifact, label: str = "") -> str:
+        """Store an artifact under its key; returns the content hash.
+
+        The envelope lands atomically (temp file + rename), then the
+        manifest index is updated under the store lock.
+        """
+        kind = key_payload["kind"]
+        sha = self.key_of(key_payload)
+        envelope = {
+            "format": FORMAT,
+            "sha256": sha,
+            "label": label,
+            "created_unix": time.time(),
+            "key": json.loads(canonical_json(key_payload)),
+            "artifact": artifact_to_json(kind, artifact),
+        }
+        path = self._object_path(sha)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        text = json.dumps(envelope, separators=(",", ":"))
+        self._atomic_write(path, text)
+        self._manifest_add(self._entry_of(envelope, len(text)))
+        return sha
+
+    def get(self, key_payload: dict):
+        """Load the artifact stored under a key, or None on any miss.
+
+        Corrupted files, key mismatches (hash collisions, tampering)
+        and stale schema versions all read as misses.
+        """
+        kind = key_payload.get("kind", "")
+        try:
+            if key_payload.get("schema") != current_schema(kind):
+                return None  # stale-schema request: never served
+        except KeyError:
+            return None
+        envelope = self._read_envelope(self._object_path(
+            self.key_of(key_payload)))
+        if envelope is None:
+            return None
+        if canonical_json(envelope["key"]) != canonical_json(key_payload):
+            return None
+        try:
+            return artifact_from_json(kind, envelope["artifact"])
+        except Exception:
+            return None
+
+    def contains(self, key_payload: dict) -> bool:
+        """Whether a valid-looking entry exists for a key.
+
+        Envelope-level check only (format, key match, schema): unlike
+        :meth:`get` it does not decode the artifact body, so scanning
+        a large campaign for pending units stays cheap.  A corrupted
+        artifact body behind a valid envelope still reads as a miss in
+        :meth:`get`; callers that need the artifact must handle that.
+        """
+        kind = key_payload.get("kind", "")
+        try:
+            if key_payload.get("schema") != current_schema(kind):
+                return False
+        except KeyError:
+            return False
+        envelope = self._read_envelope(self._object_path(
+            self.key_of(key_payload)))
+        return envelope is not None and \
+            canonical_json(envelope["key"]) == canonical_json(key_payload)
+
+    # -- manifest index --------------------------------------------------
+
+    def ls(self) -> list[StoreEntry]:
+        """All live entries, oldest first (from the manifest index).
+
+        Unparsable manifest lines (e.g. a line torn by a kill mid-
+        append) are skipped; entries whose object file is gone are
+        dropped; a missing manifest is rebuilt from the objects
+        directory.
+        """
+        if not self.manifest_path.exists():
+            entries = self.rebuild_manifest()
+        else:
+            entries = {}
+            for line in self.manifest_path.read_text().splitlines():
+                try:
+                    row = json.loads(line)
+                    entry = StoreEntry(**row)
+                except (json.JSONDecodeError, TypeError):
+                    continue
+                if self._object_path(entry.sha256).exists():
+                    entries[entry.sha256] = entry
+        return sorted(entries.values(),
+                      key=lambda entry: entry.created_unix)
+
+    def rebuild_manifest(self) -> dict[str, StoreEntry]:
+        """Regenerate the manifest by scanning the objects directory."""
+        entries: dict[str, StoreEntry] = {}
+        for path in sorted(self.objects.glob("*/*.json")):
+            envelope = self._read_envelope(path)
+            if envelope is None or not self._self_consistent(envelope,
+                                                             path):
+                continue
+            try:
+                size = path.stat().st_size
+            except OSError:
+                continue
+            entry = self._entry_of(envelope, size)
+            entries[entry.sha256] = entry
+        text = "".join(json.dumps(entry.__dict__, sort_keys=True) + "\n"
+                       for entry in entries.values())
+        with self._lock():
+            self._atomic_write(self.manifest_path, text)
+        return entries
+
+    # -- garbage collection ----------------------------------------------
+
+    #: Temp files younger than this are presumed to belong to a live
+    #: writer mid-``_atomic_write`` and are left alone by ``gc``.
+    TEMP_GRACE_S = 3600.0
+
+    def gc(self, *, remove_all: bool = False,
+           kinds: tuple[str, ...] | None = None) -> tuple[int, int]:
+        """Reclaim store space; returns (entries removed, bytes freed).
+
+        The default pass removes only *dead* data: unparsable or
+        self-inconsistent envelopes, entries with a stale schema
+        version, and temp files abandoned by killed writers (older
+        than :data:`TEMP_GRACE_S`; younger ones may belong to an
+        in-flight atomic write of a concurrent campaign worker).
+        ``remove_all`` drops every entry (optionally restricted to
+        ``kinds``).
+        """
+        removed = 0
+        freed = 0
+        cutoff = time.time() - self.TEMP_GRACE_S
+        temp_files = list(self.objects.glob("*/.tmp-*")) \
+            + list(self.root.glob(".tmp-*"))  # manifest rebuild temps
+        for path in temp_files:
+            try:
+                stat = path.stat()
+                if stat.st_mtime >= cutoff:
+                    continue
+                path.unlink()
+            except OSError:
+                continue  # renamed/removed by its writer meanwhile
+            freed += stat.st_size
+            removed += 1
+        for path in sorted(self.objects.glob("*/*.json")):
+            try:
+                size = path.stat().st_size
+            except OSError:
+                continue
+            envelope = self._read_envelope(path)
+            dead = envelope is None \
+                or not self._self_consistent(envelope, path) \
+                or self._stale(envelope)
+            kind = (envelope or {}).get("key", {}).get("kind")
+            if remove_all and (kinds is None or kind in kinds):
+                dead = True
+            if dead:
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                removed += 1
+                freed += size
+        self.rebuild_manifest()
+        return removed, freed
+
+    # -- internals -------------------------------------------------------
+
+    @staticmethod
+    def _atomic_write(path: Path, text: str) -> None:
+        fd, tmp = tempfile.mkstemp(prefix=".tmp-", dir=path.parent)
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    @staticmethod
+    def _read_envelope(path: Path) -> dict | None:
+        try:
+            envelope = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        if not isinstance(envelope, dict) \
+                or envelope.get("format") != FORMAT \
+                or not isinstance(envelope.get("key"), dict) \
+                or "artifact" not in envelope:
+            return None
+        return envelope
+
+    @staticmethod
+    def _self_consistent(envelope: dict, path: Path) -> bool:
+        """Entry's own key must hash to its file name."""
+        try:
+            return key_hash(envelope["key"]) == path.stem
+        except TypeError:
+            return False
+
+    @staticmethod
+    def _stale(envelope: dict) -> bool:
+        key = envelope["key"]
+        try:
+            return key.get("schema") != current_schema(key["kind"])
+        except KeyError:
+            return True
+
+    @staticmethod
+    def _entry_of(envelope: dict, n_bytes: int) -> StoreEntry:
+        key = envelope["key"]
+        return StoreEntry(
+            sha256=envelope["sha256"],
+            kind=key.get("kind", "?"),
+            schema=int(key.get("schema", -1)),
+            experiment=str(key.get("experiment", "")),
+            label=str(envelope.get("label", "")),
+            created_unix=float(envelope.get("created_unix", 0.0)),
+            n_bytes=n_bytes,
+        )
+
+    def _manifest_add(self, entry: StoreEntry) -> None:
+        """Append one index line (O(1); duplicate shas resolve to the
+        newest line on read, vanished objects are filtered by ls)."""
+        line = json.dumps(entry.__dict__, sort_keys=True) + "\n"
+        with self._lock():
+            with open(self.manifest_path, "a") as handle:
+                handle.write(line)
+
+    def _lock(self):
+        return _FileLock(self.root / ".lock")
+
+
+class _FileLock:
+    """Exclusive advisory lock on a file (no-op where flock is absent)."""
+
+    def __init__(self, path: Path):
+        self._path = path
+        self._handle = None
+
+    def __enter__(self):
+        if fcntl is not None:
+            self._handle = open(self._path, "a+")
+            fcntl.flock(self._handle, fcntl.LOCK_EX)
+        return self
+
+    def __exit__(self, *exc):
+        if self._handle is not None:
+            fcntl.flock(self._handle, fcntl.LOCK_UN)
+            self._handle.close()
+            self._handle = None
+        return False

@@ -13,7 +13,7 @@ the most expensive step of the flow).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 import numpy as np
@@ -25,6 +25,9 @@ if TYPE_CHECKING:
 from repro.netlist.library import VDD_REF
 from repro.timing.cdf import CdfGrid, EndpointCdfs
 from repro.timing.dta import run_dta
+
+#: Schema version of the AluCharacterization JSON representation.
+ALU_CHARACTERIZATION_SCHEMA = 1
 
 
 @dataclass(frozen=True)
@@ -123,16 +126,40 @@ class AluCharacterization:
             glitch_model=str(data["glitch_model"]),
             grid_points=int(meta[3]),
         )
-        worst_sta = float(meta[4])
+        criticals = {
+            key.split("::", 1)[1]: data[key]
+            for key in data.files if key.startswith("critical::")
+        }
+        return cls._rebuild(config, criticals, float(meta[4]))
+
+    @classmethod
+    def _rebuild(cls, config: CharacterizationConfig,
+                 criticals: dict[str, np.ndarray],
+                 worst_sta: float) -> "AluCharacterization":
+        """Reconstruct CDFs and grids from raw critical-period data.
+
+        Deterministic: given bit-identical criticals, the rebuilt
+        tables and grids match the originally computed ones exactly
+        (``CdfGrid.compile`` and ``EndpointCdfs.from_critical`` are
+        pure), which is what makes store-served characterizations
+        interchangeable with freshly computed ones.
+        """
         cdfs = {}
         max_critical = 0.0
-        for key in data.files:
-            if not key.startswith("critical::"):
-                continue
-            mnemonic = key.split("::", 1)[1]
-            critical = data[key]
-            cdfs[mnemonic] = EndpointCdfs.from_critical(
-                mnemonic, config.vdd, critical)
+        for mnemonic, critical in criticals.items():
+            # The persisted matrix is critical_rows, i.e. already in
+            # row-max ascending order; rebuilding the views directly
+            # (instead of re-sorting via from_critical) keeps the row
+            # order exact even when worst periods tie, so joint-mode
+            # sampling stays bit-identical across a round-trip.
+            critical = np.asarray(critical)
+            cdfs[mnemonic] = EndpointCdfs(
+                mnemonic=mnemonic,
+                vdd=config.vdd,
+                critical_sorted=np.sort(critical.T, axis=1),
+                row_max_sorted=critical.max(axis=1),
+                critical_rows=critical,
+            )
             max_critical = max(max_critical, float(critical.max()))
         grid_min = 0.35 * worst_sta
         grid_max = 1.05 * max(max_critical, worst_sta)
@@ -144,12 +171,49 @@ class AluCharacterization:
         return cls(config=config, cdfs=cdfs, grids=grids,
                    worst_sta_period_ps=worst_sta)
 
+    def to_json(self) -> dict:
+        """Lossless JSON body (schema ``ALU_CHARACTERIZATION_SCHEMA``).
+
+        Only the raw per-instruction critical-period matrices travel
+        (exact dtype preserved); CDFs and grids are rebuilt
+        deterministically on load, exactly like :meth:`load`.
+        """
+        from repro.store.serialize import encode
+        return {
+            "schema": ALU_CHARACTERIZATION_SCHEMA,
+            "config": asdict(self.config),
+            "worst_sta_period_ps": float(self.worst_sta_period_ps),
+            "critical_ps": {
+                mnemonic: encode(table.critical_rows)
+                for mnemonic, table in self.cdfs.items()
+            },
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "AluCharacterization":
+        """Inverse of :meth:`to_json` (bit-identical tables)."""
+        from repro.store.serialize import decode
+        if payload.get("schema") != ALU_CHARACTERIZATION_SCHEMA:
+            raise ValueError(
+                f"AluCharacterization schema mismatch: stored "
+                f"{payload.get('schema')}, current "
+                f"{ALU_CHARACTERIZATION_SCHEMA}")
+        config = CharacterizationConfig(**payload["config"])
+        criticals = {mnemonic: decode(encoded) for mnemonic, encoded
+                     in payload["critical_ps"].items()}
+        return cls._rebuild(config, criticals,
+                            payload["worst_sta_period_ps"])
+
 
 #: In-process characterization cache, keyed by (alu key, config).
 _CACHE: dict[tuple, AluCharacterization] = {}
 
 
-def _alu_cache_key(alu: "AluNetlist") -> tuple:
+def alu_fingerprint(alu: "AluNetlist") -> tuple:
+    """Identity of an ALU's timing model: structure, unit scaling and
+    cell library.  Part of every characterization *and* Monte-Carlo
+    cache key, so hardware-model changes invalidate persisted results
+    instead of serving stale ones."""
     scales = tuple(sorted(alu.unit_scales.items()))
     lib = alu.library
     return (alu.config.width, alu.config.adder_kind, scales,
@@ -157,12 +221,28 @@ def _alu_cache_key(alu: "AluNetlist") -> tuple:
             tuple(sorted(lib.cell_delays_ps.items())))
 
 
+def characterization_key(alu: "AluNetlist",
+                         config: CharacterizationConfig) -> dict:
+    """Result-store key payload for one characterization.
+
+    Covers everything that determines the tables: the calibrated ALU
+    identity (structure, unit scaling, cell library) and the full
+    characterization config, plus the schema version.
+    """
+    return {
+        "kind": "alu_characterization",
+        "schema": ALU_CHARACTERIZATION_SCHEMA,
+        "alu": alu_fingerprint(alu),
+        "config": asdict(config),
+    }
+
+
 def get_characterization(alu: "AluNetlist",
                          config: CharacterizationConfig | None = None) -> \
         AluCharacterization:
     """Cached characterization lookup (runs DTA on first use)."""
     config = config or CharacterizationConfig()
-    key = (_alu_cache_key(alu), config)
+    key = (alu_fingerprint(alu), config)
     found = _CACHE.get(key)
     if found is None:
         found = AluCharacterization.run(alu, config)

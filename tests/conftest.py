@@ -7,6 +7,8 @@ so all tests can share one instance.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -17,6 +19,18 @@ from repro.timing.characterize import (
     get_characterization,
 )
 from repro.timing.voltage import VddDelayModel
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_store(tmp_path_factory):
+    """Point the CLI's default result store at a throwaway directory.
+
+    CLI tests run experiment commands whose store defaults to the user
+    cache dir; tests must never read (warm hits would mask bugs) or
+    pollute it.
+    """
+    os.environ["REPRO_STORE"] = str(tmp_path_factory.mktemp("store"))
+    yield
 
 
 @pytest.fixture(scope="session")

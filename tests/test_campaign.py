@@ -1,0 +1,220 @@
+"""Tests for the campaign orchestrator and store-aware drivers.
+
+The invariants under test are the subsystem's reason to exist:
+
+* a store-served (warm) figure run is byte-identical to a fresh one
+  and performs **zero** Monte-Carlo simulation;
+* a campaign killed mid-run resumes to byte-identical rendered output;
+* sharding units over a process pool changes nothing but wall time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import campaign_status, plan_campaign, run_campaign
+from repro.experiments import ablations, fig5, fig6, fig7
+from repro.experiments.context import ExperimentContext
+from repro.experiments.scale import Scale
+from repro.store import ResultStore
+
+TINY = Scale(name="tiny", trials=4, freq_points=4, kernel_scale="quick",
+             char_cycles=128, fig4_samples=128, voltage_points=3)
+
+SEED = 2016
+
+
+@pytest.fixture(scope="module")
+def ctx() -> ExperimentContext:
+    return ExperimentContext.create(TINY, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def fig7_truth(ctx) -> str:
+    """Rendered fig7 with no store involved: the ground truth."""
+    return fig7.render(fig7.run(TINY, seed=SEED, context=ctx))
+
+
+@pytest.fixture()
+def store(tmp_path) -> ResultStore:
+    return ResultStore(tmp_path / "store")
+
+
+class _Forbidden(Exception):
+    pass
+
+
+class TestStoreAwareDrivers:
+    def test_warm_fig7_is_identical_and_simulation_free(
+            self, ctx, fig7_truth, store, monkeypatch):
+        cold = fig7.render(fig7.run(TINY, seed=SEED, context=ctx,
+                                    store=store))
+        assert cold == fig7_truth
+
+        def boom(*args, **kwargs):
+            raise _Forbidden("run_point called on a warm store")
+        monkeypatch.setattr("repro.experiments.fig7.run_point", boom)
+        warm = fig7.render(fig7.run(TINY, seed=SEED, context=ctx,
+                                    store=store))
+        assert warm == fig7_truth
+
+    def test_driver_n_jobs_is_bit_identical_across_job_counts(self, ctx):
+        serial = fig7.run(TINY, seed=SEED, context=ctx, n_jobs=1)
+        pooled = fig7.run(TINY, seed=SEED, context=ctx, n_jobs=2)
+        assert fig7.render(pooled) == fig7.render(serial)
+        for a, b in zip(serial.curves, pooled.curves):
+            for pa, pb in zip(a.points, b.points):
+                assert pa.point.trials == pb.point.trials
+
+    def test_per_trial_stream_entries_do_not_collide_with_serial(
+            self, ctx, store):
+        # Same configuration, different stream scheme -> different keys.
+        serial_units = fig7.point_units(ctx, seed=SEED)
+        pooled_units = fig7.point_units(ctx, seed=SEED, n_jobs=2)
+        serial_keys = {store.key_of(unit.key) for unit in serial_units}
+        pooled_keys = {store.key_of(unit.key) for unit in pooled_units}
+        assert serial_keys.isdisjoint(pooled_keys)
+
+    def test_characterization_persists_across_contexts(self, store):
+        first = ExperimentContext.create(TINY, seed=SEED, store=store)
+        tables = first.characterization(0.7)
+        assert any(entry.kind == "alu_characterization"
+                   for entry in store.ls())
+        # A fresh context (fresh process in real life) reloads
+        # bit-identical tables from the store.
+        import numpy as np
+        from repro.timing import characterize
+        second = ExperimentContext.create(TINY, seed=SEED, store=store)
+        characterize.clear_cache()  # drop the in-process cache
+        reloaded = second.characterization(0.7)
+        assert reloaded is not tables
+        assert reloaded.mnemonics == tables.mnemonics
+        for mnemonic in tables.mnemonics:
+            assert np.array_equal(
+                reloaded.cdfs[mnemonic].critical_rows,
+                tables.cdfs[mnemonic].critical_rows)
+
+
+class TestCampaign:
+    def test_serial_campaign_matches_direct_driver(self, fig7_truth,
+                                                   store):
+        report = run_campaign("fig7", TINY, seed=SEED, store=store,
+                              jobs=1)
+        assert report.rendered == fig7_truth
+        assert report.computed == report.total and report.cached == 0
+
+    def test_status_tracks_progress(self, store):
+        status = campaign_status("fig7", TINY, SEED, store)
+        assert status.done == 0 and len(status.pending) == status.total
+        run_campaign("fig7", TINY, seed=SEED, store=store, jobs=1)
+        status = campaign_status("fig7", TINY, SEED, store)
+        assert status.done == status.total and status.pending == []
+
+    def test_resume_after_kill_is_byte_identical(self, fig7_truth,
+                                                 store):
+        # Kill the campaign mid-run: abort after 4 persisted units
+        # (the store state is then exactly that of a SIGKILLed run,
+        # since every unit lands atomically the moment it completes).
+        budget = 4
+
+        class _Killed(Exception):
+            pass
+
+        original_put = store.put
+        calls = {"n": 0}
+
+        def killing_put(key, artifact, label=""):
+            if calls["n"] >= budget:
+                raise _Killed()
+            calls["n"] += 1
+            return original_put(key, artifact, label=label)
+
+        store.put = killing_put
+        with pytest.raises(_Killed):
+            run_campaign("fig7", TINY, seed=SEED, store=store, jobs=1)
+        store.put = original_put
+
+        partial = campaign_status("fig7", TINY, SEED, store)
+        assert 0 < partial.done < partial.total
+
+        # Resume (same call again): only the missing units execute and
+        # the rendered output is byte-identical to an uninterrupted run.
+        report = run_campaign("fig7", TINY, seed=SEED, store=store,
+                              jobs=1)
+        assert report.cached == partial.done
+        assert report.computed == partial.total - partial.done
+        assert report.rendered == fig7_truth
+
+    def test_pool_vs_serial_equivalence(self, fig7_truth, store,
+                                        tmp_path):
+        pooled = run_campaign("fig7", TINY, seed=SEED, store=store,
+                              jobs=3)
+        assert pooled.rendered == fig7_truth
+        # And a warm resume over the pooled store renders identically
+        # without computing anything.
+        resumed = run_campaign("fig7", TINY, seed=SEED, store=store,
+                               jobs=1)
+        assert resumed.computed == 0
+        assert resumed.rendered == fig7_truth
+
+    def test_campaign_rejects_missing_store(self):
+        with pytest.raises(ValueError):
+            run_campaign("fig7", TINY, seed=SEED, store=None)
+
+    def test_unknown_experiment(self, store):
+        with pytest.raises(KeyError):
+            run_campaign("nope", TINY, seed=SEED, store=store)
+
+
+class TestCampaignWarm:
+    def test_warm_campaign_is_simulation_free(self, store, fig7_truth):
+        run_campaign("fig7", TINY, seed=SEED, store=store, jobs=1)
+        # Second run: every unit is a store hit; forbid the simulator.
+        import repro.experiments.fig7 as fig7_module
+
+        def boom(*args, **kwargs):
+            raise AssertionError("run_point called on a warm campaign")
+
+        original = fig7_module.run_point
+        fig7_module.run_point = boom
+        try:
+            report = run_campaign("fig7", TINY, seed=SEED, store=store,
+                                  jobs=1)
+        finally:
+            fig7_module.run_point = original
+        assert report.cached == report.total
+        assert report.rendered == fig7_truth
+
+
+class TestOtherPlans:
+    def test_fig5_plan_shape(self, ctx):
+        plan = plan_campaign("fig5", ctx, SEED)
+        assert len(plan.units) == 6 * TINY.freq_points
+        assert len({ResultStore.key_of(unit.key)
+                    for unit in plan.units}) == len(plan.units)
+
+    def test_fig6_campaign_small(self, ctx, store):
+        # Two benchmarks only, driven through the driver API (the
+        # campaign registry runs the full figure; this keeps CI fast).
+        benchmarks = ("mat_mult_8bit",)
+        truth = fig6.render(fig6.run(TINY, seed=SEED, context=ctx,
+                                     benchmarks=benchmarks))
+        cold = fig6.render(fig6.run(TINY, seed=SEED, context=ctx,
+                                    benchmarks=benchmarks, store=store))
+        warm = fig6.render(fig6.run(TINY, seed=SEED, context=ctx,
+                                    benchmarks=benchmarks, store=store))
+        assert cold == truth and warm == truth
+
+    def test_ablations_semantics_store_round_trip(self, ctx, store):
+        truth = ablations.run_semantics_ablation(TINY, seed=SEED,
+                                                 context=ctx)
+        cold = ablations.run_semantics_ablation(TINY, seed=SEED,
+                                                context=ctx, store=store)
+        warm = ablations.run_semantics_ablation(TINY, seed=SEED,
+                                                context=ctx, store=store)
+        assert cold == truth and warm == truth
+
+    def test_fig5_units_label_their_condition(self, ctx):
+        plan = plan_campaign("fig5", ctx, SEED)
+        assert all(unit.label.startswith("fig5:")
+                   for unit in plan.units)

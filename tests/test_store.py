@@ -1,0 +1,339 @@
+"""Tests for the content-addressed result store and its serializers."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.mc.results import MC_POINT_SCHEMA, McPoint, TrialResult
+from repro.mc.sweep import FrequencySweep
+from repro.store import ResultStore, canonical_json, decode, encode, \
+    key_hash
+from repro.timing.cdf import CdfGrid, EndpointCdfs
+from repro.timing.characterize import (
+    ALU_CHARACTERIZATION_SCHEMA,
+    AluCharacterization,
+    CharacterizationConfig,
+)
+
+
+def _trial(finished=True, correct=True, error=0.25, faults=2):
+    return TrialResult(finished=finished, correct=correct,
+                       error_value=error, relative_error=error / 4,
+                       fault_count=faults, kernel_cycles=1234,
+                       alu_cycles=600, cycles=1300,
+                       abort_reason=None if finished else "budget")
+
+
+def _point(label="p", n=3):
+    point = McPoint(label=label,
+                    config={"frequency_hz": np.float64(7.25e8)})
+    for index in range(n):
+        point.add(_trial(finished=index % 2 == 0, error=0.1 * index,
+                         faults=index))
+    return point
+
+
+def _key(seed=0, **extra):
+    key = {"kind": "mc_point", "schema": MC_POINT_SCHEMA,
+           "experiment": "test", "scale": None, "seed": seed,
+           "stream": "serial", "config": {"vdd": 0.7}}
+    key.update(extra)
+    return key
+
+
+class TestEncoding:
+    def test_array_round_trip_preserves_dtype(self):
+        for dtype in (np.float64, np.float32, np.uint64, np.int32,
+                      np.bool_):
+            array = np.array([[0, 1], [2, 3]], dtype=dtype)
+            back = decode(encode(array))
+            assert np.array_equal(back, array)
+            assert back.dtype == array.dtype
+
+    def test_float_bits_survive(self):
+        array = np.array([0.1, 1e-308, np.pi, np.inf], dtype=np.float64)
+        back = decode(encode(array))
+        assert back.tobytes() == array.tobytes()
+
+    def test_numpy_scalars_keep_their_type(self):
+        back = decode(encode({"f": np.float32(1.5), "i": np.int64(-7)}))
+        assert type(back["f"]) is np.float32 and back["f"] == 1.5
+        assert type(back["i"]) is np.int64 and back["i"] == -7
+
+    def test_tuples_become_lists(self):
+        assert decode(encode((1, (2, 3)))) == [1, [2, 3]]
+
+    def test_rejects_unserializable(self):
+        with pytest.raises(TypeError):
+            encode(object())
+        with pytest.raises(TypeError):
+            encode({1: "non-string key"})
+
+    def test_canonical_json_is_order_independent(self):
+        a = {"x": 1, "y": [1, 2], "z": {"a": 0.5}}
+        b = {"z": {"a": 0.5}, "y": [1, 2], "x": 1}
+        assert canonical_json(a) == canonical_json(b)
+        assert key_hash(a) == key_hash(b)
+
+    def test_hash_differs_on_content(self):
+        assert key_hash({"x": 1}) != key_hash({"x": 2})
+
+
+class TestMcJsonRoundTrip:
+    def test_trial_result(self):
+        trial = _trial(finished=False)
+        assert TrialResult.from_json(trial.to_json()) == trial
+
+    def test_trial_rejects_unknown_fields(self):
+        payload = _trial().to_json()
+        payload["bogus"] = 1
+        with pytest.raises(ValueError):
+            TrialResult.from_json(payload)
+
+    def test_mc_point_lossless(self):
+        point = _point()
+        back = McPoint.from_json(point.to_json())
+        assert back == point
+        assert back.summary() == point.summary()
+
+    def test_mc_point_schema_guard(self):
+        payload = _point().to_json()
+        payload["schema"] = MC_POINT_SCHEMA + 1
+        with pytest.raises(ValueError):
+            McPoint.from_json(payload)
+
+    def test_mc_point_json_native(self):
+        # The body must survive a real JSON text round-trip.
+        payload = json.loads(json.dumps(_point().to_json()))
+        assert McPoint.from_json(payload) == _point()
+
+    def test_frequency_sweep_lossless(self):
+        sweep = FrequencySweep(
+            kernel_name="median",
+            frequencies_hz=[7.0e8, 7.1e8],
+            points=[_point("a"), _point("b")],
+            sta_limit_hz=7.071e8,
+            config={"vdd": 0.7, "sigma_v": 0.01})
+        back = FrequencySweep.from_json(
+            json.loads(json.dumps(sweep.to_json())))
+        assert back == sweep
+        assert back.rows() == sweep.rows()
+
+
+class TestCharacterizationJson:
+    def _characterization(self, seed=5):
+        rng = np.random.default_rng(seed)
+        config = CharacterizationConfig(n_cycles_per_instr=16,
+                                        grid_points=64)
+        cdfs = {}
+        worst = 1400.0
+        for mnemonic in ("l.add", "l.mul"):
+            critical = rng.uniform(600.0, 1500.0, size=(16, 32))
+            cdfs[mnemonic] = EndpointCdfs.from_critical(
+                mnemonic, config.vdd, critical)
+        max_critical = max(float(t.critical_rows.max())
+                           for t in cdfs.values())
+        grids = {
+            m: CdfGrid.compile(t, 0.35 * worst,
+                               1.05 * max(max_critical, worst),
+                               config.grid_points)
+            for m, t in cdfs.items()
+        }
+        return AluCharacterization(config=config, cdfs=cdfs, grids=grids,
+                                   worst_sta_period_ps=worst)
+
+    def test_round_trip_bit_identical(self):
+        char = self._characterization()
+        back = AluCharacterization.from_json(
+            json.loads(json.dumps(char.to_json())))
+        assert back.config == char.config
+        assert back.worst_sta_period_ps == char.worst_sta_period_ps
+        assert back.mnemonics == char.mnemonics
+        for mnemonic in char.mnemonics:
+            original, rebuilt = char.cdfs[mnemonic], back.cdfs[mnemonic]
+            assert np.array_equal(rebuilt.critical_rows,
+                                  original.critical_rows)
+            assert np.array_equal(rebuilt.critical_sorted,
+                                  original.critical_sorted)
+            assert np.array_equal(rebuilt.row_max_sorted,
+                                  original.row_max_sorted)
+            assert np.array_equal(back.grids[mnemonic].probs,
+                                  char.grids[mnemonic].probs)
+            assert np.array_equal(back.grids[mnemonic].tail_products,
+                                  char.grids[mnemonic].tail_products)
+
+    def test_schema_guard(self):
+        payload = self._characterization().to_json()
+        payload["schema"] = ALU_CHARACTERIZATION_SCHEMA + 1
+        with pytest.raises(ValueError):
+            AluCharacterization.from_json(payload)
+
+
+class TestResultStore:
+    def test_put_get_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        point = _point()
+        sha = store.put(_key(), point, label="unit-a")
+        assert store.get(_key()) == point
+        assert store.contains(_key())
+        assert sha == store.key_of(_key())
+
+    def test_miss_on_unknown_key(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        assert store.get(_key()) is None
+        assert not store.contains(_key())
+
+    def test_distinct_keys_distinct_entries(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put(_key(seed=1), _point("a"))
+        store.put(_key(seed=2), _point("b", n=5))
+        assert store.get(_key(seed=1)).label == "a"
+        assert store.get(_key(seed=2)).label == "b"
+
+    def test_put_is_idempotent_overwrite(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put(_key(), _point("old"))
+        store.put(_key(), _point("new"))
+        assert store.get(_key()).label == "new"
+        assert len(store.ls()) == 1
+
+    def test_corrupted_entry_reads_as_miss(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put(_key(), _point())
+        path = store._object_path(store.key_of(_key()))
+        path.write_text("{ not json")
+        assert store.get(_key()) is None
+        removed, _ = store.gc()
+        assert removed == 1
+        assert store.ls() == []
+
+    def test_truncated_entry_reads_as_miss(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put(_key(), _point())
+        path = store._object_path(store.key_of(_key()))
+        path.write_text(path.read_text()[:40])
+        assert store.get(_key()) is None
+
+    def test_tampered_key_reads_as_miss(self, tmp_path):
+        # An entry whose embedded key no longer matches its address
+        # (e.g. edited on disk) must never be returned.
+        store = ResultStore(tmp_path / "store")
+        store.put(_key(), _point())
+        path = store._object_path(store.key_of(_key()))
+        envelope = json.loads(path.read_text())
+        envelope["key"]["seed"] = 999
+        path.write_text(json.dumps(envelope))
+        assert store.get(_key()) is None
+
+    def test_stale_schema_never_served_and_gc_reclaims(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        old_key = _key(schema=MC_POINT_SCHEMA - 1)
+        # Simulate an entry written by an older code version: the
+        # envelope is self-consistent under the old schema key.
+        store.put(_key(), _point())
+        path = store._object_path(store.key_of(_key()))
+        envelope = json.loads(path.read_text())
+        envelope["key"]["schema"] = MC_POINT_SCHEMA - 1
+        envelope["sha256"] = store.key_of(old_key)
+        old_path = store._object_path(store.key_of(old_key))
+        old_path.parent.mkdir(parents=True, exist_ok=True)
+        old_path.write_text(json.dumps(envelope))
+        path.unlink()
+        # Current-schema lookups miss it; the artifact body also
+        # refuses to decode under the stale version.
+        assert store.get(_key()) is None
+        assert store.get(old_key) is None
+        removed, _ = store.gc()
+        assert removed >= 1
+        assert not old_path.exists()
+
+    def test_ls_and_manifest_rebuild(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put(_key(seed=1), _point("a"), label="one")
+        store.put(_key(seed=2), _point("b"), label="two")
+        entries = store.ls()
+        assert {entry.label for entry in entries} == {"one", "two"}
+        assert all(entry.kind == "mc_point" for entry in entries)
+        # A lost manifest is rebuilt from the objects directory.
+        store.manifest_path.unlink()
+        rebuilt = ResultStore(tmp_path / "store").ls()
+        assert {entry.sha256 for entry in rebuilt} == \
+            {entry.sha256 for entry in entries}
+
+    def test_gc_all_wipes(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put(_key(seed=1), _point())
+        store.put(_key(seed=2), _point())
+        removed, freed = store.gc(remove_all=True)
+        assert removed == 2 and freed > 0
+        assert store.ls() == []
+
+    def test_gc_reclaims_abandoned_temp_files_only(self, tmp_path):
+        import os
+        import time as time_module
+        store = ResultStore(tmp_path / "store")
+        store.put(_key(), _point())
+        stray = store.objects / "ab"
+        stray.mkdir(exist_ok=True)
+        fresh = stray / ".tmp-inflight"
+        fresh.write_text("a live writer owns me")
+        abandoned = stray / ".tmp-killed"
+        abandoned.write_text("partial")
+        old = time_module.time() - 2 * ResultStore.TEMP_GRACE_S
+        os.utime(abandoned, (old, old))
+        removed, _ = store.gc()
+        assert removed == 1
+        assert fresh.exists() and not abandoned.exists()
+        assert store.get(_key()) is not None
+
+    def test_gc_by_kind(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put(_key(seed=1), _point())
+        char = TestCharacterizationJson()._characterization()
+        char_key = {"kind": "alu_characterization",
+                    "schema": ALU_CHARACTERIZATION_SCHEMA,
+                    "alu": ["test"], "config": {"n": 16}}
+        store.put(char_key, char)
+        removed, _ = store.gc(remove_all=True, kinds=("mc_point",))
+        assert removed == 1
+        assert store.get(_key(seed=1)) is None
+        assert store.get(char_key) is not None
+
+    def test_contains_is_envelope_level(self, tmp_path):
+        # contains() validates the envelope without decoding the
+        # artifact body; a corrupted body is caught by get().
+        store = ResultStore(tmp_path / "store")
+        store.put(_key(), _point())
+        path = store._object_path(store.key_of(_key()))
+        envelope = json.loads(path.read_text())
+        envelope["artifact"]["trials"] = "garbage"
+        path.write_text(json.dumps(envelope))
+        assert store.contains(_key())
+        assert store.get(_key()) is None
+
+    def test_manifest_tolerates_torn_line(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put(_key(seed=1), _point(), label="kept")
+        with open(store.manifest_path, "a") as handle:
+            handle.write('{"sha256": "torn entr')  # killed mid-append
+        store.put(_key(seed=2), _point(), label="after")
+        labels = {entry.label for entry in store.ls()}
+        assert "kept" in labels
+        # The entry appended after the torn line may share its line;
+        # a rebuild recovers the full truth from the objects dir.
+        store.rebuild_manifest()
+        labels = {entry.label for entry in store.ls()}
+        assert labels == {"kept", "after"}
+
+    def test_characterization_artifact_kind(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        char = TestCharacterizationJson()._characterization()
+        key = {"kind": "alu_characterization",
+               "schema": ALU_CHARACTERIZATION_SCHEMA,
+               "alu": ["test"], "config": {"n": 16}}
+        store.put(key, char, label="char")
+        back = store.get(key)
+        assert back is not None
+        assert np.array_equal(back.cdfs["l.mul"].critical_rows,
+                              char.cdfs["l.mul"].critical_rows)
