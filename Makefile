@@ -17,9 +17,11 @@ test:
 bench-engines:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/bench_engines.py -x -q
 
-# Kill a quick-scale fig5 campaign mid-run, resume it, and require the
-# rendered output to be byte-identical to an uninterrupted run; then
-# prove a warm rerun performs zero Monte-Carlo simulation.
+# Kill a quick-scale `campaign run all` mid-run, resume it, and require
+# the rendered output to be byte-identical to an uninterrupted run;
+# prove warm fig2/fig4/fig5 reruns perform zero DTA and zero Monte-
+# Carlo simulation; and prove `cache gc --max-bytes` holds the cap
+# while evicted units recompute byte-identically.
 campaign-smoke:
 	$(PYTHON) scripts/campaign_smoke.py
 

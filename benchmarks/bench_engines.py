@@ -22,7 +22,8 @@ import numpy as np
 import pytest
 
 from repro.bench.suite import build_kernel
-from repro.experiments import fig7
+from repro.experiments import fig2, fig4, fig7
+from repro.experiments.context import ExperimentContext
 from repro.fi.base import FaultInjector
 from repro.mc.runner import run_point, run_trial
 from repro.store import ResultStore
@@ -138,6 +139,45 @@ def test_fig7_warm_store(benchmark, ctx, scale, tmp_path):
     assert fig7.render(warm_result) == fig7.render(cold_result)
     benchmark(lambda: fig7.run(scale, context=ctx, store=store))
     _record(f"fig7[{scale.name},warm-store]", benchmark.stats.stats.min,
+            cold_s)
+
+
+def test_fig2_warm_store(benchmark, scale, tmp_path):
+    """Store-served fig2 rerun vs the cold characterize-and-persist run.
+
+    The curves are pure DTA artifacts: the warm path costs JSON decode
+    + assembly + render only, with zero timing simulation (a fresh
+    context proves the characterization itself is store-served too).
+    """
+    from repro.timing import characterize
+    characterize.clear_cache()  # a true cold start, like a fresh CLI
+    store = ResultStore(tmp_path / "warm-store")
+    start = time.perf_counter()
+    cold_ctx = ExperimentContext.create(scale, seed=2016, store=store)
+    cold_result = fig2.run(scale, context=cold_ctx)
+    cold_s = time.perf_counter() - start
+
+    warm_ctx = ExperimentContext.create(scale, seed=2016, store=store)
+    warm_result = fig2.run(scale, context=warm_ctx)
+    assert fig2.render(warm_result) == fig2.render(cold_result)
+    benchmark(lambda: fig2.run(
+        scale, context=ExperimentContext.create(scale, seed=2016,
+                                                store=store)))
+    _record(f"fig2[{scale.name},warm-store]", benchmark.stats.stats.min,
+            cold_s)
+
+
+def test_fig4_warm_store(benchmark, ctx, scale, tmp_path):
+    """Store-served fig4 rerun vs the cold per-variant DTA sweep."""
+    store = ResultStore(tmp_path / "warm-store")
+    start = time.perf_counter()
+    cold_result = fig4.run(scale, context=ctx, store=store)
+    cold_s = time.perf_counter() - start
+
+    warm_result = fig4.run(scale, context=ctx, store=store)
+    assert fig4.render(warm_result) == fig4.render(cold_result)
+    benchmark(lambda: fig4.run(scale, context=ctx, store=store))
+    _record(f"fig4[{scale.name},warm-store]", benchmark.stats.stats.min,
             cold_s)
 
 

@@ -1,17 +1,25 @@
 #!/usr/bin/env python
 """Campaign smoke test: run -> kill -> resume -> diff, at quick scale.
 
-Exercises the persistence guarantees end to end with real processes:
+Exercises the persistence guarantees end to end with real processes,
+over the full ``all`` campaign target (every figure + ablations in one
+sharded pass):
 
-1. an uninterrupted ``repro campaign run fig5 --scale quick`` into
+1. an uninterrupted ``repro campaign run all --scale quick`` into
    store A (the reference output);
-2. the same campaign into store B, SIGKILLed as soon as a few Monte-
-   Carlo units have been persisted;
-3. ``repro campaign resume`` on store B -- it must reuse the surviving
-   units and render **byte-identical** output to step 1;
-4. a warm ``repro fig5`` rerun against store A with ``REPRO_FORBID_MC``
-   set: any attempt to reach the simulator aborts, proving the rerun
-   is served entirely from the store.
+2. the same campaign into store B, SIGKILLed as soon as a few work
+   units have been persisted;
+3. ``repro campaign resume all`` on store B -- it must reuse the
+   surviving units and render **byte-identical** output to step 1;
+4. warm ``repro fig2`` / ``repro fig4`` / ``repro fig5`` reruns
+   against store A with ``REPRO_FORBID_MC`` and ``REPRO_FORBID_DTA``
+   set: any attempt to reach the Monte-Carlo or timing simulator
+   aborts, proving the reruns are served entirely from the store (and
+   each figure's output matches its section of the campaign render);
+5. ``repro cache gc --max-bytes`` on store A at ~60 % of its size:
+   ``cache ls`` must report the store under the cap, and a rerun of
+   the full campaign must recompute exactly the evicted units back to
+   byte-identical output while the survivors stay cache hits.
 
 Exit code 0 = all invariants hold.  Wired into ``make campaign-smoke``
 (part of ``make tier1``).
@@ -31,9 +39,12 @@ from pathlib import Path
 SCALE = "quick"
 SEED = "2016"
 JOBS = "2"
-#: Kill once this many Monte-Carlo points are on disk in store B.
-KILL_AFTER_POINTS = 3
+#: Kill once this many work-unit artifacts are on disk in store B.
+KILL_AFTER_UNITS = 4
 KILL_TIMEOUT_S = 600.0
+#: Artifact kinds that are campaign work units (characterizations are
+#: planning substrate, not units).
+UNIT_KINDS = ("mc_point", "fig2_curve", "fig4_curve", "adder_ablation")
 
 
 def repro(args: list[str], store: Path, env_extra: dict | None = None,
@@ -44,7 +55,7 @@ def repro(args: list[str], store: Path, env_extra: dict | None = None,
         f":{env['PYTHONPATH']}" if env.get("PYTHONPATH") else "")
     env.update(env_extra or {})
     command = [sys.executable, "-m", "repro", *args,
-               "--scale", SCALE, "--seed", SEED, "--store", str(store)]
+               "--store", str(store)]
     result = subprocess.run(command, capture_output=True, text=True,
                             env=env)
     if check and result.returncode != 0:
@@ -54,10 +65,34 @@ def repro(args: list[str], store: Path, env_extra: dict | None = None,
     return result
 
 
-def count_points(store: Path) -> int:
-    """Monte-Carlo point envelopes currently persisted in a store."""
-    return sum(1 for path in store.glob("objects/*/*.json")
-               if '"kind":"mc_point"' in path.read_text())
+def scaled(args: list[str]) -> list[str]:
+    return [*args, "--scale", SCALE, "--seed", SEED]
+
+
+def count_units(store: Path) -> int:
+    """Work-unit envelopes currently persisted in a store."""
+    count = 0
+    for path in store.glob("objects/*/*.json"):
+        text = path.read_text()
+        if any(f'"kind":"{kind}"' in text for kind in UNIT_KINDS):
+            count += 1
+    return count
+
+
+def unit_bytes(store: Path) -> int:
+    """Bytes held by work-unit artifacts (excludes characterizations)."""
+    total = 0
+    for path in store.glob("objects/*/*.json"):
+        text = path.read_text()
+        if any(f'"kind":"{kind}"' in text for kind in UNIT_KINDS):
+            total += path.stat().st_size
+    return total
+
+
+def max_entry_bytes(store: Path) -> int:
+    """Size of the largest stored object."""
+    return max(path.stat().st_size
+               for path in store.glob("objects/*/*.json"))
 
 
 def main() -> int:
@@ -65,21 +100,21 @@ def main() -> int:
         store_a = Path(tmp) / "store-a"
         store_b = Path(tmp) / "store-b"
 
-        print("[1/4] uninterrupted campaign into store A ...",
+        print("[1/5] uninterrupted `campaign run all` into store A ...",
               flush=True)
-        fresh = repro(["campaign", "run", "fig5", "--jobs", JOBS],
+        fresh = repro(scaled(["campaign", "run", "all", "--jobs", JOBS]),
                       store_a)
         reference = fresh.stdout
 
-        print("[2/4] campaign into store B, SIGKILL mid-run ...",
+        print("[2/5] campaign into store B, SIGKILL mid-run ...",
               flush=True)
         env = dict(os.environ)
         root = Path(__file__).resolve().parent.parent
         env["PYTHONPATH"] = f"{root / 'src'}" + (
             f":{env['PYTHONPATH']}" if env.get("PYTHONPATH") else "")
         victim = subprocess.Popen(
-            [sys.executable, "-m", "repro", "campaign", "run", "fig5",
-             "--jobs", JOBS, "--scale", SCALE, "--seed", SEED,
+            [sys.executable, "-m", "repro",
+             *scaled(["campaign", "run", "all", "--jobs", JOBS]),
              "--store", str(store_b)],
             stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
             env=env, start_new_session=True)
@@ -88,7 +123,7 @@ def main() -> int:
         while time.monotonic() < deadline:
             if victim.poll() is not None:
                 break  # finished before we could kill it
-            if count_points(store_b) >= KILL_AFTER_POINTS:
+            if count_units(store_b) >= KILL_AFTER_UNITS:
                 # Kill the whole process group (campaign + fork workers).
                 os.killpg(victim.pid, signal.SIGKILL)
                 victim.wait()
@@ -100,14 +135,14 @@ def main() -> int:
             victim.wait()
             raise SystemExit("FAIL: campaign produced no units to kill "
                              "within the timeout")
-        survivors = count_points(store_b)
-        print(f"      killed={killed_midway} with {survivors} points "
+        survivors = count_units(store_b)
+        print(f"      killed={killed_midway} with {survivors} units "
               f"persisted", flush=True)
 
-        print("[3/4] resume store B and diff against store A ...",
+        print("[3/5] resume store B and diff against store A ...",
               flush=True)
-        resumed = repro(["campaign", "resume", "fig5", "--jobs", JOBS],
-                        store_b)
+        resumed = repro(scaled(["campaign", "resume", "all",
+                                "--jobs", JOBS]), store_b)
         if resumed.stdout != reference:
             sys.stderr.write(resumed.stdout)
             raise SystemExit("FAIL: resumed campaign output differs "
@@ -117,15 +152,46 @@ def main() -> int:
             raise SystemExit("FAIL: resume recomputed everything "
                              "(no units were reused)")
 
-        print("[4/4] warm `repro fig5` rerun must do zero simulation ...",
-              flush=True)
-        warm = repro(["fig5"], store_a, env_extra={"REPRO_FORBID_MC": "1"})
-        if warm.stdout != reference:
-            raise SystemExit("FAIL: warm store-served fig5 differs from "
-                             "the campaign output")
+        print("[4/5] warm fig2/fig4/fig5 reruns must do zero "
+              "simulation ...", flush=True)
+        forbid = {"REPRO_FORBID_MC": "1", "REPRO_FORBID_DTA": "1"}
+        for figure in ("fig2", "fig4", "fig5"):
+            warm = repro(scaled([figure]), store_a, env_extra=forbid)
+            if warm.stdout.rstrip("\n") not in reference:
+                raise SystemExit(
+                    f"FAIL: warm store-served {figure} differs from "
+                    f"its campaign section")
 
-        print("campaign smoke OK: resume byte-identical, warm rerun "
-              "simulation-free")
+        print("[5/5] `cache gc --max-bytes` keeps the cap, evicted "
+              "units recompute ...", flush=True)
+        # The cap leaves room for the largest single entry (the newest
+        # characterization, which LRU keeps) plus half the unit bytes:
+        # the eviction pass must reach past the older characterizations
+        # into real work units while leaving survivors to stay hits.
+        cap = max_entry_bytes(store_a) + unit_bytes(store_a) // 2
+        repro(["cache", "gc", "--max-bytes", str(cap)], store_a)
+        listing = repro(["cache", "ls"], store_a)
+        match = re.search(r"(\d+) entries, (\d+) bytes",
+                          listing.stdout)
+        if match is None or int(match.group(2)) > cap:
+            raise SystemExit(
+                f"FAIL: store exceeds the gc cap ({listing.stdout!r})")
+        regen = repro(scaled(["campaign", "run", "all",
+                              "--jobs", JOBS]), store_a)
+        if regen.stdout != reference:
+            raise SystemExit("FAIL: campaign output after eviction "
+                             "differs from the reference")
+        counts = re.search(r"(\d+) units, (\d+) cached, (\d+) computed",
+                           regen.stderr)
+        if counts is None or int(counts.group(2)) == 0 \
+                or int(counts.group(3)) == 0:
+            raise SystemExit(
+                "FAIL: post-gc rerun should mix cache hits "
+                f"(survivors) with recomputes (evicted): "
+                f"{regen.stderr!r}")
+
+        print("campaign smoke OK: resume byte-identical, warm reruns "
+              "simulation-free, gc cap held with correct recompute")
     return 0
 
 

@@ -2,6 +2,7 @@
 resumable sweeps of store-addressed Monte-Carlo work units."""
 
 from repro.campaign.orchestrator import (
+    ALL_TARGET,
     CAMPAIGN_EXPERIMENTS,
     CampaignPlan,
     CampaignReport,
@@ -12,6 +13,7 @@ from repro.campaign.orchestrator import (
 )
 
 __all__ = [
+    "ALL_TARGET",
     "CAMPAIGN_EXPERIMENTS",
     "CampaignPlan",
     "CampaignReport",

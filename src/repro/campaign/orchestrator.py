@@ -1,19 +1,25 @@
 """Sharded campaign orchestration over the result store.
 
 A *campaign* is one figure-level experiment decomposed into its
-point-level Monte-Carlo work units (see :mod:`repro.mc.units`), run
+store-addressable work units (see :mod:`repro.mc.units` -- Monte-Carlo
+points for fig5/6/7/ablations, DTA curve artifacts for fig2/fig4), run
 with three guarantees:
 
 * **Idempotence** -- units already in the store are never recomputed;
   a campaign restarted after a kill (``resume``) picks up exactly the
   missing units.
-* **Determinism** -- every unit owns a derived master seed and the
-  serial random-stream scheme, so its result is independent of which
-  worker computes it or in what order; the rendered output of a
-  resumed or sharded campaign is byte-identical to an uninterrupted
-  single-process run.
+* **Determinism** -- every unit owns a derived master seed (Monte-
+  Carlo units additionally the serial random-stream scheme), so its
+  result is independent of which worker computes it or in what order;
+  the rendered output of a resumed or sharded campaign is
+  byte-identical to an uninterrupted single-process run.
 * **Kill-safety** -- workers persist each unit atomically the moment
   it completes; at worst the unit in flight at kill time is redone.
+
+The ``all`` target plans every campaign experiment into one combined
+unit list, shards it over one fork pool, and renders each figure from
+its own units -- one store-served pass over everything the repo can
+render.
 
 The process pool uses fork workers (unit closures capture injector
 factories and compiled kernels, which cannot be pickled; fork inherits
@@ -28,24 +34,35 @@ import sys
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.experiments import ablations, fig5, fig6, fig7
-from repro.experiments.context import ExperimentContext
+from repro.experiments import ablations, fig2, fig4, fig5, fig6, fig7
+from repro.experiments.context import ExperimentContext, NOMINAL_VDD
 from repro.experiments.scale import Scale, get_scale
-from repro.mc.results import McPoint
+from repro.mc.units import WorkUnit
 from repro.mc.runner import _fork_available
-from repro.mc.units import PointUnit
+from repro.timing.characterize import characterization_key
 
 #: Experiments that decompose into campaigns.
-CAMPAIGN_EXPERIMENTS = ("fig5", "fig6", "fig7", "ablations")
+CAMPAIGN_EXPERIMENTS = ("fig2", "fig4", "fig5", "fig6", "fig7",
+                        "ablations")
+
+#: Pseudo-experiment: every campaign experiment in one sharded pass.
+ALL_TARGET = "all"
 
 
 @dataclass
 class CampaignPlan:
-    """An experiment decomposed into units plus its renderer."""
+    """An experiment decomposed into units plus its renderer.
+
+    ``prepare`` (optional) forces expensive shared substrate --
+    e.g. fig2's characterizations -- and is invoked by the
+    orchestrator only when the plan actually has pending units, so a
+    fully warm campaign (or status call) never touches it.
+    """
 
     experiment: str
-    units: list[PointUnit]
-    render: Callable[[list[McPoint]], str]
+    units: list[WorkUnit]
+    render: Callable[[list], str]
+    prepare: Callable[[], None] | None = None
 
 
 @dataclass
@@ -88,11 +105,23 @@ def plan_campaign(experiment: str, ctx: ExperimentContext,
                   seed: int) -> CampaignPlan:
     """Decompose an experiment into units and a render function.
 
-    Planning forces the experiment's characterizations (grids depend
-    on them); with a store attached to ``ctx`` they persist, so a
-    resumed campaign replans without re-running DTA.
+    Planning forces the experiment's characterizations where the unit
+    grids (fig5/6/7, ablations) or the worker substrate (fig2) depend
+    on them; with a store attached to ``ctx`` they persist, so a
+    resumed campaign replans without re-running DTA.  fig4 plans
+    without any DTA work -- each variant unit runs its own.
     """
-    if experiment == "fig5":
+    prepare = None
+    if experiment == "fig2":
+        units = fig2.curve_units(ctx, seed=seed)
+        render = lambda curves: fig2.render(  # noqa: E731
+            fig2.assemble(curves))
+        prepare = lambda: fig2.prepare(ctx)  # noqa: E731
+    elif experiment == "fig4":
+        units = fig4.curve_units(ctx, seed=seed)
+        render = lambda curves: fig4.render(  # noqa: E731
+            fig4.assemble(curves))
+    elif experiment == "fig5":
         units = fig5.point_units(ctx, seed=seed)
         render = lambda points: fig5.render(  # noqa: E731
             fig5.assemble(ctx, points))
@@ -105,24 +134,58 @@ def plan_campaign(experiment: str, ctx: ExperimentContext,
         render = lambda points: fig7.render(  # noqa: E731
             fig7.assemble(ctx, points))
     elif experiment == "ablations":
-        units = ablations.semantics_point_units(ctx, seed=seed)
+        semantics_units = ablations.semantics_point_units(ctx, seed=seed)
+        adder_units = ablations.adder_topology_units(ctx.scale,
+                                                     seed=seed)
+        units = semantics_units + adder_units
+        n_semantics = len(semantics_units)
 
-        def render(points):
-            # The glitch-model and adder-topology studies are pure
-            # DTA/characterization work: the former is store-served
-            # through the context, the latter is recomputed (it owns
-            # no Monte-Carlo points).
+        def render(artifacts):
+            # The glitch-model study is store-served through the
+            # context's characterizations; semantics points and
+            # per-topology adder PoFFs arrive as resolved units -- a
+            # warm render runs no DTA and no Monte-Carlo.
             return ablations.render_all(
                 ablations.run_glitch_model_ablation(
                     ctx.scale, seed=seed, context=ctx),
-                ablations.assemble_semantics(points),
-                ablations.run_adder_topology_ablation(ctx.scale,
-                                                      seed=seed))
+                ablations.assemble_semantics(artifacts[:n_semantics]),
+                ablations.assemble_adders(artifacts[n_semantics:]))
     else:
         raise KeyError(
             f"unknown campaign experiment {experiment!r}; known: "
-            f"{CAMPAIGN_EXPERIMENTS}")
-    return CampaignPlan(experiment=experiment, units=units, render=render)
+            f"{CAMPAIGN_EXPERIMENTS + (ALL_TARGET,)}")
+    return CampaignPlan(experiment=experiment, units=units,
+                        render=render, prepare=prepare)
+
+
+def _campaign_experiments(experiment: str) -> tuple[str, ...]:
+    """Concrete experiments behind a campaign target."""
+    if experiment == ALL_TARGET:
+        return CAMPAIGN_EXPERIMENTS
+    return (experiment,)
+
+
+def _plan_characterization_configs(experiment: str,
+                                   ctx: ExperimentContext) -> list:
+    """Characterization configs that *planning* an experiment forces.
+
+    Used by :func:`campaign_status` to warn precisely when a status
+    call is about to run DTA: the check is ``store.contains`` on this
+    context's actual characterization keys, so a characterization
+    persisted for a different scale/seed/ALU never suppresses the
+    warning.
+    """
+    vdds: dict[float, None] = {}  # insertion-ordered de-dup
+    for name in _campaign_experiments(experiment):
+        if name in ("fig2", "fig4"):
+            continue  # plan without DTA: fig2 characterizes lazily
+            # (prepare hook), fig4 units run their own DTA
+        elif name == "fig5":
+            for vdd in fig5.PLOT_VDDS:
+                vdds.setdefault(vdd)
+        else:  # fig6, fig7, ablations: nominal-voltage grids
+            vdds.setdefault(NOMINAL_VDD)
+    return [ctx.char_config(vdd) for vdd in vdds]
 
 
 def campaign_status(experiment: str, scale: str | Scale, seed: int,
@@ -137,21 +200,28 @@ def campaign_status(experiment: str, scale: str | Scale, seed: int,
     the store.
     """
     resolved = get_scale(scale)
-    if log is not None and not any(
-            entry.kind == "alu_characterization"
-            for entry in store.ls()):
-        log(f"cold store: planning {experiment} will run the DTA "
-            f"characterization first (persisted for every later call)")
     ctx = ExperimentContext.create(resolved, seed, store=store)
-    plan = plan_campaign(experiment, ctx, seed)
-    pending = [unit.label for unit in plan.units
+    if log is not None:
+        missing = [config for config
+                   in _plan_characterization_configs(experiment, ctx)
+                   if not store.contains(
+                       characterization_key(ctx.alu, config))]
+        if missing:
+            log(f"cold store: planning {experiment} will run the DTA "
+                f"characterization first for "
+                f"{', '.join(f'{c.vdd:.2f}V' for c in missing)} "
+                f"(persisted for every later call)")
+    plans = [plan_campaign(name, ctx, seed)
+             for name in _campaign_experiments(experiment)]
+    units = [unit for plan in plans for unit in plan.units]
+    pending = [unit.label for unit in units
                if not store.contains(unit.key)]
     return CampaignStatus(
         experiment=experiment,
         scale=resolved.name,
         seed=seed,
-        total=len(plan.units),
-        done=len(plan.units) - len(pending),
+        total=len(units),
+        done=len(units) - len(pending),
         pending=pending,
     )
 
@@ -167,17 +237,22 @@ def _init_worker(state: dict) -> None:
 
 
 def _run_shard(indices: list[int]) -> list[int]:
-    """Pool worker: compute and persist the units at ``indices``."""
+    """Pool worker: compute and persist the units at ``indices``.
+
+    Returns only the indices it *actually* computed: units a worker of
+    a concurrent campaign raced us to are skipped (the recheck keeps
+    the work unique) and must not be reported as computed.
+    """
     state = _WORKER_STATE
     assert state is not None, "worker state missing (pool without fork?)"
     store = state["store"]
+    computed = []
     for index in indices:
         unit = state["units"][index]
-        # Another worker of a concurrent campaign may have raced us to
-        # this unit; the recheck keeps the work (not the result) unique.
         if not store.contains(unit.key):
             store.put(unit.key, unit.compute(), label=unit.label)
-    return indices
+            computed.append(index)
+    return computed
 
 
 def run_campaign(experiment: str, scale: str | Scale = "default",
@@ -187,7 +262,9 @@ def run_campaign(experiment: str, scale: str | Scale = "default",
     """Run (or resume) a campaign to its rendered figure output.
 
     Args:
-        experiment: one of :data:`CAMPAIGN_EXPERIMENTS`.
+        experiment: one of :data:`CAMPAIGN_EXPERIMENTS`, or ``"all"``
+            to plan every campaign experiment into one combined unit
+            list sharded over a single pool and rendered per figure.
         scale: fidelity preset (name or :class:`Scale`).
         seed: master seed (every unit derives its own).
         store: the :class:`repro.store.ResultStore` holding results;
@@ -207,50 +284,78 @@ def run_campaign(experiment: str, scale: str | Scale = "default",
     emit = log or (lambda message: None)
     resolved = get_scale(scale)
     ctx = ExperimentContext.create(resolved, seed, store=store)
-    plan = plan_campaign(experiment, ctx, seed)
+    plans = [plan_campaign(name, ctx, seed)
+             for name in _campaign_experiments(experiment)]
+    units = [unit for plan in plans for unit in plan.units]
     # Envelope-level existence scan: no artifact decoding here, the
     # single full decode per unit happens in the collection loop below.
-    pending = [index for index, unit in enumerate(plan.units)
+    pending = [index for index, unit in enumerate(units)
                if not store.contains(unit.key)]
-    cached = len(plan.units) - len(pending)
-    emit(f"{experiment}: {len(plan.units)} units, {cached} cached, "
+    emit(f"{experiment}: {len(units)} units, "
+         f"{len(units) - len(pending)} cached, "
          f"{len(pending)} to compute")
+    # Warm the shared substrate of every plan that will compute
+    # something, before forking: workers inherit it instead of racing.
+    pending_set = set(pending)
+    offset = 0
+    for plan in plans:
+        plan_range = range(offset, offset + len(plan.units))
+        offset += len(plan.units)
+        if plan.prepare is not None \
+                and any(index in pending_set for index in plan_range):
+            plan.prepare()
 
+    computed_indices: set[int] = set()
     if len(pending) > 1 and jobs >= 2 and _fork_available():
         shards = [pending[start::jobs] for start in range(jobs)
                   if pending[start::jobs]]
-        state = {"units": plan.units, "store": store}
+        state = {"units": units, "store": store}
         context = multiprocessing.get_context("fork")
         with context.Pool(processes=len(shards),
                           initializer=_init_worker,
                           initargs=(state,)) as pool:
             for indices in pool.imap_unordered(_run_shard, shards):
-                emit(f"shard of {len(indices)} units done")
+                computed_indices.update(indices)
+                emit(f"shard done ({len(indices)} units computed)")
     else:
         for index in pending:
-            unit = plan.units[index]
+            unit = units[index]
             store.put(unit.key, unit.compute(), label=unit.label)
+            computed_indices.add(index)
             emit(f"computed {unit.label}")
 
-    points = []
-    for unit in plan.units:
-        point = store.get(unit.key)
-        if point is None:
+    artifacts = []
+    for index, unit in enumerate(units):
+        artifact = store.get(unit.key)
+        if artifact is None:
             # A unit that passed the envelope scan but fails to decode
             # (corrupted artifact body): self-heal by recomputing.
             emit(f"recomputing undecodable unit {unit.label}")
-            point = unit.compute()
-            store.put(unit.key, point, label=unit.label)
-        points.append(point)
+            artifact = unit.compute()
+            store.put(unit.key, artifact, label=unit.label)
+            computed_indices.add(index)
+        artifacts.append(artifact)
+
+    sections = []
+    offset = 0
+    for plan in plans:
+        rendered = plan.render(
+            artifacts[offset:offset + len(plan.units)])
+        offset += len(plan.units)
+        if len(plans) > 1:
+            rendered = (f"{'=' * 72}\n{plan.experiment} "
+                        f"(scale: {resolved.name})\n{'=' * 72}\n"
+                        f"{rendered}")
+        sections.append(rendered)
     return CampaignReport(
         experiment=experiment,
         scale=resolved.name,
         seed=seed,
         jobs=jobs,
-        total=len(plan.units),
-        cached=cached,
-        computed=len(pending),
-        rendered=plan.render(points),
+        total=len(units),
+        cached=len(units) - len(computed_indices),
+        computed=len(computed_indices),
+        rendered="\n\n".join(sections),
     )
 
 

@@ -6,8 +6,10 @@ Examples::
     python -m repro fig5 --scale default --jobs 4
     python -m repro all --scale quick
     python -m repro campaign run fig5 --scale paper --jobs 8
+    python -m repro campaign run all --scale paper --jobs 8
     python -m repro campaign status fig5 --scale paper
     python -m repro cache ls
+    python -m repro cache gc --max-bytes 100000000
     python -m repro timing-report --frequency-mhz 750
     python -m repro verilog --unit multiplier --out mul32.v
     python -m repro kernels
@@ -24,8 +26,8 @@ import argparse
 import sys
 
 from repro.bench.suite import BENCHMARK_NAMES, build_kernel
-from repro.campaign import CAMPAIGN_EXPERIMENTS, campaign_status, \
-    run_campaign
+from repro.campaign import ALL_TARGET, CAMPAIGN_EXPERIMENTS, \
+    campaign_status, run_campaign
 from repro.campaign.orchestrator import stderr_log
 from repro.experiments import (
     ExperimentContext,
@@ -57,9 +59,9 @@ _EXPERIMENTS = {
     "fig1": lambda scale, seed, ctx, store, jobs: fig1.render(
         fig1.run(scale, seed, context=ctx, store=store, n_jobs=jobs)),
     "fig2": lambda scale, seed, ctx, store, jobs: fig2.render(
-        fig2.run(scale, seed, context=ctx)),
+        fig2.run(scale, seed, context=ctx, store=store)),
     "fig4": lambda scale, seed, ctx, store, jobs: fig4.render(
-        fig4.run(scale, seed, context=ctx)),
+        fig4.run(scale, seed, context=ctx, store=store)),
     "fig5": lambda scale, seed, ctx, store, jobs: fig5.render(
         fig5.run(scale, seed, context=ctx, store=store, n_jobs=jobs)),
     "fig6": lambda scale, seed, ctx, store, jobs: fig6.render(
@@ -72,7 +74,8 @@ _EXPERIMENTS = {
                                                 context=ctx),
             ablations.run_semantics_ablation(scale, seed, context=ctx,
                                              store=store, n_jobs=jobs),
-            ablations.run_adder_topology_ablation(scale, seed)),
+            ablations.run_adder_topology_ablation(scale, seed,
+                                                  store=store)),
 }
 
 
@@ -122,7 +125,8 @@ def build_parser() -> argparse.ArgumentParser:
                          ("resume", "resume a killed campaign"),
                          ("status", "show stored/pending units")):
         sub = campaign_sub.add_parser(action, help=text)
-        sub.add_argument("experiment", choices=CAMPAIGN_EXPERIMENTS)
+        sub.add_argument("experiment",
+                         choices=CAMPAIGN_EXPERIMENTS + (ALL_TARGET,))
         _add_scale(sub)
         _add_store(sub, with_jobs=(action != "status"))
 
@@ -134,12 +138,17 @@ def build_parser() -> argparse.ArgumentParser:
     gc = cache_sub.add_parser(
         "gc", help="drop corrupted, stale-schema and abandoned-temp "
                    "entries (--all wipes everything, --kind K wipes "
-                   "one artifact kind)")
+                   "one artifact kind, --max-bytes N additionally "
+                   "evicts oldest live entries down to the cap)")
     gc.add_argument("--store", default=None, metavar="DIR")
     gc.add_argument("--all", action="store_true",
                     help="remove every entry, not just dead ones")
     gc.add_argument("--kind", default=None,
                     help="remove every entry of this artifact kind")
+    gc.add_argument("--max-bytes", type=int, default=None, metavar="N",
+                    help="after the dead-data pass, evict oldest "
+                         "entries (by creation time) until the live "
+                         "store fits N bytes")
 
     report = subparsers.add_parser(
         "timing-report", help="STA endpoint-slack report of the ALU")
@@ -225,7 +234,8 @@ def main(argv: list[str] | None = None) -> int:
         if args.cache_command == "gc":
             kinds = (args.kind,) if args.kind else None
             removed, freed = store.gc(
-                remove_all=args.all or kinds is not None, kinds=kinds)
+                remove_all=args.all or kinds is not None, kinds=kinds,
+                max_bytes=args.max_bytes)
             print(f"removed {removed} entries, freed {freed} bytes "
                   f"({store.root})")
             return 0

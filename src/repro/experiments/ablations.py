@@ -31,7 +31,7 @@ from repro.fi.model_c import StatisticalInjector
 from repro.mc.results import McPoint
 from repro.mc.runner import run_point
 from repro.mc.units import PointUnit, mc_point_key, resolve_units, \
-    stream_scheme
+    stream_scheme, work_unit_key
 from repro.netlist.adders import ADDER_KINDS
 from repro.netlist.alu import AluConfig, AluNetlist
 from repro.netlist.calibrate import calibrate_alu
@@ -152,9 +152,24 @@ def run_semantics_ablation(scale: str | Scale = "default",
     return assemble_semantics(points, frequency_hz=frequency_hz)
 
 
+#: Schema version of the AdderTopologyAblation JSON representation;
+#: bump on any incompatible change (store entries key on it).
+ADDER_ABLATION_SCHEMA = 1
+
+#: Per-topology seed stride: every topology derives its own operand
+#: stream as ``seed + ADDER_SEED_STRIDE * index``, so topology units
+#: are independent of the order in which they compute.
+ADDER_SEED_STRIDE = 32452843
+
+
 @dataclass
 class AdderTopologyAblation:
-    """Bit-width-dependent add PoFFs per adder topology."""
+    """Bit-width-dependent add PoFFs per adder topology.
+
+    Doubles as the per-topology store artifact (kind
+    ``adder_ablation``): a unit's result carries one topology's entry,
+    :func:`assemble_adders` merges them into the full study.
+    """
 
     #: topology -> (poff with 15-bit operands, poff with 32-bit operands)
     poffs_hz: dict[str, tuple[float, float]]
@@ -165,32 +180,114 @@ class AdderTopologyAblation:
         narrow, wide = self.poffs_hz[kind]
         return narrow / wide
 
+    # -- persistence -----------------------------------------------------
+
+    def to_json(self) -> dict:
+        """Lossless JSON body (floats round-trip exactly)."""
+        return {
+            "schema": ADDER_ABLATION_SCHEMA,
+            "poffs_hz": {kind: [float(narrow), float(wide)]
+                         for kind, (narrow, wide)
+                         in self.poffs_hz.items()},
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "AdderTopologyAblation":
+        """Inverse of :meth:`to_json` (exact round-trip)."""
+        if payload.get("schema") != ADDER_ABLATION_SCHEMA:
+            raise ValueError(
+                f"AdderTopologyAblation schema mismatch: stored "
+                f"{payload.get('schema')}, current "
+                f"{ADDER_ABLATION_SCHEMA}")
+        return cls(poffs_hz={
+            kind: (narrow, wide)
+            for kind, (narrow, wide) in payload["poffs_hz"].items()})
+
+
+def _adder_study_fingerprint() -> dict:
+    """Deterministic inputs of one topology's PoFF measurement.
+
+    The topology ALUs are built fresh from the default cell library
+    and calibrated to the default unit timing targets, so those two --
+    not any pre-built ALU instance -- identify the hardware model in
+    the cache key.
+    """
+    from repro.netlist.calibrate import DEFAULT_TARGETS_PS
+    from repro.netlist.library import CellLibrary
+    library = CellLibrary()
+    return {
+        "targets_ps": dict(DEFAULT_TARGETS_PS),
+        "library": [library.vth, library.alpha, library.clk_to_q_ps,
+                    library.setup_ps,
+                    sorted(library.cell_delays_ps.items())],
+    }
+
+
+def _compute_adder_poffs(kind: str, n_samples: int,
+                         seed: int) -> tuple[float, float]:
+    """Measure one topology's (16-bit, 32-bit) add PoFFs."""
+    alu = AluNetlist(AluConfig(adder_kind=kind))
+    calibrate_alu(alu)
+    rng = np.random.default_rng(seed)
+    results = []
+    for bits in (15, 32):
+        operands = tuple(
+            rng.integers(0, 1 << bits, n_samples + 1, dtype=np.uint64)
+            for _ in range(2))
+        dta = run_dta(alu, "l.add", n_samples, vdd=NOMINAL_VDD,
+                      seed=seed, operands=operands)
+        results.append(1e12 / float(dta.critical_ps.max()))
+    return (results[0], results[1])
+
+
+def adder_topology_units(scale: str | Scale, seed: int = 2016) \
+        -> list[PointUnit]:
+    """One work unit per adder topology (planning runs no DTA)."""
+    scale = get_scale(scale)
+    fingerprint = _adder_study_fingerprint()
+    units = []
+    for index, kind in enumerate(ADDER_KINDS):
+        def compute(kind=kind, index=index):
+            return AdderTopologyAblation(poffs_hz={
+                kind: _compute_adder_poffs(
+                    kind, scale.fig4_samples,
+                    seed + ADDER_SEED_STRIDE * index)})
+
+        units.append(PointUnit(
+            label=f"ablations:adder/{kind}",
+            key=work_unit_key(
+                "adder_ablation", "ablations", scale, seed,
+                {"study": "adder_topology", "adder_kind": kind,
+                 "topology_index": index,
+                 "operand_bits": [15, 32], "vdd": NOMINAL_VDD,
+                 "n_samples": scale.fig4_samples,
+                 "glitch_model": "sensitized", **fingerprint}),
+            compute=compute))
+    return units
+
+
+def assemble_adders(parts: list[AdderTopologyAblation]) \
+        -> AdderTopologyAblation:
+    """Merge per-topology units into the full study."""
+    merged: dict[str, tuple[float, float]] = {}
+    for part in parts:
+        merged.update(part.poffs_hz)
+    return AdderTopologyAblation(poffs_hz=merged)
+
 
 def run_adder_topology_ablation(scale: str | Scale = "default",
-                                seed: int = 2016) -> AdderTopologyAblation:
+                                seed: int = 2016,
+                                store=None) -> AdderTopologyAblation:
     """Measure the 16-vs-32-bit add PoFF spread for each topology.
 
     Each topology gets its own ALU, calibrated to identical unit timing
     targets, so only the *structure* (the arrival-time profile across
-    endpoint bits) differs.
+    endpoint bits) differs.  With a ``store``, previously measured
+    topologies reload exactly and the rerun performs zero DTA work.
     """
-    scale = get_scale(scale)
-    rng = np.random.default_rng(seed)
-    n = scale.fig4_samples
-    poffs = {}
-    for kind in ADDER_KINDS:
-        alu = AluNetlist(AluConfig(adder_kind=kind))
-        calibrate_alu(alu)
-        results = []
-        for bits in (15, 32):
-            operands = tuple(
-                rng.integers(0, 1 << bits, n + 1, dtype=np.uint64)
-                for _ in range(2))
-            dta = run_dta(alu, "l.add", n, vdd=NOMINAL_VDD, seed=seed,
-                          operands=operands)
-            results.append(1e12 / float(dta.critical_ps.max()))
-        poffs[kind] = (results[0], results[1])
-    return AdderTopologyAblation(poffs_hz=poffs)
+    units = adder_topology_units(scale, seed=seed)
+    parts, _, _ = resolve_units(units, store)
+    return assemble_adders(parts)
 
 
 def render_all(glitch: GlitchModelAblation, semantics: SemanticsAblation,

@@ -15,6 +15,14 @@ The paper's qualitative findings that must hold here: the points of
 first calculation failure are ordered mul < add-32 < add-16 in
 frequency, and the MSE rises with frequency and saturates near the
 operand-width-determined maximum about 15 % beyond the PoFF.
+
+Each instruction variant is one **work unit** (see
+:mod:`repro.mc.units`): its curve is fully determined by the ALU
+timing model, the variant's derived seed and the sweep parameters, and
+persists in the result store under the ``fig4_curve`` kind.  Every
+variant owns an independent random stream (derived from the master
+seed and the variant index), so units are order-independent and can be
+sharded across campaign workers.
 """
 
 from __future__ import annotations
@@ -25,6 +33,8 @@ import numpy as np
 
 from repro.experiments.context import ExperimentContext, NOMINAL_VDD
 from repro.experiments.scale import Scale, get_scale
+from repro.mc.units import WorkUnit, resolve_units, work_unit_key
+from repro.timing.characterize import alu_fingerprint
 from repro.timing.dta import run_dta
 from repro.timing.noise import VoltageNoise
 
@@ -46,6 +56,16 @@ SIGMA_V = 0.010
 #: Frequency axis of the paper's plot [Hz].
 FREQ_AXIS = (650e6, 1250e6)
 
+#: Schema version of the InstructionMseCurve JSON representation; bump
+#: on any incompatible change (store entries key on it).
+FIG4_CURVE_SCHEMA = 1
+
+#: Per-variant seed stride: every variant derives its own master seed
+#: as ``seed + 4 + FIG4_SEED_STRIDE * index`` (the ``+ 4`` is the
+#: study's historical RNG salt), so variant curves are independent of
+#: the order in which they compute.
+FIG4_SEED_STRIDE = 15485863
+
 
 @dataclass
 class InstructionMseCurve:
@@ -63,6 +83,36 @@ class InstructionMseCurve:
         if nonzero.size == 0:
             return None
         return float(self.frequencies_hz[nonzero[0]])
+
+    # -- persistence -----------------------------------------------------
+
+    def to_json(self) -> dict:
+        """Lossless JSON body (schema ``FIG4_CURVE_SCHEMA``)."""
+        from repro.store.serialize import encode
+        return {
+            "schema": FIG4_CURVE_SCHEMA,
+            "label": self.label,
+            "mnemonic": self.mnemonic,
+            "operand_bits": int(self.operand_bits),
+            "frequencies_hz": encode(np.asarray(self.frequencies_hz)),
+            "mse": encode(np.asarray(self.mse)),
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "InstructionMseCurve":
+        """Inverse of :meth:`to_json` (exact numpy round-trip)."""
+        from repro.store.serialize import decode
+        if payload.get("schema") != FIG4_CURVE_SCHEMA:
+            raise ValueError(
+                f"InstructionMseCurve schema mismatch: stored "
+                f"{payload.get('schema')}, current {FIG4_CURVE_SCHEMA}")
+        return cls(
+            label=payload["label"],
+            mnemonic=payload["mnemonic"],
+            operand_bits=payload["operand_bits"],
+            frequencies_hz=decode(payload["frequencies_hz"]),
+            mse=decode(payload["mse"]),
+        )
 
 
 @dataclass
@@ -84,49 +134,113 @@ def _wrap_sq_error(corrupted: np.ndarray, correct: np.ndarray) -> np.ndarray:
     return wrapped.astype(np.float64) ** 2
 
 
-def run(scale: str | Scale = "default", seed: int = 2016,
-        context: ExperimentContext | None = None,
-        sigma_v: float = SIGMA_V, points: int | None = None) -> Fig4Result:
-    """Run the instruction MSE study."""
-    scale = get_scale(scale)
-    ctx = context or ExperimentContext.create(scale, seed)
-    points = points or max(scale.freq_points * 4, 25)
+def _variant_rng(seed: int, index: int) -> np.random.Generator:
+    """Independent random stream of one instruction variant.
+
+    Each variant derives its own stream from the master seed and its
+    variant index, so a variant's curve does not depend on which other
+    variants ran before it -- the property that lets campaign workers
+    compute variants in any order or in parallel.
+    """
+    return np.random.default_rng(seed + 4 + FIG4_SEED_STRIDE * index)
+
+
+def _compute_curve(ctx: ExperimentContext, index: int, seed: int,
+                   sigma_v: float, points: int) -> InstructionMseCurve:
+    """Run the DTA + noise-corruption sweep of one variant."""
+    label, mnemonic, bits, signed = VARIANTS[index]
     frequencies = np.linspace(FREQ_AXIS[0], FREQ_AXIS[1], points)
     noise = VoltageNoise(sigma_v)
-    rng = ctx.rng(salt=4)
-    n_samples = scale.fig4_samples
-    curves = []
-    for label, mnemonic, bits, signed in VARIANTS:
-        if signed:
-            low, high = -(1 << (bits - 1)), 1 << (bits - 1)
-            operands = tuple(
-                (rng.integers(low, high, n_samples + 1, dtype=np.int64)
-                 & 0xFFFFFFFF).astype(np.uint64)
-                for _ in range(2))
-        else:
-            operands = tuple(
-                rng.integers(0, 1 << bits, n_samples + 1, dtype=np.uint64)
-                for _ in range(2))
-        dta = run_dta(ctx.alu, mnemonic, n_samples, vdd=NOMINAL_VDD,
-                      seed=seed, operands=operands)
-        critical = dta.critical_ps  # (n, 32)
-        correct = dta.values.astype(np.uint64)
-        bit_weights = (np.uint64(1) << np.arange(32, dtype=np.uint64))
-        mse = np.empty_like(frequencies)
-        for index, frequency in enumerate(frequencies):
-            period = 1e12 / frequency
-            droops = noise.sample(n_samples, rng)
-            factors = np.asarray(ctx.vdd_model.scale_factor(
-                NOMINAL_VDD + droops, NOMINAL_VDD))
-            violated = critical * factors[:, None] > period
-            masks = (violated * bit_weights[None, :]).sum(
-                axis=1, dtype=np.uint64)
-            corrupted = correct ^ masks
-            mse[index] = _wrap_sq_error(corrupted, correct).mean()
-        curves.append(InstructionMseCurve(
-            label=label, mnemonic=mnemonic, operand_bits=bits,
-            frequencies_hz=frequencies, mse=mse))
-    return Fig4Result(curves=curves, vdd=NOMINAL_VDD, sigma_v=sigma_v)
+    rng = _variant_rng(seed, index)
+    n_samples = ctx.scale.fig4_samples
+    if signed:
+        low, high = -(1 << (bits - 1)), 1 << (bits - 1)
+        operands = tuple(
+            (rng.integers(low, high, n_samples + 1, dtype=np.int64)
+             & 0xFFFFFFFF).astype(np.uint64)
+            for _ in range(2))
+    else:
+        operands = tuple(
+            rng.integers(0, 1 << bits, n_samples + 1, dtype=np.uint64)
+            for _ in range(2))
+    dta = run_dta(ctx.alu, mnemonic, n_samples, vdd=NOMINAL_VDD,
+                  seed=seed, operands=operands)
+    critical = dta.critical_ps  # (n, 32)
+    correct = dta.values.astype(np.uint64)
+    bit_weights = (np.uint64(1) << np.arange(32, dtype=np.uint64))
+    mse = np.empty_like(frequencies)
+    for fi, frequency in enumerate(frequencies):
+        period = 1e12 / frequency
+        droops = noise.sample(n_samples, rng)
+        factors = np.asarray(ctx.vdd_model.scale_factor(
+            NOMINAL_VDD + droops, NOMINAL_VDD))
+        violated = critical * factors[:, None] > period
+        masks = (violated * bit_weights[None, :]).sum(
+            axis=1, dtype=np.uint64)
+        corrupted = correct ^ masks
+        mse[fi] = _wrap_sq_error(corrupted, correct).mean()
+    return InstructionMseCurve(
+        label=label, mnemonic=mnemonic, operand_bits=bits,
+        frequencies_hz=frequencies, mse=mse)
+
+
+def curve_units(ctx: ExperimentContext, seed: int = 2016,
+                sigma_v: float = SIGMA_V,
+                points: int | None = None) -> list[WorkUnit]:
+    """Decompose the study into one work unit per instruction variant.
+
+    Planning is cheap (no DTA runs until a unit computes); the cache
+    key carries the ALU timing-model fingerprint, the variant's sweep
+    parameters and the sample count, so hardware-model or scale
+    changes invalidate persisted curves instead of serving stale ones.
+    """
+    points = points or max(ctx.scale.freq_points * 4, 25)
+    units: list[WorkUnit] = []
+    for index, (label, mnemonic, bits, signed) in enumerate(VARIANTS):
+        def compute(index=index):
+            return _compute_curve(ctx, index, seed, sigma_v, points)
+
+        units.append(WorkUnit(
+            label=f"fig4:{label}",
+            key=work_unit_key(
+                "fig4_curve", "fig4", ctx.scale, seed,
+                {"variant": label, "mnemonic": mnemonic,
+                 "operand_bits": bits, "signed": signed,
+                 "variant_index": index,
+                 "vdd": NOMINAL_VDD, "sigma_v": float(sigma_v),
+                 "points": points,
+                 "freq_axis": [float(f) for f in FREQ_AXIS],
+                 "n_samples": ctx.scale.fig4_samples,
+                 "glitch_model": "sensitized",
+                 "alu": alu_fingerprint(ctx.alu)}),
+            compute=compute))
+    return units
+
+
+def assemble(curves: list[InstructionMseCurve],
+             sigma_v: float = SIGMA_V) -> Fig4Result:
+    """Fold resolved curve units (in unit order) into the result."""
+    return Fig4Result(curves=list(curves), vdd=NOMINAL_VDD,
+                      sigma_v=sigma_v)
+
+
+def run(scale: str | Scale = "default", seed: int = 2016,
+        context: ExperimentContext | None = None,
+        sigma_v: float = SIGMA_V, points: int | None = None,
+        store=None) -> Fig4Result:
+    """Run the instruction MSE study.
+
+    With a ``store`` (or a store-attached context), previously
+    computed curves are reloaded bit-identically and the rerun
+    performs zero DTA work.
+    """
+    scale = get_scale(scale)
+    ctx = context or ExperimentContext.create(scale, seed, store=store)
+    if store is None:
+        store = ctx.store
+    units = curve_units(ctx, seed=seed, sigma_v=sigma_v, points=points)
+    curves, _, _ = resolve_units(units, store)
+    return assemble(curves, sigma_v=sigma_v)
 
 
 def render(result: Fig4Result) -> str:
@@ -135,7 +249,9 @@ def render(result: Fig4Result) -> str:
     for curve in result.curves:
         poff = curve.poff_hz()
         peak = curve.mse.max()
+        poff_text = (f"{poff / 1e6:7.1f} MHz" if poff is not None
+                     else f"{'-':>7s} MHz")
         lines.append(
             f"  {curve.label:14s} PoFF = "
-            f"{(poff or 0) / 1e6:7.1f} MHz   saturation MSE = {peak:.3e}")
+            f"{poff_text}   saturation MSE = {peak:.3e}")
     return "\n".join(lines)

@@ -19,9 +19,11 @@ from repro.mc.sweep import (
 )
 from repro.mc.units import (
     PointUnit,
+    WorkUnit,
     mc_point_key,
     resolve_units,
     stream_scheme,
+    work_unit_key,
 )
 
 __all__ = [
@@ -32,6 +34,7 @@ __all__ = [
     "McPoint",
     "PointUnit",
     "TrialResult",
+    "WorkUnit",
     "frequency_grid",
     "geometric_mean",
     "golden_cycles",
@@ -47,4 +50,5 @@ __all__ = [
     "trial_budget",
     "trial_seeds",
     "wilson_interval",
+    "work_unit_key",
 ]

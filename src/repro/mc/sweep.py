@@ -221,8 +221,18 @@ def sweep_frequencies(kernel: KernelInstance,
 
 def frequency_grid(center_hz: float, span_rel: float,
                    points: int) -> list[float]:
-    """Symmetric relative frequency grid around a center frequency."""
+    """Symmetric relative frequency grid around a center frequency.
+
+    ``span_rel`` must lie in [0, 1): a span of 1 or more would emit
+    zero or negative frequencies, which poison every downstream period
+    computation (``1e12 / f``).
+    """
     if points < 2:
         raise ValueError("need at least two grid points")
+    if not 0.0 <= span_rel < 1.0:
+        raise ValueError(
+            f"span_rel must be in [0, 1) -- a span of {span_rel} would "
+            f"emit zero or negative frequencies, whose clock periods "
+            f"(1e12 / f) are meaningless")
     return list(np.linspace(center_hz * (1 - span_rel),
                             center_hz * (1 + span_rel), points))

@@ -1,23 +1,28 @@
-"""Point-level work units: the campaign/store currency of the MC layer.
+"""Work units: the campaign/store currency of every experiment layer.
 
-A figure-level experiment decomposes into **point units**: one unit
-computes one :class:`McPoint` (one data point of a paper figure) and
-carries the canonical cache-key payload that addresses its result in a
-:class:`repro.store.ResultStore`.  The same units serve three callers:
+A figure-level experiment decomposes into **work units**: one unit
+computes one storable artifact (a Monte-Carlo :class:`McPoint`, a
+fig2 CDF curve, a fig4 MSE curve, ...) and carries the canonical
+cache-key payload that addresses its result in a
+:class:`repro.store.ResultStore`.  The unit machinery is deliberately
+kind-agnostic -- the ``kind`` field of the key payload selects the
+artifact's schema and (de)serializer through the store's registry
+(:mod:`repro.store.schema`), so any artifact with a lossless
+``to_json``/``from_json`` pair can ride the same rails.  The same
+units serve three callers:
 
 * the figure drivers iterate them in order (store-aware: hits skip the
-  Monte-Carlo simulation entirely);
+  expensive computation entirely);
 * the campaign orchestrator shards them across a process pool and
   persists each result as soon as it completes (kill-safe resume);
 * tests compare resolve paths (fresh vs cached vs pooled) for
   bit-identical output.
 
 Key discipline: the payload contains *everything* that determines the
-result -- experiment, full scale preset, master seed, stream scheme
-(serial vs per-trial child seeds), benchmark identity and the
-condition config (voltage, noise, frequency, characterization
-fingerprint) -- plus the schema version, so a schema bump invalidates
-stale entries by construction.
+result -- experiment, full scale preset, master seed, and the
+condition config (voltage, noise, frequency, hardware-model
+fingerprint, benchmark identity) -- plus the schema version, so a
+schema bump invalidates stale entries by construction.
 """
 
 from __future__ import annotations
@@ -26,7 +31,7 @@ from dataclasses import asdict, dataclass
 from typing import Callable
 
 from repro.bench.kernel import KernelInstance
-from repro.mc.results import MC_POINT_SCHEMA, McPoint
+from repro.mc.results import MC_POINT_SCHEMA
 from repro.mc.runner import BUDGET_FACTOR
 
 
@@ -41,6 +46,28 @@ def stream_scheme(n_jobs: int | None) -> str:
     itself is *not* part of the key.
     """
     return "serial" if n_jobs is None else "per-trial"
+
+
+def work_unit_key(kind: str, experiment: str, scale, seed: int,
+                  condition: dict | None, stream: str = "dta") -> dict:
+    """Canonical cache-key payload for one work unit of any kind.
+
+    The schema version is read from the store's kind registry so it
+    always tracks the artifact's ``*_SCHEMA`` constant.  ``stream``
+    defaults to ``"dta"`` for deterministic (non-Monte-Carlo)
+    artifacts; Monte-Carlo points pass their random-stream scheme
+    through :func:`mc_point_key` instead.
+    """
+    from repro.store.schema import current_schema
+    return {
+        "kind": kind,
+        "schema": current_schema(kind),
+        "experiment": experiment,
+        "scale": asdict(scale) if scale is not None else None,
+        "seed": seed,
+        "stream": stream,
+        "config": dict(condition or {}),
+    }
 
 
 def mc_point_key(experiment: str, scale, seed: int, stream: str,
@@ -65,41 +92,48 @@ def mc_point_key(experiment: str, scale, seed: int, stream: str,
 
 
 @dataclass
-class PointUnit:
-    """One store-addressable unit of Monte-Carlo work.
+class WorkUnit:
+    """One store-addressable unit of work of any artifact kind.
 
     Attributes:
         label: human-readable unit name (shown by campaign status).
-        key: full cache-key payload (see :func:`mc_point_key`).
-        compute: runs the Monte-Carlo simulation and returns the point
-            (a closure over the kernel, injector factory and seeds; it
-            is fork-inheritable but not picklable).
+        key: full cache-key payload (see :func:`work_unit_key` /
+            :func:`mc_point_key`); its ``kind`` field selects the
+            artifact schema and serializer.
+        compute: runs the expensive computation and returns the
+            artifact (a closure over the experiment context, kernels
+            and seeds; it is fork-inheritable but not picklable).
     """
 
     label: str
     key: dict
-    compute: Callable[[], McPoint]
+    compute: Callable[[], object]
 
 
-def resolve_units(units: list[PointUnit], store=None,
+#: Backwards-compatible alias from when units were hard-wired to
+#: :class:`~repro.mc.results.McPoint`.
+PointUnit = WorkUnit
+
+
+def resolve_units(units: list[WorkUnit], store=None,
                   progress: Callable[[str], None] | None = None) \
-        -> tuple[list[McPoint], int, int]:
+        -> tuple[list, int, int]:
     """Resolve units in order against a store (or compute them all).
 
-    Every store hit skips its Monte-Carlo simulation; every miss is
-    computed and immediately persisted, so a killed run resumes from
-    the last completed unit.  Returns ``(points, n_cached,
-    n_computed)``; the points are in unit order either way.
+    Every store hit skips its computation; every miss is computed and
+    immediately persisted, so a killed run resumes from the last
+    completed unit.  Returns ``(artifacts, n_cached, n_computed)``;
+    the artifacts are in unit order either way.
     """
-    points: list[McPoint] = []
+    artifacts: list = []
     n_cached = 0
     n_computed = 0
     for unit in units:
-        point = store.get(unit.key) if store is not None else None
-        if point is None:
-            point = unit.compute()
+        artifact = store.get(unit.key) if store is not None else None
+        if artifact is None:
+            artifact = unit.compute()
             if store is not None:
-                store.put(unit.key, point, label=unit.label)
+                store.put(unit.key, artifact, label=unit.label)
             n_computed += 1
             if progress is not None:
                 progress(f"computed {unit.label}")
@@ -107,5 +141,5 @@ def resolve_units(units: list[PointUnit], store=None,
             n_cached += 1
             if progress is not None:
                 progress(f"cached   {unit.label}")
-        points.append(point)
-    return points, n_cached, n_computed
+        artifacts.append(artifact)
+    return artifacts, n_cached, n_computed

@@ -17,7 +17,8 @@ sync.
 from __future__ import annotations
 
 #: Artifact kinds the store can hold.
-KINDS = ("mc_point", "frequency_sweep", "alu_characterization")
+KINDS = ("mc_point", "frequency_sweep", "alu_characterization",
+         "fig2_curve", "fig4_curve", "adder_ablation")
 
 
 def current_schema(kind: str) -> int:
@@ -31,6 +32,15 @@ def current_schema(kind: str) -> int:
     if kind == "alu_characterization":
         from repro.timing.characterize import ALU_CHARACTERIZATION_SCHEMA
         return ALU_CHARACTERIZATION_SCHEMA
+    if kind == "fig2_curve":
+        from repro.experiments.fig2 import FIG2_CURVE_SCHEMA
+        return FIG2_CURVE_SCHEMA
+    if kind == "fig4_curve":
+        from repro.experiments.fig4 import FIG4_CURVE_SCHEMA
+        return FIG4_CURVE_SCHEMA
+    if kind == "adder_ablation":
+        from repro.experiments.ablations import ADDER_ABLATION_SCHEMA
+        return ADDER_ABLATION_SCHEMA
     raise KeyError(f"unknown artifact kind {kind!r}; known: "
                    f"{sorted(KINDS)}")
 
@@ -57,5 +67,14 @@ def artifact_from_json(kind: str, payload: dict):
     if kind == "alu_characterization":
         from repro.timing.characterize import AluCharacterization
         return AluCharacterization.from_json(payload)
+    if kind == "fig2_curve":
+        from repro.experiments.fig2 import CdfCurve
+        return CdfCurve.from_json(payload)
+    if kind == "fig4_curve":
+        from repro.experiments.fig4 import InstructionMseCurve
+        return InstructionMseCurve.from_json(payload)
+    if kind == "adder_ablation":
+        from repro.experiments.ablations import AdderTopologyAblation
+        return AdderTopologyAblation.from_json(payload)
     raise KeyError(f"unknown artifact kind {kind!r}; known: "
                    f"{sorted(KINDS)}")

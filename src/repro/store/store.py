@@ -174,7 +174,15 @@ class ResultStore:
         Unparsable manifest lines (e.g. a line torn by a kill mid-
         append) are skipped; entries whose object file is gone are
         dropped; a missing manifest is rebuilt from the objects
-        directory.
+        directory.  The manifest is also reconciled against the
+        objects directory -- the source of truth -- whenever an
+        on-disk object has no manifest line (a writer killed between
+        the object ``os.replace`` and the manifest append in ``put``
+        leaves exactly that state): the rebuild re-indexes every live
+        object, so ``ls`` never under-reports what ``get`` serves.
+        A dead on-disk object (stale schema, corrupted envelope) keeps
+        triggering the reconcile scan until ``gc`` reclaims it --
+        correctness over speed.
         """
         if not self.manifest_path.exists():
             entries = self.rebuild_manifest()
@@ -188,6 +196,9 @@ class ResultStore:
                     continue
                 if self._object_path(entry.sha256).exists():
                     entries[entry.sha256] = entry
+            on_disk = {path.stem for path in self.objects.glob("*/*.json")}
+            if on_disk - set(entries):
+                entries = self.rebuild_manifest()
         return sorted(entries.values(),
                       key=lambda entry: entry.created_unix)
 
@@ -218,7 +229,8 @@ class ResultStore:
     TEMP_GRACE_S = 3600.0
 
     def gc(self, *, remove_all: bool = False,
-           kinds: tuple[str, ...] | None = None) -> tuple[int, int]:
+           kinds: tuple[str, ...] | None = None,
+           max_bytes: int | None = None) -> tuple[int, int]:
         """Reclaim store space; returns (entries removed, bytes freed).
 
         The default pass removes only *dead* data: unparsable or
@@ -228,7 +240,17 @@ class ResultStore:
         in-flight atomic write of a concurrent campaign worker).
         ``remove_all`` drops every entry (optionally restricted to
         ``kinds``).
+
+        ``max_bytes`` adds a size-capped LRU pass *after* the
+        dead-data reclaim: while the surviving live objects still
+        exceed the cap, the oldest entries by ``created_unix`` are
+        evicted -- and only until the total drops to the cap, never
+        below it, so a gc racing a live campaign reclaims the minimum
+        necessary (evicted entries are recomputed on their next
+        resolve; everything newer stays a hit).
         """
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError("max_bytes must be non-negative")
         removed = 0
         freed = 0
         cutoff = time.time() - self.TEMP_GRACE_S
@@ -244,6 +266,7 @@ class ResultStore:
                 continue  # renamed/removed by its writer meanwhile
             freed += stat.st_size
             removed += 1
+        live: list[tuple[float, Path, int]] = []
         for path in sorted(self.objects.glob("*/*.json")):
             try:
                 size = path.stat().st_size
@@ -263,7 +286,37 @@ class ResultStore:
                     continue
                 removed += 1
                 freed += size
+            else:
+                live.append((float((envelope or {}).get(
+                    "created_unix", 0.0)), path, size))
+        if max_bytes is not None:
+            evicted, evicted_bytes = self._evict_lru(live, max_bytes)
+            removed += evicted
+            freed += evicted_bytes
         self.rebuild_manifest()
+        return removed, freed
+
+    def _evict_lru(self, live: list[tuple[float, Path, int]],
+                   max_bytes: int) -> tuple[int, int]:
+        """Evict oldest live entries until the total fits ``max_bytes``.
+
+        ``live`` carries (created_unix, path, size) of every surviving
+        object; ties on age break by path for determinism.  Eviction
+        stops the moment the running total is at or under the cap.
+        """
+        total = sum(size for _, _, size in live)
+        removed = 0
+        freed = 0
+        for _, path, size in sorted(live):
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue  # already reclaimed by a concurrent gc
+            total -= size
+            removed += 1
+            freed += size
         return removed, freed
 
     # -- internals -------------------------------------------------------

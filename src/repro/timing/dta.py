@@ -15,6 +15,7 @@ instruction's encoding (e.g. 16-bit sign-extended immediates).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
@@ -120,6 +121,13 @@ def run_dta(alu: "AluNetlist", mnemonic: str, n_cycles: int,
     """
     if n_cycles <= 0:
         raise ValueError("n_cycles must be positive")
+    if os.environ.get("REPRO_FORBID_DTA"):
+        # Verification hook (the DTA twin of REPRO_FORBID_MC): a
+        # warm-cache fig2/fig4 rerun must be served entirely from the
+        # result store, so reaching the timing simulator is a bug.
+        raise RuntimeError(
+            "DTA simulation attempted while REPRO_FORBID_DTA is set "
+            "-- expected a result-store hit")
     unit = alu.unit_of(mnemonic)
     if operands is None:
         rng = np.random.default_rng(seed)

@@ -54,6 +54,22 @@ class TestAdderTopologyAblation:
     def result(self):
         return ablations.run_adder_topology_ablation(TINY)
 
+    def test_artifact_round_trip_is_exact(self, result):
+        import json
+        back = ablations.AdderTopologyAblation.from_json(
+            json.loads(json.dumps(result.to_json())))
+        assert back.poffs_hz == result.poffs_hz
+
+    def test_warm_store_rerun_is_dta_free_and_identical(
+            self, result, tmp_path, monkeypatch):
+        from repro.store import ResultStore
+        store = ResultStore(tmp_path / "store")
+        cold = ablations.run_adder_topology_ablation(TINY, store=store)
+        assert cold.poffs_hz == result.poffs_hz
+        monkeypatch.setenv("REPRO_FORBID_DTA", "1")
+        warm = ablations.run_adder_topology_ablation(TINY, store=store)
+        assert warm.poffs_hz == result.poffs_hz
+
     def test_all_topologies_measured(self, result):
         assert set(result.poffs_hz) == {"ripple", "carry-select",
                                         "kogge-stone"}

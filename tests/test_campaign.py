@@ -10,10 +10,14 @@ The invariants under test are the subsystem's reason to exist:
 
 from __future__ import annotations
 
+import json
+
+import numpy as np
 import pytest
 
 from repro.campaign import campaign_status, plan_campaign, run_campaign
-from repro.experiments import ablations, fig5, fig6, fig7
+from repro.campaign.orchestrator import _init_worker, _run_shard
+from repro.experiments import ablations, fig2, fig4, fig5, fig6, fig7
 from repro.experiments.context import ExperimentContext
 from repro.experiments.scale import Scale
 from repro.store import ResultStore
@@ -218,3 +222,210 @@ class TestOtherPlans:
         plan = plan_campaign("fig5", ctx, SEED)
         assert all(unit.label.startswith("fig5:")
                    for unit in plan.units)
+
+
+class TestCurveArtifacts:
+    """fig2/fig4 curves as first-class store artifacts."""
+
+    def _cdf_curve(self) -> fig2.CdfCurve:
+        rng = np.random.default_rng(3)
+        return fig2.CdfCurve(
+            mnemonic="l.mul", bit=24, vdd=0.7,
+            frequencies_hz=np.linspace(8e8, 2e9, 17),
+            probabilities=rng.random(17))
+
+    def _mse_curve(self) -> fig4.InstructionMseCurve:
+        rng = np.random.default_rng(4)
+        return fig4.InstructionMseCurve(
+            label="l.add 16-bit", mnemonic="l.add", operand_bits=15,
+            frequencies_hz=np.linspace(6.5e8, 1.25e9, 13),
+            mse=rng.random(13) * 1e9)
+
+    def test_fig2_curve_round_trip_bit_exact(self):
+        curve = self._cdf_curve()
+        back = fig2.CdfCurve.from_json(
+            json.loads(json.dumps(curve.to_json())))
+        assert back.mnemonic == curve.mnemonic
+        assert back.bit == curve.bit and back.vdd == curve.vdd
+        assert back.frequencies_hz.tobytes() == \
+            curve.frequencies_hz.tobytes()
+        assert back.probabilities.tobytes() == \
+            curve.probabilities.tobytes()
+        assert back.frequencies_hz.dtype == curve.frequencies_hz.dtype
+
+    def test_fig4_curve_round_trip_bit_exact(self):
+        curve = self._mse_curve()
+        back = fig4.InstructionMseCurve.from_json(
+            json.loads(json.dumps(curve.to_json())))
+        assert back.label == curve.label
+        assert back.operand_bits == curve.operand_bits
+        assert back.frequencies_hz.tobytes() == \
+            curve.frequencies_hz.tobytes()
+        assert back.mse.tobytes() == curve.mse.tobytes()
+        assert back.poff_hz() == curve.poff_hz()
+
+    def test_schema_guard(self):
+        payload = self._cdf_curve().to_json()
+        payload["schema"] = fig2.FIG2_CURVE_SCHEMA + 1
+        with pytest.raises(ValueError):
+            fig2.CdfCurve.from_json(payload)
+        payload = self._mse_curve().to_json()
+        payload["schema"] = fig4.FIG4_CURVE_SCHEMA + 1
+        with pytest.raises(ValueError):
+            fig4.InstructionMseCurve.from_json(payload)
+
+    def test_store_round_trip_through_kind_registry(self, store):
+        curve = self._cdf_curve()
+        from repro.mc.units import work_unit_key
+        key = work_unit_key("fig2_curve", "fig2", None, SEED,
+                            {"mnemonic": "l.mul", "bit": 24})
+        store.put(key, curve, label="curve")
+        back = store.get(key)
+        assert isinstance(back, fig2.CdfCurve)
+        assert back.probabilities.tobytes() == \
+            curve.probabilities.tobytes()
+
+    def test_warm_fig2_is_identical_and_dta_free(self, ctx, store,
+                                                 monkeypatch):
+        # The CLI flow: a store-attached context persists the
+        # characterizations, curves land as fig2_curve units.
+        truth = fig2.render(fig2.run(TINY, seed=SEED, context=ctx,
+                                     points=61))
+        cold_ctx = ExperimentContext.create(TINY, seed=SEED,
+                                            store=store)
+        cold = fig2.render(fig2.run(TINY, seed=SEED, context=cold_ctx,
+                                    points=61))
+        assert cold == truth
+        # A fresh process (fresh context, cold in-memory caches) must
+        # serve the rerun entirely from the store: any DTA is a bug.
+        from repro.timing import characterize
+        characterize.clear_cache()
+        monkeypatch.setenv("REPRO_FORBID_DTA", "1")
+        warm_ctx = ExperimentContext.create(TINY, seed=SEED,
+                                            store=store)
+        warm = fig2.render(fig2.run(TINY, seed=SEED, context=warm_ctx,
+                                    points=61))
+        assert warm == truth
+
+    def test_warm_fig4_is_identical_and_dta_free(self, ctx, store,
+                                                 monkeypatch):
+        truth = fig4.render(fig4.run(TINY, seed=SEED, context=ctx))
+        cold = fig4.render(fig4.run(TINY, seed=SEED, context=ctx,
+                                    store=store))
+        assert cold == truth
+        monkeypatch.setenv("REPRO_FORBID_DTA", "1")
+        warm = fig4.render(fig4.run(TINY, seed=SEED, context=ctx,
+                                    store=store))
+        assert warm == truth
+
+    def test_fig4_variants_are_order_independent(self, ctx):
+        # Decomposed units must not share RNG state: computing a
+        # variant alone matches computing it after the others.
+        units = fig4.curve_units(ctx, seed=SEED)
+        alone = units[2].compute()
+        in_order = [unit.compute() for unit in units][2]
+        assert alone.mse.tobytes() == in_order.mse.tobytes()
+
+
+class TestCampaignAll:
+    @pytest.fixture(scope="class")
+    def all_truth(self, store_factory) -> str:
+        """Uninterrupted `campaign run all` output: the ground truth."""
+        report = run_campaign("all", TINY, seed=SEED,
+                              store=store_factory("truth"), jobs=1)
+        return report.rendered
+
+    @pytest.fixture(scope="class")
+    def store_factory(self, tmp_path_factory):
+        def make(name):
+            return ResultStore(tmp_path_factory.mktemp(name) / "store")
+        return make
+
+    def test_all_covers_every_campaign_experiment(self, all_truth):
+        for name in ("fig2", "fig4", "fig5", "fig6", "fig7",
+                     "ablations"):
+            assert f"\n{name} (scale: tiny)\n" in all_truth
+
+    def test_all_sections_match_direct_drivers(self, all_truth, ctx,
+                                               fig7_truth):
+        assert fig7_truth in all_truth
+        assert fig4.render(fig4.run(TINY, seed=SEED, context=ctx)) \
+            in all_truth
+
+    def test_resume_after_kill_is_byte_identical(self, all_truth,
+                                                 store_factory):
+        store = store_factory("killed")
+        budget = 5
+
+        class _Killed(Exception):
+            pass
+
+        original_put = store.put
+        calls = {"n": 0}
+
+        def killing_put(key, artifact, label=""):
+            if calls["n"] >= budget:
+                raise _Killed()
+            calls["n"] += 1
+            return original_put(key, artifact, label=label)
+
+        store.put = killing_put
+        with pytest.raises(_Killed):
+            run_campaign("all", TINY, seed=SEED, store=store, jobs=1)
+        store.put = original_put
+
+        partial = campaign_status("all", TINY, SEED, store)
+        assert 0 < partial.done < partial.total
+
+        report = run_campaign("all", TINY, seed=SEED, store=store,
+                              jobs=1)
+        assert report.rendered == all_truth
+        assert report.computed == partial.total - partial.done
+
+    def test_warm_all_is_simulation_free(self, all_truth, store_factory,
+                                         monkeypatch):
+        store = store_factory("warm")
+        run_campaign("all", TINY, seed=SEED, store=store, jobs=1)
+        monkeypatch.setenv("REPRO_FORBID_MC", "1")
+        monkeypatch.setenv("REPRO_FORBID_DTA", "1")
+        report = run_campaign("all", TINY, seed=SEED, store=store,
+                              jobs=1)
+        assert report.computed == 0
+        assert report.rendered == all_truth
+
+
+class TestReportAccuracy:
+    def test_shards_report_only_what_they_computed(self, ctx, store):
+        # Pre-store one unit, then hand a shard both indices: the
+        # race recheck must skip the stored one and the shard must not
+        # count it as computed.
+        units = fig7.point_units(ctx, seed=SEED)[:2]
+        store.put(units[0].key, units[0].compute(),
+                  label=units[0].label)
+        _init_worker({"units": units, "store": store})
+        computed = _run_shard([0, 1])
+        assert computed == [1]
+
+
+class TestColdStoreDetection:
+    def test_foreign_characterization_does_not_suppress_warning(
+            self, store):
+        # A characterization persisted for a *different* seed must not
+        # hide that this campaign's planning will run DTA.
+        other = ExperimentContext.create(TINY, seed=SEED + 1,
+                                         store=store)
+        other.characterization(0.7)
+        assert any(entry.kind == "alu_characterization"
+                   for entry in store.ls())
+        warnings: list[str] = []
+        campaign_status("fig7", TINY, SEED, store,
+                        log=warnings.append)
+        assert any("DTA" in message for message in warnings)
+
+    def test_matching_characterization_silences_warning(self, store):
+        mine = ExperimentContext.create(TINY, seed=SEED, store=store)
+        mine.characterization(0.7)
+        warnings: list[str] = []
+        campaign_status("fig7", TINY, SEED, store,
+                        log=warnings.append)
+        assert warnings == []

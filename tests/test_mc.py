@@ -219,6 +219,16 @@ class TestSweep:
         with pytest.raises(ValueError):
             frequency_grid(700e6, 0.1, 1)
 
+    def test_frequency_grid_rejects_nonphysical_spans(self):
+        # span_rel >= 1 emits zero/negative frequencies, which poison
+        # every downstream period computation (1e12 / f).
+        for span in (1.0, 1.5, -0.1):
+            with pytest.raises(ValueError, match="span_rel"):
+                frequency_grid(700e6, span, 5)
+        # The degenerate but physical extremes still work.
+        assert frequency_grid(700e6, 0.0, 2) == [700e6, 700e6]
+        assert min(frequency_grid(700e6, 0.999, 3)) > 0
+
     def test_end_to_end_sweep_orders_frequencies(self):
         kernel = build_kernel("median", "quick")
         sweep = sweep_frequencies(
