@@ -7,15 +7,21 @@
 PYTHON ?= python
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: tier1 test bench-engines bench-figures campaign-smoke
+.PHONY: tier1 test bench-engines bench-check bench-figures campaign-smoke
 
-tier1: test bench-engines campaign-smoke
+tier1: test bench-engines bench-check campaign-smoke
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
 
 bench-engines:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/bench_engines.py -x -q
+
+# Rerun the engine rows at reduced size and fail if any committed
+# BENCH_engines.json speedup regressed beyond tolerance (20%; pool
+# rows, which time fork overhead, get a looser 60%).
+bench-check:
+	$(PYTHON) scripts/bench_check.py
 
 # Kill a quick-scale `campaign run all` mid-run, resume it, and require
 # the rendered output to be byte-identical to an uninterrupted run;

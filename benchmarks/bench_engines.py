@@ -15,22 +15,33 @@ slower, timing it with full rounds would dominate the suite).
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 
 import numpy as np
 import pytest
 
+from repro import parallel
 from repro.bench.suite import build_kernel
 from repro.experiments import fig2, fig4, fig7
 from repro.experiments.context import ExperimentContext
 from repro.fi.base import FaultInjector
 from repro.mc.runner import run_point, run_trial
+from repro.netlist.plan import F32_ATOL, F32_RTOL
 from repro.store import ResultStore
 from repro.timing.dta import run_dta
 
 #: Block width pinned by the acceptance criterion of the engines PR.
-BLOCK = 512
+#: ``REPRO_BENCH_BLOCK`` shrinks it for the reduced-size regression
+#: gate (``make bench-check``).
+BLOCK = int(os.environ.get("REPRO_BENCH_BLOCK", "512"))
+
+#: Pool size of the sharded rows, pinned by the acceptance criterion
+#: of the shared-memory PR.  The JSON records ``cpu_count`` next to
+#: it: on a 1-core container the sharded rows measure the *overhead*
+#: of sharding (workers serialize), not its scaling.
+POOL_WORKERS = 4
 
 RESULTS: dict[str, dict] = {}
 
@@ -44,11 +55,13 @@ def _time_best(fn, reps: int = 3) -> float:
     return best
 
 
-def _record(name: str, compiled_s: float, reference_s: float) -> None:
+def _record(name: str, compiled_s: float, reference_s: float,
+            **extra) -> None:
     RESULTS[name] = {
         "compiled_ms": round(compiled_s * 1e3, 3),
         "reference_ms": round(reference_s * 1e3, 3),
         "speedup": round(reference_s / compiled_s, 2),
+        **extra,
     }
 
 
@@ -56,8 +69,11 @@ def _record(name: str, compiled_s: float, reference_s: float) -> None:
 def emit_summary():
     yield
     if RESULTS:
-        path = Path(__file__).resolve().parent.parent / "BENCH_engines.json"
-        payload = {"block": BLOCK, "results": RESULTS}
+        default = Path(__file__).resolve().parent.parent \
+            / "BENCH_engines.json"
+        path = Path(os.environ.get("REPRO_BENCH_OUT", default))
+        payload = {"block": BLOCK, "cpu_count": os.cpu_count(),
+                   "pool_workers": POOL_WORKERS, "results": RESULTS}
         path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
@@ -90,6 +106,81 @@ def test_propagate_block(benchmark, ctx, mnemonic, glitch_model):
     _record(f"propagate[{mnemonic},{glitch_model}]",
             benchmark.stats.stats.min, reference_s)
     assert compiled is not None
+
+
+@pytest.mark.parametrize("mnemonic", ["l.add", "l.mul"])
+def test_propagate_block_sharded(benchmark, ctx, mnemonic):
+    """Pool-sharded propagate (4 workers) vs serial compiled + reference.
+
+    ``vs_serial`` is the acceptance metric of the shared-memory PR
+    (>= 1.8x at 4 workers *given 4 cores*); ``cpu_count`` in the JSON
+    qualifies it -- with a single core the workers serialize and the
+    row measures sharding overhead instead.  Results must stay
+    bit-identical to the serial engine, and the pool must not respawn
+    across rounds (spawn cost amortized, zero per-call pickling).
+    """
+    alu = ctx.alu
+    a, b = _operand_block()
+    prev, new = (a[:BLOCK], b[:BLOCK]), (a[1:], b[1:])
+
+    def run():
+        return alu.propagate(mnemonic, prev, new, 0.7, "sensitized",
+                             engine="compiled")
+
+    run()  # warm the serial plan, workspace and delay tiles
+    serial_s = _time_best(run)
+    values_s, arrivals_s = run()
+    reference_s = _time_best(
+        lambda: alu.propagate(mnemonic, prev, new, 0.7, "sensitized",
+                              engine="reference"))
+    pool = parallel.configure_pool(POOL_WORKERS)
+    try:
+        run()  # warm the shared workspace and spawn the workers
+        benchmark(run)
+        values_p, arrivals_p = run()
+        assert pool.spawn_count == 1  # no per-propagate fork
+    finally:
+        parallel.shutdown_pool()
+    assert np.array_equal(values_p, values_s)
+    assert np.array_equal(arrivals_p, arrivals_s)
+    sharded_s = benchmark.stats.stats.min
+    _record(f"propagate[{mnemonic},sensitized,sharded]", sharded_s,
+            reference_s, serial_ms=round(serial_s * 1e3, 3),
+            vs_serial=round(serial_s / sharded_s, 2),
+            workers=POOL_WORKERS)
+
+
+@pytest.mark.parametrize("mnemonic", ["l.add", "l.mul"])
+@pytest.mark.parametrize("glitch_model", ["sensitized", "value-change"])
+def test_propagate_block_f32(benchmark, ctx, mnemonic, glitch_model):
+    """float32 timing view vs the f64 compiled engine and the reference.
+
+    Halved settle-pipeline traffic on the bandwidth-bound path;
+    ``vs_serial`` is the gain over compiled f64.  Values must stay
+    bit-identical; arrivals must hold the relaxed-identity contract.
+    """
+    alu = ctx.alu
+    a, b = _operand_block()
+    prev, new = (a[:BLOCK], b[:BLOCK]), (a[1:], b[1:])
+
+    def run(engine):
+        return alu.propagate(mnemonic, prev, new, 0.7, glitch_model,
+                             engine=engine)
+
+    run("compiled-f32")  # warm plan, f32 workspace and delay tiles
+    benchmark(lambda: run("compiled-f32"))
+    run("compiled")
+    serial_s = _time_best(lambda: run("compiled"))
+    reference_s = _time_best(lambda: run("reference"))
+    values32, arrivals32 = run("compiled-f32")
+    values64, arrivals64 = run("compiled")
+    assert np.array_equal(values32, values64)
+    np.testing.assert_allclose(arrivals32, arrivals64,
+                               rtol=F32_RTOL, atol=F32_ATOL)
+    f32_s = benchmark.stats.stats.min
+    _record(f"propagate[{mnemonic},{glitch_model},f32]", f32_s,
+            reference_s, serial_ms=round(serial_s * 1e3, 3),
+            vs_serial=round(serial_s / f32_s, 2))
 
 
 @pytest.mark.parametrize("mnemonic", ["l.add", "l.mul"])
@@ -202,3 +293,37 @@ def test_run_point_reuse(benchmark):
     assert point.trials == fresh_trials
     _record(f"run_point[median,{n_trials}trials]",
             benchmark.stats.stats.min, reference_s)
+
+
+def test_run_point_pool(benchmark):
+    """Persistent-pool run_point vs the per-call throwaway fork pool.
+
+    The pool's win is spawn amortization: the throwaway path forks
+    (and tears down) ``n_jobs`` workers on *every* point, the pool
+    forks once per sweep.  ``vs_serial`` compares against the in-
+    process per-trial-seed scheme; all paths are bit-identical.
+    """
+    kernel = build_kernel("median", "quick")
+    n_trials = 10
+    factory = lambda rng: _RareInjector(rng)  # noqa: E731
+
+    def point(n_jobs):
+        return run_point(kernel, factory, n_trials=n_trials, seed=3,
+                         n_jobs=n_jobs)
+
+    serial_point = point(1)
+    serial_s = _time_best(lambda: point(1), reps=2)
+    forked_s = _time_best(lambda: point(2), reps=2)  # no pool: forks
+    pool = parallel.configure_pool(2)
+    try:
+        point(2)  # spawn the workers outside the timed region
+        benchmark(lambda: point(2))
+        pooled_point = point(2)
+        assert pool.spawn_count == 1  # one fork for the whole sweep
+    finally:
+        parallel.shutdown_pool()
+    assert pooled_point.trials == serial_point.trials
+    pooled_s = benchmark.stats.stats.min
+    _record(f"run_point[median,{n_trials}trials,pool]", pooled_s,
+            forked_s, serial_ms=round(serial_s * 1e3, 3),
+            vs_serial=round(serial_s / pooled_s, 2), workers=2)

@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Perf-regression gate over the committed ``BENCH_engines.json``.
+
+Reruns the engine micro-benchmarks at **reduced size** (half block
+width, only the engine rows -- the warm-store figure rows measure
+store plumbing, not engines) into a scratch JSON, then compares every
+re-measured row's speedup against the committed trajectory:
+
+* Pure-compute rows (propagate/run_dta/run_point engine paths) must
+  hold ``speedup >= (1 - TOLERANCE) * committed`` with the default
+  20 % tolerance: an engine change that costs more than that fails
+  the build.
+* Pool rows (those recording a ``workers`` field) time fork/pipe
+  overhead, which swings heavily with machine load; they are gated at
+  the looser ``POOL_TOLERANCE`` (60 %) so the gate catches "the pool
+  stopped amortizing" without flaking on scheduler noise.
+
+Reduced-size speedups are not identical to full-size ones (smaller
+blocks vectorize worse, which usually *raises* the ratio vs the
+per-gate reference), so the gate is deliberately one-sided: only
+regressions fail.  Wired into ``make bench-check`` (part of
+``make tier1``); knobs::
+
+    REPRO_BENCH_CHECK_BLOCK=256   # reduced block width
+    REPRO_BENCH_CHECK_TOL=0.2     # compute-row tolerance
+    REPRO_BENCH_CHECK_POOL_TOL=0.6
+
+Exit code 0 = no row regressed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Rows rerun at reduced size (warm-store figure rows excluded: they
+#: benchmark the result store, which has its own smoke coverage).
+ROW_FILTER = "propagate or run_dta or run_point"
+
+TOLERANCE = float(os.environ.get("REPRO_BENCH_CHECK_TOL", "0.2"))
+POOL_TOLERANCE = float(os.environ.get("REPRO_BENCH_CHECK_POOL_TOL",
+                                      "0.6"))
+REDUCED_BLOCK = os.environ.get("REPRO_BENCH_CHECK_BLOCK", "256")
+
+
+def _reduced_results(out_path: Path) -> dict:
+    env = dict(os.environ,
+               REPRO_BENCH_BLOCK=REDUCED_BLOCK,
+               REPRO_BENCH_OUT=str(out_path),
+               PYTHONPATH=os.pathsep.join(
+                   [str(REPO / "src")]
+                   + ([os.environ["PYTHONPATH"]]
+                      if os.environ.get("PYTHONPATH") else [])))
+    command = [sys.executable, "-m", "pytest",
+               "benchmarks/bench_engines.py", "-q",
+               "-k", ROW_FILTER, "-p", "no:cacheprovider"]
+    proc = subprocess.run(command, cwd=REPO, env=env)
+    if proc.returncode != 0:
+        raise SystemExit(f"bench-check: reduced benchmark run failed "
+                         f"(exit {proc.returncode})")
+    return json.loads(out_path.read_text())["results"]
+
+
+def main() -> int:
+    baseline_path = REPO / "BENCH_engines.json"
+    baseline = json.loads(baseline_path.read_text())["results"]
+    with tempfile.TemporaryDirectory(prefix="bench-check-") as tmp:
+        measured = _reduced_results(Path(tmp) / "reduced.json")
+
+    regressions = []
+    print(f"bench-check: block={REDUCED_BLOCK}, tolerance="
+          f"{TOLERANCE:.0%} (pool rows {POOL_TOLERANCE:.0%})")
+    for name in sorted(set(measured) & set(baseline)):
+        committed = baseline[name]["speedup"]
+        fresh = measured[name]["speedup"]
+        tolerance = POOL_TOLERANCE if "workers" in baseline[name] \
+            else TOLERANCE
+        floor = (1.0 - tolerance) * committed
+        status = "ok" if fresh >= floor else "REGRESSED"
+        print(f"  {name:48s} committed={committed:7.2f}x "
+              f"measured={fresh:7.2f}x floor={floor:6.2f}x {status}")
+        if fresh < floor:
+            regressions.append(name)
+    missing = sorted(name for name in baseline
+                     if name not in measured
+                     and any(token in name for token
+                             in ("propagate", "run_dta", "run_point")))
+    if missing:
+        # A row the trajectory promises but the rerun no longer
+        # produces is a silent loss of coverage, not a pass.
+        print(f"bench-check: rows missing from the rerun: {missing}")
+        return 1
+    if regressions:
+        print(f"bench-check: {len(regressions)} row(s) regressed "
+              f"beyond tolerance: {regressions}")
+        return 1
+    print("bench-check: all speedups within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,19 +7,26 @@ sharded pass):
 
 1. an uninterrupted ``repro campaign run all --scale quick`` into
    store A (the reference output);
-2. the same campaign into store B, SIGKILLed as soon as a few work
-   units have been persisted;
-3. ``repro campaign resume all`` on store B -- it must reuse the
-   surviving units and render **byte-identical** output to step 1;
+2. the same campaign into store B **on the persistent shared-memory
+   pool** (``--pool-workers 2``), SIGKILLed as soon as a few work
+   units have been persisted (the process group takes the pool's
+   fork workers down with it);
+3. ``repro campaign resume all`` on store B, again pool-backed -- it
+   must reuse the surviving units and render **byte-identical**
+   output to the poolless step 1 (pool execution is invisible in the
+   results);
 4. warm ``repro fig2`` / ``repro fig4`` / ``repro fig5`` reruns
    against store A with ``REPRO_FORBID_MC`` and ``REPRO_FORBID_DTA``
    set: any attempt to reach the Monte-Carlo or timing simulator
    aborts, proving the reruns are served entirely from the store (and
    each figure's output matches its section of the campaign render);
-5. ``repro cache gc --max-bytes`` on store A at ~60 % of its size:
-   ``cache ls`` must report the store under the cap, and a rerun of
-   the full campaign must recompute exactly the evicted units back to
-   byte-identical output while the survivors stay cache hits.
+5. ``repro cache gc --max-bytes`` on store A, capped so roughly half
+   the work-unit bytes must go: ``cache ls`` must report the store
+   under the cap, every ``alu_characterization`` entry must survive
+   (the default ``--pin`` evicts the cheap-to-recompute units first),
+   and a rerun of the full campaign must recompute exactly the
+   evicted units back to byte-identical output while the survivors
+   stay cache hits.
 
 Exit code 0 = all invariants hold.  Wired into ``make campaign-smoke``
 (part of ``make tier1``).
@@ -44,7 +51,10 @@ KILL_AFTER_UNITS = 4
 KILL_TIMEOUT_S = 600.0
 #: Artifact kinds that are campaign work units (characterizations are
 #: planning substrate, not units).
-UNIT_KINDS = ("mc_point", "fig2_curve", "fig4_curve", "adder_ablation")
+UNIT_KINDS = ("mc_point", "fig2_curve", "fig4_curve", "adder_ablation",
+              "table1_row")
+#: Pool size of the pool-backed pass (steps 2-3).
+POOL_WORKERS = "2"
 
 
 def repro(args: list[str], store: Path, env_extra: dict | None = None,
@@ -89,10 +99,17 @@ def unit_bytes(store: Path) -> int:
     return total
 
 
-def max_entry_bytes(store: Path) -> int:
-    """Size of the largest stored object."""
-    return max(path.stat().st_size
-               for path in store.glob("objects/*/*.json"))
+def characterization_shas(store: Path) -> set[str]:
+    """Content hashes of the pinned characterization entries."""
+    return {path.stem for path in store.glob("objects/*/*.json")
+            if '"kind":"alu_characterization"' in path.read_text()}
+
+
+def characterization_bytes(store: Path) -> int:
+    """Bytes held by the pinned characterization entries."""
+    return sum(path.stat().st_size
+               for path in store.glob("objects/*/*.json")
+               if '"kind":"alu_characterization"' in path.read_text())
 
 
 def main() -> int:
@@ -114,7 +131,8 @@ def main() -> int:
             f":{env['PYTHONPATH']}" if env.get("PYTHONPATH") else "")
         victim = subprocess.Popen(
             [sys.executable, "-m", "repro",
-             *scaled(["campaign", "run", "all", "--jobs", JOBS]),
+             *scaled(["campaign", "run", "all", "--jobs", JOBS,
+                      "--pool-workers", POOL_WORKERS]),
              "--store", str(store_b)],
             stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
             env=env, start_new_session=True)
@@ -139,10 +157,12 @@ def main() -> int:
         print(f"      killed={killed_midway} with {survivors} units "
               f"persisted", flush=True)
 
-        print("[3/5] resume store B and diff against store A ...",
-              flush=True)
+        print("[3/5] pool-backed resume of store B, diff against "
+              "store A ...", flush=True)
         resumed = repro(scaled(["campaign", "resume", "all",
-                                "--jobs", JOBS]), store_b)
+                                "--jobs", JOBS,
+                                "--pool-workers", POOL_WORKERS]),
+                        store_b)
         if resumed.stdout != reference:
             sys.stderr.write(resumed.stdout)
             raise SystemExit("FAIL: resumed campaign output differs "
@@ -162,13 +182,15 @@ def main() -> int:
                     f"FAIL: warm store-served {figure} differs from "
                     f"its campaign section")
 
-        print("[5/5] `cache gc --max-bytes` keeps the cap, evicted "
-              "units recompute ...", flush=True)
-        # The cap leaves room for the largest single entry (the newest
-        # characterization, which LRU keeps) plus half the unit bytes:
-        # the eviction pass must reach past the older characterizations
-        # into real work units while leaving survivors to stay hits.
-        cap = max_entry_bytes(store_a) + unit_bytes(store_a) // 2
+        print("[5/5] `cache gc --max-bytes` keeps the cap, pins "
+              "characterizations, evicted units recompute ...",
+              flush=True)
+        # The cap leaves room for every characterization plus half the
+        # unit bytes: the default --pin must sacrifice ~half the cheap
+        # units (oldest first) while every expensive characterization
+        # -- including ones *older* than the evicted units -- survives.
+        pinned_before = characterization_shas(store_a)
+        cap = characterization_bytes(store_a) + unit_bytes(store_a) // 2
         repro(["cache", "gc", "--max-bytes", str(cap)], store_a)
         listing = repro(["cache", "ls"], store_a)
         match = re.search(r"(\d+) entries, (\d+) bytes",
@@ -176,6 +198,10 @@ def main() -> int:
         if match is None or int(match.group(2)) > cap:
             raise SystemExit(
                 f"FAIL: store exceeds the gc cap ({listing.stdout!r})")
+        if characterization_shas(store_a) != pinned_before:
+            raise SystemExit(
+                "FAIL: gc evicted a pinned characterization while "
+                "cheap units were available")
         regen = repro(scaled(["campaign", "run", "all",
                               "--jobs", JOBS]), store_a)
         if regen.stdout != reference:

@@ -34,16 +34,19 @@ import sys
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.experiments import ablations, fig2, fig4, fig5, fig6, fig7
+from repro import parallel
+from repro.experiments import ablations, fig1, fig2, fig4, fig5, fig6, \
+    fig7, table1
 from repro.experiments.context import ExperimentContext, NOMINAL_VDD
 from repro.experiments.scale import Scale, get_scale
 from repro.mc.units import WorkUnit
 from repro.mc.runner import _fork_available
 from repro.timing.characterize import characterization_key
 
-#: Experiments that decompose into campaigns.
-CAMPAIGN_EXPERIMENTS = ("fig2", "fig4", "fig5", "fig6", "fig7",
-                        "ablations")
+#: Experiments that decompose into campaigns -- every paper artifact
+#: with expensive substance (table2 is a static matrix and has none).
+CAMPAIGN_EXPERIMENTS = ("table1", "fig1", "fig2", "fig4", "fig5",
+                        "fig6", "fig7", "ablations")
 
 #: Pseudo-experiment: every campaign experiment in one sharded pass.
 ALL_TARGET = "all"
@@ -112,7 +115,14 @@ def plan_campaign(experiment: str, ctx: ExperimentContext,
     without any DTA work -- each variant unit runs its own.
     """
     prepare = None
-    if experiment == "fig2":
+    if experiment == "table1":
+        units = table1.row_units(ctx.scale)
+        render = lambda rows: table1.render(list(rows))  # noqa: E731
+    elif experiment == "fig1":
+        units = fig1.point_units(ctx, seed=seed)
+        render = lambda points: fig1.render(  # noqa: E731
+            fig1.assemble(ctx, points))
+    elif experiment == "fig2":
         units = fig2.curve_units(ctx, seed=seed)
         render = lambda curves: fig2.render(  # noqa: E731
             fig2.assemble(curves))
@@ -135,8 +145,8 @@ def plan_campaign(experiment: str, ctx: ExperimentContext,
             fig7.assemble(ctx, points))
     elif experiment == "ablations":
         semantics_units = ablations.semantics_point_units(ctx, seed=seed)
-        adder_units = ablations.adder_topology_units(ctx.scale,
-                                                     seed=seed)
+        adder_units = ablations.adder_topology_units(
+            ctx.scale, seed=seed, timing_dtype=ctx.timing_dtype)
         units = semantics_units + adder_units
         n_semantics = len(semantics_units)
 
@@ -177,9 +187,10 @@ def _plan_characterization_configs(experiment: str,
     """
     vdds: dict[float, None] = {}  # insertion-ordered de-dup
     for name in _campaign_experiments(experiment):
-        if name in ("fig2", "fig4"):
-            continue  # plan without DTA: fig2 characterizes lazily
-            # (prepare hook), fig4 units run their own DTA
+        if name in ("table1", "fig1", "fig2", "fig4"):
+            continue  # plan without DTA: table1 profiles the ISS,
+            # fig1 needs only STA + the Vdd fit, fig2 characterizes
+            # lazily (prepare hook), fig4 units run their own DTA
         elif name == "fig5":
             for vdd in fig5.PLOT_VDDS:
                 vdds.setdefault(vdd)
@@ -189,8 +200,8 @@ def _plan_characterization_configs(experiment: str,
 
 
 def campaign_status(experiment: str, scale: str | Scale, seed: int,
-                    store, log: Callable[[str], None] | None = None) \
-        -> CampaignStatus:
+                    store, log: Callable[[str], None] | None = None,
+                    timing_dtype: str = "float64") -> CampaignStatus:
     """Report which units of a campaign are already in the store.
 
     Planning needs the experiment's DTA characterizations (frequency
@@ -200,7 +211,8 @@ def campaign_status(experiment: str, scale: str | Scale, seed: int,
     the store.
     """
     resolved = get_scale(scale)
-    ctx = ExperimentContext.create(resolved, seed, store=store)
+    ctx = ExperimentContext.create(resolved, seed, store=store,
+                                   timing_dtype=timing_dtype)
     if log is not None:
         missing = [config for config
                    in _plan_characterization_configs(experiment, ctx)
@@ -226,6 +238,23 @@ def campaign_status(experiment: str, scale: str | Scale, seed: int,
     )
 
 
+def _compute_pending(units: list[WorkUnit], store,
+                     indices: list[int]) -> list[int]:
+    """Compute and persist the units at ``indices``.
+
+    Returns only the indices it *actually* computed: units a worker of
+    a concurrent campaign raced us to are skipped (the recheck keeps
+    the work unique) and must not be reported as computed.
+    """
+    computed = []
+    for index in indices:
+        unit = units[index]
+        if not store.contains(unit.key):
+            store.put(unit.key, unit.compute(), label=unit.label)
+            computed.append(index)
+    return computed
+
+
 # Fork-worker state, inherited through the pool initializer (the unit
 # closures are not picklable; initargs travel by fork inheritance).
 _WORKER_STATE: dict | None = None
@@ -237,28 +266,30 @@ def _init_worker(state: dict) -> None:
 
 
 def _run_shard(indices: list[int]) -> list[int]:
-    """Pool worker: compute and persist the units at ``indices``.
-
-    Returns only the indices it *actually* computed: units a worker of
-    a concurrent campaign raced us to are skipped (the recheck keeps
-    the work unique) and must not be reported as computed.
-    """
+    """Throwaway-pool worker: compute/persist the units at ``indices``."""
     state = _WORKER_STATE
     assert state is not None, "worker state missing (pool without fork?)"
-    store = state["store"]
-    computed = []
-    for index in indices:
-        unit = state["units"][index]
-        if not store.contains(unit.key):
-            store.put(unit.key, unit.compute(), label=unit.label)
-            computed.append(index)
-    return computed
+    return _compute_pending(state["units"], state["store"], indices)
+
+
+@parallel.pool_task("campaign-unit-shard")
+def _pool_shard(registry: dict, indices: list[int]) -> list[int]:
+    """Persistent-pool task: compute/persist the units at ``indices``.
+
+    The unit list (closures over contexts, kernels and injector
+    factories) and the store arrive by fork inheritance -- registered
+    once per campaign invocation, so one worker generation serves
+    every shard of the campaign instead of forking a pool per unit
+    batch.
+    """
+    return _compute_pending(registry[("campaign-units",)],
+                            registry[("campaign-store",)], indices)
 
 
 def run_campaign(experiment: str, scale: str | Scale = "default",
                  seed: int = 2016, store=None, jobs: int = 1,
-                 log: Callable[[str], None] | None = None) \
-        -> CampaignReport:
+                 log: Callable[[str], None] | None = None,
+                 timing_dtype: str = "float64") -> CampaignReport:
     """Run (or resume) a campaign to its rendered figure output.
 
     Args:
@@ -270,7 +301,13 @@ def run_campaign(experiment: str, scale: str | Scale = "default",
         store: the :class:`repro.store.ResultStore` holding results;
             required -- the store *is* the campaign state.
         jobs: worker processes for pending units (1 = in-process).
+            With a persistent pool configured
+            (:func:`repro.parallel.configure_pool`), any ``jobs >= 2``
+            shards over the pool's workers instead of forking a
+            throwaway pool for this invocation.
         log: optional progress sink (e.g. stderr writer).
+        timing_dtype: settle-pipeline dtype of the context's DTA runs
+            (``"float32"`` caches under its own keys).
 
     Resuming is the same call again: completed units are store hits
     and only the missing ones execute, with byte-identical rendered
@@ -283,7 +320,8 @@ def run_campaign(experiment: str, scale: str | Scale = "default",
         raise ValueError("jobs must be positive")
     emit = log or (lambda message: None)
     resolved = get_scale(scale)
-    ctx = ExperimentContext.create(resolved, seed, store=store)
+    ctx = ExperimentContext.create(resolved, seed, store=store,
+                                   timing_dtype=timing_dtype)
     plans = [plan_campaign(name, ctx, seed)
              for name in _campaign_experiments(experiment)]
     units = [unit for plan in plans for unit in plan.units]
@@ -306,7 +344,22 @@ def run_campaign(experiment: str, scale: str | Scale = "default",
             plan.prepare()
 
     computed_indices: set[int] = set()
-    if len(pending) > 1 and jobs >= 2 and _fork_available():
+    shared_pool = parallel.get_pool()
+    if len(pending) > 1 and jobs >= 2 and shared_pool is not None \
+            and shared_pool.workers >= 2:
+        # Persistent pool: registered once per campaign invocation,
+        # every shard (and any later campaign in this process) reuses
+        # the same workers.
+        shared_pool.register(("campaign-units",), units)
+        shared_pool.register(("campaign-store",), store)
+        shards = [pending[start::shared_pool.workers]
+                  for start in range(shared_pool.workers)
+                  if pending[start::shared_pool.workers]]
+        for indices in shared_pool.run("campaign-unit-shard",
+                                       [(shard,) for shard in shards]):
+            computed_indices.update(indices)
+            emit(f"shard done ({len(indices)} units computed)")
+    elif len(pending) > 1 and jobs >= 2 and _fork_available():
         shards = [pending[start::jobs] for start in range(jobs)
                   if pending[start::jobs]]
         state = {"units": units, "store": store}

@@ -4,12 +4,13 @@ Examples::
 
     python -m repro table1 --scale paper
     python -m repro fig5 --scale default --jobs 4
+    python -m repro fig2 --scale paper --pool-workers 4 --timing-dtype float32
     python -m repro all --scale quick
     python -m repro campaign run fig5 --scale paper --jobs 8
-    python -m repro campaign run all --scale paper --jobs 8
+    python -m repro campaign run all --scale paper --jobs 8 --pool-workers 8
     python -m repro campaign status fig5 --scale paper
     python -m repro cache ls
-    python -m repro cache gc --max-bytes 100000000
+    python -m repro cache gc --max-bytes 100000000 --pin alu_characterization
     python -m repro timing-report --frequency-mhz 750
     python -m repro verilog --unit multiplier --out mul32.v
     python -m repro kernels
@@ -25,6 +26,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import parallel
 from repro.bench.suite import BENCHMARK_NAMES, build_kernel
 from repro.campaign import ALL_TARGET, CAMPAIGN_EXPERIMENTS, \
     campaign_status, run_campaign
@@ -54,7 +56,7 @@ from repro.timing.report import timing_report
 #: streams, which are a different scheme cached under their own keys.
 _EXPERIMENTS = {
     "table1": lambda scale, seed, ctx, store, jobs: table1.render(
-        table1.run(scale)),
+        table1.run(scale, store=store)),
     "table2": lambda scale, seed, ctx, store, jobs: table2.render(),
     "fig1": lambda scale, seed, ctx, store, jobs: fig1.render(
         fig1.run(scale, seed, context=ctx, store=store, n_jobs=jobs)),
@@ -74,8 +76,9 @@ _EXPERIMENTS = {
                                                 context=ctx),
             ablations.run_semantics_ablation(scale, seed, context=ctx,
                                              store=store, n_jobs=jobs),
-            ablations.run_adder_topology_ablation(scale, seed,
-                                                  store=store)),
+            ablations.run_adder_topology_ablation(
+                scale, seed, store=store,
+                timing_dtype=ctx.timing_dtype)),
 }
 
 
@@ -100,6 +103,20 @@ def _add_store(parser: argparse.ArgumentParser,
                             help="worker processes (per-trial streams "
                                  "for fig commands, unit sharding for "
                                  "campaigns)")
+    parser.add_argument("--pool-workers", type=int, default=None,
+                        metavar="N",
+                        help="persistent shared-memory pool size: "
+                             "spawn N fork workers once and reuse "
+                             "them for sharded propagate blocks, "
+                             "pooled Monte-Carlo trials and campaign "
+                             "unit shards (default: no pool)")
+    parser.add_argument("--timing-dtype", default="float64",
+                        choices=("float64", "float32"),
+                        help="settle-pipeline dtype of the DTA "
+                             "engine; float32 halves its memory "
+                             "traffic under a relaxed-identity "
+                             "contract and caches under its own "
+                             "store keys")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -149,6 +166,15 @@ def build_parser() -> argparse.ArgumentParser:
                     help="after the dead-data pass, evict oldest "
                          "entries (by creation time) until the live "
                          "store fits N bytes")
+    gc.add_argument("--pin", action="append", default=None,
+                    metavar="KIND",
+                    help="artifact kinds the --max-bytes pass evicts "
+                         "last (repeatable; default: "
+                         "alu_characterization, whose tables cost a "
+                         "full DTA sweep to recompute; 'none' "
+                         "disables pinning).  The cap stays hard: "
+                         "pinned entries still go, oldest first, "
+                         "when they alone exceed it")
 
     report = subparsers.add_parser(
         "timing-report", help="STA endpoint-slack report of the ALU")
@@ -184,9 +210,14 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
 
+    if getattr(args, "pool_workers", None):
+        parallel.configure_pool(args.pool_workers)
+    timing_dtype = getattr(args, "timing_dtype", "float64")
+
     if args.command in _EXPERIMENTS or args.command == "all":
         store = _resolve_store(args)
-        ctx = ExperimentContext.create(args.scale, args.seed, store=store)
+        ctx = ExperimentContext.create(args.scale, args.seed, store=store,
+                                       timing_dtype=timing_dtype)
         names = (list(_EXPERIMENTS) if args.command == "all"
                  else [args.command])
         for name in names:
@@ -205,14 +236,16 @@ def main(argv: list[str] | None = None) -> int:
             return 2
         if args.campaign_command == "status":
             status = campaign_status(args.experiment, args.scale,
-                                     args.seed, store, log=stderr_log)
+                                     args.seed, store, log=stderr_log,
+                                     timing_dtype=timing_dtype)
             print(status.summary())
             for label in status.pending:
                 print(f"  pending {label}")
             return 0
         report = run_campaign(args.experiment, args.scale, args.seed,
                               store=store, jobs=args.jobs or 1,
-                              log=stderr_log)
+                              log=stderr_log,
+                              timing_dtype=timing_dtype)
         print(report.summary(), file=sys.stderr)
         print(report.rendered)
         return 0
@@ -233,9 +266,13 @@ def main(argv: list[str] | None = None) -> int:
             return 0
         if args.cache_command == "gc":
             kinds = (args.kind,) if args.kind else None
+            pins = tuple(args.pin) if args.pin is not None \
+                else ("alu_characterization",)
+            if "none" in pins:
+                pins = ()
             removed, freed = store.gc(
                 remove_all=args.all or kinds is not None, kinds=kinds,
-                max_bytes=args.max_bytes)
+                max_bytes=args.max_bytes, pin_kinds=pins)
             print(f"removed {removed} entries, freed {freed} bytes "
                   f"({store.root})")
             return 0

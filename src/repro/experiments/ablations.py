@@ -223,8 +223,8 @@ def _adder_study_fingerprint() -> dict:
     }
 
 
-def _compute_adder_poffs(kind: str, n_samples: int,
-                         seed: int) -> tuple[float, float]:
+def _compute_adder_poffs(kind: str, n_samples: int, seed: int,
+                         engine: str = "compiled") -> tuple[float, float]:
     """Measure one topology's (16-bit, 32-bit) add PoFFs."""
     alu = AluNetlist(AluConfig(adder_kind=kind))
     calibrate_alu(alu)
@@ -235,23 +235,32 @@ def _compute_adder_poffs(kind: str, n_samples: int,
             rng.integers(0, 1 << bits, n_samples + 1, dtype=np.uint64)
             for _ in range(2))
         dta = run_dta(alu, "l.add", n_samples, vdd=NOMINAL_VDD,
-                      seed=seed, operands=operands)
+                      seed=seed, operands=operands, engine=engine)
         results.append(1e12 / float(dta.critical_ps.max()))
     return (results[0], results[1])
 
 
-def adder_topology_units(scale: str | Scale, seed: int = 2016) \
+def adder_topology_units(scale: str | Scale, seed: int = 2016,
+                         timing_dtype: str = "float64") \
         -> list[PointUnit]:
-    """One work unit per adder topology (planning runs no DTA)."""
+    """One work unit per adder topology (planning runs no DTA).
+
+    ``timing_dtype="float32"`` runs the per-topology DTA on the f32
+    settle pipeline and keys the units separately (the f64 default
+    adds no key field, so historical entries keep serving).
+    """
     scale = get_scale(scale)
     fingerprint = _adder_study_fingerprint()
+    engine = "compiled-f32" if timing_dtype == "float32" else "compiled"
+    dtype_fields = {} if timing_dtype == "float64" \
+        else {"timing_dtype": timing_dtype}
     units = []
     for index, kind in enumerate(ADDER_KINDS):
         def compute(kind=kind, index=index):
             return AdderTopologyAblation(poffs_hz={
                 kind: _compute_adder_poffs(
                     kind, scale.fig4_samples,
-                    seed + ADDER_SEED_STRIDE * index)})
+                    seed + ADDER_SEED_STRIDE * index, engine=engine)})
 
         units.append(PointUnit(
             label=f"ablations:adder/{kind}",
@@ -261,7 +270,8 @@ def adder_topology_units(scale: str | Scale, seed: int = 2016) \
                  "topology_index": index,
                  "operand_bits": [15, 32], "vdd": NOMINAL_VDD,
                  "n_samples": scale.fig4_samples,
-                 "glitch_model": "sensitized", **fingerprint}),
+                 "glitch_model": "sensitized", **fingerprint,
+                 **dtype_fields}),
             compute=compute))
     return units
 
@@ -276,8 +286,9 @@ def assemble_adders(parts: list[AdderTopologyAblation]) \
 
 
 def run_adder_topology_ablation(scale: str | Scale = "default",
-                                seed: int = 2016,
-                                store=None) -> AdderTopologyAblation:
+                                seed: int = 2016, store=None,
+                                timing_dtype: str = "float64") \
+        -> AdderTopologyAblation:
     """Measure the 16-vs-32-bit add PoFF spread for each topology.
 
     Each topology gets its own ALU, calibrated to identical unit timing
@@ -285,7 +296,8 @@ def run_adder_topology_ablation(scale: str | Scale = "default",
     endpoint bits) differs.  With a ``store``, previously measured
     topologies reload exactly and the rerun performs zero DTA work.
     """
-    units = adder_topology_units(scale, seed=seed)
+    units = adder_topology_units(scale, seed=seed,
+                                 timing_dtype=timing_dtype)
     parts, _, _ = resolve_units(units, store)
     return assemble_adders(parts)
 

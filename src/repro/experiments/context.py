@@ -15,7 +15,7 @@ bit-identically everywhere else.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -26,6 +26,7 @@ from repro.timing.characterize import (
     CharacterizationConfig,
     alu_fingerprint,
     characterization_key,
+    config_key_fields,
     get_characterization,
 )
 from repro.timing.noise import VoltageNoise
@@ -50,6 +51,10 @@ class ExperimentContext:
     scale: Scale
     seed: int = 2016
     store: object | None = None
+    #: Settle-pipeline dtype of every DTA run this context drives
+    #: ("float64" = bit-exact, "float32" = relaxed-identity, cached
+    #: under distinct store keys).
+    timing_dtype: str = "float64"
     _alu: AluNetlist | None = None
     _vdd_model: VddDelayModel | None = None
     _characterizations: dict[CharacterizationConfig,
@@ -58,8 +63,30 @@ class ExperimentContext:
 
     @classmethod
     def create(cls, scale: str | Scale = "default",
-               seed: int = 2016, store=None) -> "ExperimentContext":
-        return cls(scale=get_scale(scale), seed=seed, store=store)
+               seed: int = 2016, store=None,
+               timing_dtype: str = "float64") -> "ExperimentContext":
+        if timing_dtype not in ("float64", "float32"):
+            raise ValueError(
+                f"timing_dtype must be float64 or float32, "
+                f"got {timing_dtype!r}")
+        return cls(scale=get_scale(scale), seed=seed, store=store,
+                   timing_dtype=timing_dtype)
+
+    @property
+    def dta_engine(self) -> str:
+        """Circuit engine for direct run_dta calls (fig4, ablations)."""
+        return "compiled-f32" if self.timing_dtype == "float32" \
+            else "compiled"
+
+    def dtype_key_fields(self) -> dict:
+        """Extra cache-key fields for dtype-sensitive DTA artifacts.
+
+        Empty at the bit-exact float64 default, so historical keys
+        stay valid; float32 results key separately.
+        """
+        if self.timing_dtype == "float64":
+            return {}
+        return {"timing_dtype": self.timing_dtype}
 
     @property
     def alu(self) -> AluNetlist:
@@ -81,7 +108,8 @@ class ExperimentContext:
             vdd=vdd,
             n_cycles_per_instr=self.scale.char_cycles,
             seed=self.seed,
-            glitch_model=glitch_model)
+            glitch_model=glitch_model,
+            timing_dtype=self.timing_dtype)
 
     def char_fingerprint(self, vdd: float = NOMINAL_VDD,
                          glitch_model: str = "sensitized") -> dict:
@@ -91,7 +119,7 @@ class ExperimentContext:
         so netlist or cell-library changes invalidate persisted points
         instead of silently serving stale figures."""
         return {
-            "characterization": asdict(self.char_config(
+            "characterization": config_key_fields(self.char_config(
                 vdd, glitch_model)),
             "alu": alu_fingerprint(self.alu),
         }

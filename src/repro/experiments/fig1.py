@@ -23,8 +23,16 @@ from repro.experiments.context import ExperimentContext, NOMINAL_VDD
 from repro.experiments.scale import Scale, get_scale
 from repro.fi.model_b import StaInjector
 from repro.fi.model_bplus import StaNoiseInjector
-from repro.mc.sweep import FrequencySweep, sweep_frequencies
+from repro.mc.results import McPoint
+from repro.mc.sweep import FrequencySweep, sweep_units
+from repro.mc.units import PointUnit, resolve_units
 from repro.timing.characterize import alu_fingerprint
+
+#: Noise sigmas of the three sub-figures [V] (0 = model B's cliff).
+SUB_FIGURE_SIGMAS = (0.0, 0.010, 0.025)
+
+#: Benchmark of the illustration.
+BENCHMARK = "median"
 
 
 @dataclass
@@ -45,18 +53,15 @@ def _onset_grid(onset_hz: float, points: int) -> list[float]:
     return list(np.linspace(onset_hz - 2e6, onset_hz + 3.5e6, points))
 
 
-def run(scale: str | Scale = "default", seed: int = 2016,
-        context: ExperimentContext | None = None,
-        store=None, n_jobs: int | None = None) -> list[Fig1Result]:
-    """Run the three sub-figures on the median benchmark."""
-    scale = get_scale(scale)
-    ctx = context or ExperimentContext.create(scale, seed, store=store)
-    if store is None:
-        store = ctx.store
-    kernel = build_kernel("median", scale.kernel_scale)
-    sta_limit = ctx.sta_limit_hz(NOMINAL_VDD)
-    results = []
-    for sigma in (0.0, 0.010, 0.025):
+def _sub_figures(ctx: ExperimentContext) -> list[tuple]:
+    """(sigma, model name, onset, sweep-level factory) per sub-figure.
+
+    The factories are sweep-level (called as ``factory(f, rng)``);
+    building them needs only STA and the fitted Vdd curve, so planning
+    fig1 units never runs DTA.
+    """
+    subs = []
+    for sigma in SUB_FIGURE_SIGMAS:
         onset = ctx.bplus_onset_hz(NOMINAL_VDD, sigma)
         noise = ctx.noise(sigma)
         if sigma == 0.0:
@@ -68,22 +73,68 @@ def run(scale: str | Scale = "default", seed: int = 2016,
                 return StaNoiseInjector(ctx.alu, f, noise, NOMINAL_VDD,
                                         vdd_model=ctx.vdd_model, rng=rng)
             model = "B+"
-        sweep = sweep_frequencies(
+        subs.append((sigma, model, onset, factory))
+    return subs
+
+
+def point_units(ctx: ExperimentContext, seed: int = 2016,
+                n_jobs: int | None = None) -> list[PointUnit]:
+    """Decompose the three sub-figures into per-frequency MC units.
+
+    Unit order is sub-figure major, ascending frequency minor,
+    matching :func:`assemble`; keys and computations are exactly those
+    :func:`run` has always produced, so campaign-resolved and
+    driver-resolved figures share store entries byte for byte.
+    """
+    kernel = build_kernel(BENCHMARK, ctx.scale.kernel_scale)
+    units: list[PointUnit] = []
+    for sigma, model, onset, factory in _sub_figures(ctx):
+        units.extend(sweep_units(
             kernel, factory,
-            frequencies_hz=_onset_grid(onset, scale.freq_points),
-            n_trials=scale.trials,
-            sta_limit_hz=sta_limit,
+            frequencies_hz=_onset_grid(onset, ctx.scale.freq_points),
+            n_trials=ctx.scale.trials,
             seed=seed,
-            config={"model": model, "sigma_v": sigma,
-                    "vdd": NOMINAL_VDD},
             n_jobs=n_jobs,
-            store=store,
             experiment="fig1",
-            scale=scale,
-            key_extra={"alu": alu_fingerprint(ctx.alu)})
+            scale=ctx.scale,
+            condition={"model": model, "sigma_v": sigma,
+                       "vdd": NOMINAL_VDD,
+                       "alu": alu_fingerprint(ctx.alu)}))
+    return units
+
+
+def assemble(ctx: ExperimentContext,
+             points: list[McPoint]) -> list[Fig1Result]:
+    """Group resolved points back into the three sub-figure sweeps."""
+    sta_limit = ctx.sta_limit_hz(NOMINAL_VDD)
+    results = []
+    offset = 0
+    for sigma, model, onset, _ in _sub_figures(ctx):
+        grid = sorted(_onset_grid(onset, ctx.scale.freq_points))
+        sweep = FrequencySweep(
+            kernel_name=BENCHMARK,
+            frequencies_hz=grid,
+            points=points[offset:offset + len(grid)],
+            sta_limit_hz=sta_limit,
+            config={"model": model, "sigma_v": sigma,
+                    "vdd": NOMINAL_VDD})
+        offset += len(grid)
         results.append(Fig1Result(sigma_v=sigma, model=model,
                                   onset_hz=onset, sweep=sweep))
     return results
+
+
+def run(scale: str | Scale = "default", seed: int = 2016,
+        context: ExperimentContext | None = None,
+        store=None, n_jobs: int | None = None) -> list[Fig1Result]:
+    """Run the three sub-figures on the median benchmark."""
+    scale = get_scale(scale)
+    ctx = context or ExperimentContext.create(scale, seed, store=store)
+    if store is None:
+        store = ctx.store
+    units = point_units(ctx, seed=seed, n_jobs=n_jobs)
+    points, _, _ = resolve_units(units, store)
+    return assemble(ctx, points)
 
 
 def render(results: list[Fig1Result]) -> str:

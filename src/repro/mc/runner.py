@@ -19,10 +19,18 @@ Two execution schemes:
   :class:`numpy.random.SeedSequence` and builds its own injector, so
   trial outcomes do not depend on execution order.  This is what makes
   process-parallel execution (``n_jobs >= 2``) bit-identical to the
-  same scheme run serially (``n_jobs=1``).  The parallel pool uses
-  fork workers (the injector factory is typically a closure, which
-  cannot be pickled; fork inherits it), and falls back to in-process
-  execution where fork is unavailable.
+  same scheme run serially (``n_jobs=1``).
+
+Parallel execution prefers the process-global persistent pool
+(:mod:`repro.parallel`, when configured): the kernel, injector factory
+and machine config are registered with the pool once per change (fork
+inheritance -- they hold compiled closures and cannot be pickled),
+per-point seeds travel the worker pipes, and repeated ``run_point``
+calls of one sweep reuse the same workers instead of forking a
+throwaway pool per point.  Without a configured pool the historical
+per-call fork pool is used, falling back to in-process execution where
+fork is unavailable.  All three execution paths are bit-identical at
+any worker count.
 """
 
 from __future__ import annotations
@@ -33,6 +41,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro import parallel
 from repro.bench.kernel import KernelInstance
 from repro.fi.base import FaultInjector, NullInjector
 from repro.mc.results import McPoint, TrialResult
@@ -154,12 +163,14 @@ def _point_cpu(kernel: KernelInstance,
 def _run_seeded_trials(kernel: KernelInstance,
                        injector_factory: InjectorFactory,
                        seeds: list[np.random.SeedSequence],
-                       config: MachineConfig | None) -> list[TrialResult]:
+                       config: MachineConfig | None,
+                       injector_args: tuple = ()) -> list[TrialResult]:
     """Run trials with independent per-trial injectors, reusing one CPU."""
     cpu: Cpu | None = None
     results = []
     for child in seeds:
-        injector = injector_factory(np.random.default_rng(child))
+        injector = injector_factory(*injector_args,
+                                    np.random.default_rng(child))
         if cpu is None:
             cpu = _point_cpu(kernel, config, injector)
         results.append(run_trial(kernel, injector, config, cpu=cpu))
@@ -185,18 +196,38 @@ def _run_trial_chunk(chunk: list[int]) -> list[TrialResult]:
     assert state is not None, "worker state missing (pool without fork?)"
     seeds = [state["seeds"][index] for index in chunk]
     return _run_seeded_trials(state["kernel"], state["factory"], seeds,
-                              state["config"])
+                              state["config"],
+                              state.get("injector_args", ()))
+
+
+@parallel.pool_task("mc-trial-chunk")
+def _pool_trial_chunk(registry: dict, indices: list[int]) \
+        -> list[TrialResult]:
+    """Persistent-pool task: run the trials at the given indices.
+
+    Kernel, factory and config arrive by fork inheritance (registered
+    once per change -- they capture compiled closures); the per-point
+    seed list and injector args travel the pipes (picklable, tiny).
+    """
+    seeds = [registry[("mc-seeds",)][index] for index in indices]
+    return _run_seeded_trials(registry[("mc-kernel",)],
+                              registry[("mc-factory",)],
+                              seeds,
+                              registry[("mc-config",)],
+                              registry[("mc-injector-args",)])
 
 
 def run_point(kernel: KernelInstance, injector_factory: InjectorFactory,
               n_trials: int, seed: int = 0, label: str = "",
               config: MachineConfig | None = None,
-              n_jobs: int | None = None) -> McPoint:
+              n_jobs: int | None = None,
+              injector_args: tuple = ()) -> McPoint:
     """Run ``n_trials`` Monte-Carlo trials of one configuration.
 
     Args:
         kernel: the benchmark instance.
-        injector_factory: builds a fresh injector from a per-trial RNG.
+        injector_factory: builds a fresh injector from a per-trial RNG
+            (called as ``injector_factory(*injector_args, rng)``).
         n_trials: number of trials (paper: at least 100 per point).
         seed: master seed; trials use independent child streams.
         label: point label for reports.
@@ -204,8 +235,14 @@ def run_point(kernel: KernelInstance, injector_factory: InjectorFactory,
         n_jobs: ``None`` (default) keeps the historical serial scheme:
             one injector whose stream spans all trials.  An integer
             switches to per-trial child seeds -- ``n_jobs=1`` runs them
-            in-process, ``n_jobs>=2`` fans trials out over fork worker
-            processes; both orderings produce bit-identical points.
+            in-process, ``n_jobs>=2`` fans trials out over worker
+            processes; all orderings produce bit-identical points.
+        injector_args: leading arguments for ``injector_factory``.
+            Sweeps pass the per-point condition (e.g. the frequency)
+            here instead of closing over it, so the *same* factory
+            object serves every point -- which is what lets the
+            persistent pool keep its workers across a whole sweep
+            (closures would force a respawn per point).
 
     Returns:
         The aggregated :class:`McPoint`.
@@ -234,7 +271,7 @@ def run_point(kernel: KernelInstance, injector_factory: InjectorFactory,
         # across trials.  The CPU itself is also constructed once --
         # the compiled instruction closures are reused and reset()
         # restores the architectural state between trials.
-        injector = injector_factory(master)
+        injector = injector_factory(*injector_args, master)
         cpu = _point_cpu(kernel, config, injector)
         for _ in range(n_trials):
             point.add(run_trial(kernel, injector, config, cpu=cpu))
@@ -243,27 +280,75 @@ def run_point(kernel: KernelInstance, injector_factory: InjectorFactory,
     seeds = trial_seeds(seed, n_trials)
     if n_jobs == 1 or n_trials == 1 or not _fork_available():
         for trial in _run_seeded_trials(kernel, injector_factory, seeds,
-                                        config):
+                                        config, injector_args):
             point.add(trial)
         return point
 
-    chunks = [list(range(start, n_trials, n_jobs))
-              for start in range(n_jobs)]
-    state = {"kernel": kernel, "factory": injector_factory,
-             "seeds": seeds, "config": config}
-    context = multiprocessing.get_context("fork")
-    with context.Pool(processes=n_jobs, initializer=_init_worker,
-                      initargs=(state,)) as pool:
-        per_chunk = pool.map(_run_trial_chunk, chunks)
-    # Reassemble in trial order so the point is identical to serial.
-    ordered: list[TrialResult | None] = [None] * n_trials
-    for chunk, results in zip(chunks, per_chunk):
-        for index, trial in zip(chunk, results):
-            ordered[index] = trial
+    pool = parallel.get_pool()
+    if pool is not None and pool.workers >= 2:
+        ordered = _run_pooled_trials(pool, kernel, injector_factory,
+                                     seeds, config, injector_args)
+    else:
+        ordered = _run_forked_trials(kernel, injector_factory, seeds,
+                                     config, injector_args, n_jobs)
     for trial in ordered:
         assert trial is not None
         point.add(trial)
     return point
+
+
+def _reassemble(chunks: list[list[int]], per_chunk: list,
+                n_trials: int) -> list[TrialResult | None]:
+    """Put chunked trial results back into trial order.
+
+    This is what makes every parallel path bit-identical to serial:
+    the point only ever sees trials in index order, no matter which
+    worker ran them or when it finished.
+    """
+    ordered: list[TrialResult | None] = [None] * n_trials
+    for chunk, results in zip(chunks, per_chunk):
+        for index, trial in zip(chunk, results):
+            ordered[index] = trial
+    return ordered
+
+
+def _run_pooled_trials(pool, kernel, injector_factory, seeds, config,
+                       injector_args) -> list[TrialResult | None]:
+    """Fan trials out over the persistent pool.
+
+    Kernel/factory/config are registered by identity: within a sweep
+    they are the same objects for every point, so only the first point
+    respawns the workers -- later points reuse them and only ship the
+    (picklable) seed list and injector args over the pipes.
+    """
+    pool.register(("mc-kernel",), kernel)
+    pool.register(("mc-factory",), injector_factory)
+    pool.register(("mc-config",), config)
+    pool.push_if_new(("mc-seeds",), seeds)
+    pool.push_if_new(("mc-injector-args",), injector_args)
+    n_trials = len(seeds)
+    chunks = [list(range(start, n_trials, pool.workers))
+              for start in range(pool.workers)]
+    chunks = [chunk for chunk in chunks if chunk]
+    per_chunk = pool.run("mc-trial-chunk",
+                         [(chunk,) for chunk in chunks])
+    return _reassemble(chunks, per_chunk, n_trials)
+
+
+def _run_forked_trials(kernel, injector_factory, seeds, config,
+                       injector_args, n_jobs) -> list[TrialResult | None]:
+    """Historical per-call fork pool (no persistent pool configured)."""
+    n_trials = len(seeds)
+    chunks = [list(range(start, n_trials, n_jobs))
+              for start in range(n_jobs)]
+    state = {"kernel": kernel, "factory": injector_factory,
+             "seeds": seeds, "config": config,
+             "injector_args": injector_args}
+    context = multiprocessing.get_context("fork")
+    with context.Pool(processes=n_jobs, initializer=_init_worker,
+                      initargs=(state,)) as pool:
+        per_chunk = pool.map(_run_trial_chunk, chunks)
+    return _reassemble(chunks, per_chunk, n_trials)
 
 
 def _fork_available() -> bool:

@@ -147,13 +147,18 @@ def sweep_units(kernel: KernelInstance,
                            "frequency_hz": float(frequency)}
 
         def compute(f=frequency, s=point_seed):
+            # The frequency travels as injector_args (not a closure):
+            # every point of the sweep then shares one factory object,
+            # which is what lets the persistent pool keep its workers
+            # across the whole sweep.
             point = run_point(
                 kernel,
-                lambda rng, f=f: injector_factory(f, rng),
+                injector_factory,
                 n_trials=n_trials,
                 seed=s,
                 label=f"{kernel.name}@{f / 1e6:.1f}MHz",
                 n_jobs=n_jobs,
+                injector_args=(f,),
             )
             point.config = {"frequency_hz": f}
             return point

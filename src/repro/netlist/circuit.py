@@ -50,9 +50,24 @@ argument of :meth:`Circuit.evaluate` / :meth:`Circuit.propagate`:
   O(1) per gate) and are rebuilt on next use.  Scratch matrices are
   recycled per block width, so e.g. the DTA loop reuses one workspace
   across all of its chunks.
+* ``"compiled-f32"`` -- the compiled plan with a **float32 timing
+  view**: the settle pipeline (settle matrices, gathered settle
+  planes, delay tiles) runs at half the memory traffic.  Output
+  values and events are still bit-identical to float64 (the value/
+  event network is boolean); arrivals follow the relaxed-identity
+  contract of :data:`repro.netlist.plan.F32_RTOL` /
+  :data:`~repro.netlist.plan.F32_ATOL` instead of being bit-exact.
 * ``"reference"`` -- the original per-gate loops, kept as the
   executable specification; the property suite asserts the compiled
   engine is bit-identical to it on random circuits.
+
+When a shared-memory pool is configured (see :mod:`repro.parallel`),
+both compiled engines shard the block axis of :meth:`propagate` over
+the pool's persistent fork workers: the workspace matrices live in
+anonymous shared mappings, every worker runs the full level pipeline
+on its own column range (columns are independent, so no inter-level
+barrier exists), and float64 results stay bit-identical to the
+serial engine at any worker count.
 """
 
 from __future__ import annotations
@@ -61,11 +76,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import parallel
 from repro.netlist import plan as plan_mod
 from repro.netlist.gates import GATE_KINDS, arity_of
 from repro.netlist.library import CellLibrary, VDD_REF
 
-ENGINES = ("compiled", "reference")
+ENGINES = ("compiled", "compiled-f32", "reference")
+
+#: Timing dtype of each compiled engine variant.
+_ENGINE_DTYPES = {"compiled": np.float64, "compiled-f32": np.float32}
 
 
 def bits_from_ints(values: np.ndarray, width: int) -> np.ndarray:
@@ -114,8 +133,13 @@ class Circuit:
         self._driven: set[int] = {0, 1}
         self._delay_cache: dict[tuple[float, float], np.ndarray] = {}
         self._plan: plan_mod.CompiledPlan | None = None
-        self._workspaces: dict[int, plan_mod.Workspace] = {}
+        self._workspaces: dict[tuple, plan_mod.Workspace] = {}
         self._dirty = False
+        self._pool_token: int | None = None
+        #: (pool, delays snapshot) last pushed -- the pool is part of
+        #: the guard because a reconfigured pool starts with an empty
+        #: registry and must be pushed again even for equal values.
+        self._pool_delays: tuple | None = None
 
     # -- construction ---------------------------------------------------
 
@@ -236,12 +260,24 @@ class Circuit:
                 self.gate_outputs, self._input_net_set)
         return self._plan
 
-    def _workspace(self, n_vectors: int) -> plan_mod.Workspace:
-        """Reusable ``(n_nets, N)`` scratch matrices for one block width."""
-        workspace = self._workspaces.get(n_vectors)
+    def _workspace(self, n_vectors: int, timing_dtype=np.float64,
+                   shared: bool = False) -> plan_mod.Workspace:
+        """Reusable ``(n_nets, N)`` scratch matrices for one block width.
+
+        One workspace is kept per (width, timing dtype, shared?) so a
+        float32 view or a pool-sharded run never clobbers the buffers
+        of a concurrent float64 serial run at the same width.  Shared
+        workspaces allocate every matrix eagerly in anonymous shared
+        mappings, so fork workers inherit complete, writable views.
+        """
+        key = (n_vectors, np.dtype(timing_dtype).str, shared)
+        workspace = self._workspaces.get(key)
         if workspace is None:
-            workspace = plan_mod.Workspace(self.n_nets, n_vectors)
-            self._workspaces[n_vectors] = workspace
+            alloc = parallel.shared_empty if shared else None
+            workspace = plan_mod.Workspace(self.n_nets, n_vectors,
+                                           timing_dtype=timing_dtype,
+                                           alloc=alloc, eager=shared)
+            self._workspaces[key] = workspace
         return workspace
 
     def gate_delays(self, library: CellLibrary, vdd: float = VDD_REF,
@@ -357,8 +393,11 @@ class Circuit:
             glitch_model: ``"sensitized"`` (events + static masking,
                 default) or ``"value-change"`` (optimistic, settled
                 toggles only).
-            engine: ``"compiled"`` (bucketed plan, default) or
-                ``"reference"`` (per-gate loop); both are bit-identical.
+            engine: ``"compiled"`` (bucketed plan, default),
+                ``"compiled-f32"`` (same plan, float32 timing view
+                under the relaxed-identity contract) or
+                ``"reference"`` (per-gate loop); ``"compiled"`` and
+                ``"reference"`` are bit-identical.
 
         Returns:
             ``(outputs, arrivals)``: per output bus, the new integer
@@ -373,9 +412,10 @@ class Circuit:
             raise CircuitError(f"unknown glitch model {glitch_model!r}")
         if engine not in ENGINES:
             raise CircuitError(f"unknown engine {engine!r}")
-        if engine == "compiled":
+        if engine in _ENGINE_DTYPES:
             return self._propagate_compiled(prev_inputs, new_inputs, delays,
-                                            input_arrival, glitch_model)
+                                            input_arrival, glitch_model,
+                                            _ENGINE_DTYPES[engine])
         prev_values, n_prev = self._prepare_inputs(prev_inputs)
         new_values, n_new = self._prepare_inputs(new_inputs)
         if n_prev != n_new:
@@ -409,7 +449,8 @@ class Circuit:
         return outputs, out_arrivals
 
     def _propagate_compiled(self, prev_inputs, new_inputs, delays,
-                            input_arrival, glitch_model) -> \
+                            input_arrival, glitch_model,
+                            timing_dtype=np.float64) -> \
             tuple[dict[str, np.ndarray], dict[str, np.ndarray]]:
         """Bucketed two-vector simulation on the compiled plan."""
         prev_planes, n_prev = self._stimulus_planes(prev_inputs)
@@ -419,7 +460,9 @@ class Circuit:
         delays = np.asarray(delays, dtype=float)
         plan = self.plan
         rows = plan.rows
-        ws = self._workspace(n_new)
+        pool = parallel.get_pool()
+        shards = pool.shard_columns(n_new) if pool is not None else None
+        ws = self._workspace(n_new, timing_dtype, shared=shards is not None)
         sensitized = glitch_model == "sensitized"
         if not sensitized:
             # Sensitized masks only read current-cycle values; the
@@ -434,7 +477,10 @@ class Circuit:
             changed = prev_planes[name] != new_planes[name]
             ws.events[bus_rows] = changed
             ws.settles[bus_rows] = changed * arrival
-        if sensitized:
+        if shards is not None:
+            self._propagate_pooled(pool, plan, ws, delays, glitch_model,
+                                   shards)
+        elif sensitized:
             plan_mod.propagate_sensitized(plan, ws, delays)
         else:
             plan_mod.propagate_value_change(plan, ws, delays)
@@ -449,6 +495,46 @@ class Circuit:
             else:
                 out_arrivals[name] = ws.settles[bus_rows]
         return outputs, out_arrivals
+
+    def _propagate_pooled(self, pool, plan, ws, delays, glitch_model,
+                          shards) -> None:
+        """Shard one propagate call's block axis over the pool.
+
+        The plan and the per-corner delay vector are pushed to the
+        workers once (small, picklable; re-pushed only when they
+        change), the workspace is registered for fork inheritance
+        (its buffers live in shared mappings, so worker writes land in
+        place), and each per-call message is a handful of ints -- no
+        per-call pickling of the plan or any buffer.
+
+        The delay vector is compared *by value* against the last
+        pushed snapshot, mirroring the serial delay-tile cache: an
+        in-place mutation of a previously pushed array, or a fresh
+        equal-valued array per call (e.g. list input), both do the
+        right thing -- re-push on real change, no traffic otherwise.
+        One key per circuit, so the worker registries stay bounded
+        across DTA corners.
+        """
+        if self._pool_token is None:
+            self._pool_token = parallel.next_token()
+        token = self._pool_token
+        plan_key = ("netlist-plan", token)
+        pool.push_if_new(plan_key, plan)
+        delays_key = ("netlist-delays", token)
+        if self._pool_delays is None \
+                or self._pool_delays[0] is not pool \
+                or not np.array_equal(self._pool_delays[1], delays):
+            # Push a snapshot: the registry copy must not alias an
+            # array the caller may mutate in place (a respawn forks
+            # whatever the registry holds).
+            snapshot = delays.copy()
+            self._pool_delays = (pool, snapshot)
+            pool.push_if_new(delays_key, snapshot)
+        ws_key = ("netlist-ws", token, ws.n_vectors, ws.timing_dtype.str)
+        pool.register(ws_key, ws)
+        pool.run("netlist-propagate-shard",
+                 [(plan_key, ws_key, delays_key, glitch_model, lo, hi)
+                  for lo, hi in shards])
 
     def _propagate_value_change(self, prev_values, new_values, events,
                                 settles, delays) -> None:
@@ -469,13 +555,19 @@ class Circuit:
 
     def _propagate_sensitized(self, prev_values, new_values, events,
                               settles, delays) -> None:
-        """Event engine with static masking by stable controlling inputs."""
+        """Event engine with static masking by stable controlling inputs.
+
+        The sensitized rules only ever read *current-cycle* values
+        (events of the primary inputs already encode the prev-vs-new
+        toggle), so unlike the value-change engine this loop never
+        evaluates the previous-cycle value network -- the per-gate
+        prev evaluation it used to do was dead work, and the compiled
+        engine skips it for the same reason.
+        """
         for index, (kind, ins, out) in enumerate(
                 zip(self.gate_kinds, self.gate_inputs, self.gate_outputs)):
             fn = GATE_KINDS[kind][1]
-            prev_out = fn(*[prev_values[i] for i in ins])
             new_out = fn(*[new_values[i] for i in ins])
-            prev_values[out] = prev_out
             new_values[out] = new_out
 
             if kind in ("INV", "BUF"):

@@ -49,9 +49,24 @@ are invisible at the API boundary but worth knowing:
   finite non-negative ``s``).
 * **Delay matrix cache.**  The broadcast of the per-bucket delay
   column against the block is materialized once per (delay vector,
-  block width) and cached by *object identity* (a strong reference is
-  kept, so the id cannot be recycled); repeated blocks of one DTA
-  corner reuse it.
+  block width, timing dtype) and cached by *object identity* (a strong
+  reference is kept, so the id cannot be recycled); repeated blocks of
+  one DTA corner reuse it.
+
+Timing dtype
+------------
+
+The value/event network is boolean and dtype-free; only the settle
+(max-plus) pipeline carries floats.  Both timing engines read their
+working dtype from the workspace's settle matrix, so a
+:class:`Workspace` built with ``timing_dtype=np.float32`` runs the
+whole bandwidth-bound pipeline -- settle matrices, gathered settle
+planes and delay tiles -- at half the memory traffic.  float32 is a
+*relaxed-identity* view: output values and events stay bit-identical
+to float64 (they are boolean), while arrivals agree within
+:data:`F32_RTOL`/:data:`F32_ATOL` (each level adds one rounding step
+of 2^-24 relative error; tens of levels stay orders of magnitude
+inside the contract).
 """
 
 from __future__ import annotations
@@ -59,6 +74,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+
+from repro.parallel import pool_task
+
+#: Relative tolerance of the float32 settle pipeline vs float64.
+#: An arrival is a max-plus chain of at most ``n_levels`` roundings,
+#: so the relative error is bounded by ``n_levels * 2**-24`` -- about
+#: 4e-6 for the deepest unit (the multiplier, ~65 levels).  1e-4 gives
+#: a 25x documented margin.
+F32_RTOL = 1e-4
+
+#: Absolute tolerance [ps] of the float32 settle pipeline vs float64
+#: (covers arrivals near zero, where rtol alone is vacuous).
+F32_ATOL = 0.05
 
 #: and-family kind -> (pa, pb, po) inversion masks for
 #: ``((a ^ pa) & (b ^ pb)) ^ po``.
@@ -125,7 +153,7 @@ class CompiledPlan:
         #: net id -> row index in the plan's state matrices.
         self.rows = rows
         self.ops = ops
-        self._dmat_key: tuple[int, int] | None = None
+        self._dmat_key: tuple | None = None
         self._dmat_delays: np.ndarray | None = None  # strong ref, keeps id
         self._dmat_values: np.ndarray | None = None  # defensive copy
         self._dmats: list[np.ndarray] = []
@@ -134,24 +162,26 @@ class CompiledPlan:
     def n_ops(self) -> int:
         return len(self.ops)
 
-    def delay_mats(self, delays: np.ndarray,
-                   n_vectors: int) -> list[np.ndarray]:
-        """Per-op ``(n, N)`` delay tiles (size-1 cache).
+    def delay_mats(self, delays: np.ndarray, n_vectors: int,
+                   dtype=np.float64) -> list[np.ndarray]:
+        """Per-op ``(n, N)`` delay tiles of one dtype (size-1 cache).
 
         The cache key is the delay array's identity plus a defensive
         value comparison, so both a new array under a recycled id and
         an in-place mutation of the cached array miss correctly.  The
         comparison is O(n_gates), noise next to one level kernel.
         """
-        key = (id(delays), n_vectors)
+        dtype = np.dtype(dtype)
+        key = (id(delays), n_vectors, dtype.str)
         if (self._dmat_key != key or self._dmat_delays is not delays
                 or self._dmat_values is None
                 or not np.array_equal(self._dmat_values, delays)):
             # Materialized (not stride-0 broadcast) tiles: the inner
             # np.add then runs at contiguous speed on every block.
+            typed = delays.astype(dtype, copy=False)
             self._dmats = [
                 np.ascontiguousarray(np.broadcast_to(
-                    delays[op.gidx][:, None], (op.n_gates, n_vectors)))
+                    typed[op.gidx][:, None], (op.n_gates, n_vectors)))
                 for op in self.ops
             ]
             self._dmat_delays = delays
@@ -245,33 +275,73 @@ class Workspace:
     and primary inputs are re-seeded, each level re-writes its rows),
     so buffers are recycled between blocks of the same width without
     clearing -- the DTA loop reuses one workspace for all its chunks.
-    ``prev`` is only allocated when the value-change engine needs it.
+    ``prev`` is only allocated when the value-change engine needs it --
+    the sensitized engine never touches previous-cycle gate values, so
+    a sensitized-only workspace never pays for the matrix.
+
+    ``timing_dtype`` selects the dtype of the settle matrix (and, via
+    the engines, of the gathered settle planes and delay tiles); the
+    boolean value/event matrices are dtype-independent.  ``alloc``
+    swaps the allocator, e.g. for buffers in shared memory
+    (:func:`repro.parallel.shm.shared_empty`); shared workspaces
+    allocate everything eagerly so fork workers inherit complete
+    mappings (``eager=True``).
     """
 
-    def __init__(self, n_nets: int, n_vectors: int):
+    def __init__(self, n_nets: int, n_vectors: int,
+                 timing_dtype=np.float64, alloc=None, eager: bool = False):
         self.n_vectors = n_vectors
-        self.new = np.empty((n_nets, n_vectors), dtype=bool)
+        self.timing_dtype = np.dtype(timing_dtype)
+        self._alloc = alloc or (lambda shape, dtype: np.empty(shape, dtype))
+        self.new = self._alloc((n_nets, n_vectors), np.dtype(bool))
         self._events: np.ndarray | None = None
         self._settles: np.ndarray | None = None
         self._prev: np.ndarray | None = None
+        if eager:
+            self.prev, self.events, self.settles  # noqa: B018
 
     @property
     def prev(self) -> np.ndarray:
         if self._prev is None:
-            self._prev = np.empty_like(self.new)
+            self._prev = self._alloc(self.new.shape, np.dtype(bool))
         return self._prev
 
     @property
     def events(self) -> np.ndarray:
         if self._events is None:
-            self._events = np.empty_like(self.new)
+            self._events = self._alloc(self.new.shape, np.dtype(bool))
         return self._events
 
     @property
     def settles(self) -> np.ndarray:
         if self._settles is None:
-            self._settles = np.empty(self.new.shape)
+            self._settles = self._alloc(self.new.shape, self.timing_dtype)
         return self._settles
+
+
+class ShardView:
+    """Column slice ``[:, lo:hi]`` of a workspace, for one pool worker.
+
+    The timing engines are elementwise along the block axis (gathers
+    run along the net axis, every float/bool op along the columns), so
+    a worker operating on its column range computes results
+    bit-identical to the serial engine restricted to those columns --
+    no inter-level synchronization is needed: every row a level reads
+    was written by the *same* shard at an earlier level.
+    """
+
+    def __init__(self, ws: Workspace, lo: int, hi: int):
+        self.n_vectors = hi - lo
+        self.timing_dtype = ws.timing_dtype
+        self.new = ws.new[:, lo:hi]
+        self.events = ws.events[:, lo:hi]
+        self.settles = ws.settles[:, lo:hi]
+        self._ws = ws
+        self._lo, self._hi = lo, hi
+
+    @property
+    def prev(self) -> np.ndarray:
+        return self._ws.prev[:, self._lo:self._hi]
 
 
 # ---------------------------------------------------------------------------
@@ -331,7 +401,7 @@ def propagate_sensitized(plan: CompiledPlan, ws: Workspace,
     caller masks by the event matrix at extraction.
     """
     new, events, settles = ws.new, ws.events, ws.settles
-    dmats = plan.delay_mats(delays, ws.n_vectors)
+    dmats = plan.delay_mats(delays, ws.n_vectors, ws.timing_dtype)
     for op, dmat in zip(plan.ops, dmats):
         n = op.n_gates
         legs = _values_op(op, new)
@@ -376,7 +446,7 @@ def propagate_value_change(plan: CompiledPlan, ws: Workspace,
     the output value did not toggle), exactly like the reference.
     """
     prev, new, events, settles = ws.prev, ws.new, ws.events, ws.settles
-    dmats = plan.delay_mats(delays, ws.n_vectors)
+    dmats = plan.delay_mats(delays, ws.n_vectors, ws.timing_dtype)
     for op, dmat in zip(plan.ops, dmats):
         n = op.n_gates
         _values_op(op, prev)
@@ -392,3 +462,22 @@ def propagate_value_change(plan: CompiledPlan, ws: Workspace,
             latest = np.maximum(gathered[:n], gathered[n:])
         np.add(latest, dmat, out=latest)
         np.multiply(latest, changed, out=settles[op.lo:op.hi])
+
+
+@pool_task("netlist-propagate-shard")
+def _propagate_shard(registry: dict, plan_key, ws_key, delays_key,
+                     glitch_model: str, lo: int, hi: int) -> None:
+    """Pool task: run one column shard of a propagate call in place.
+
+    The plan and delay vector arrive by pipe push (picklable, sent
+    once per change); the workspace arrives by fork inheritance (its
+    matrices are shared mappings, so the writes below land in the
+    parent's buffers).  Nothing is returned -- the join in
+    ``SharedPool.run`` is the synchronization point.
+    """
+    view = ShardView(registry[ws_key], lo, hi)
+    if glitch_model == "sensitized":
+        propagate_sensitized(registry[plan_key], view, registry[delays_key])
+    else:
+        propagate_value_change(registry[plan_key], view,
+                               registry[delays_key])

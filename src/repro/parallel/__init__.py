@@ -1,0 +1,92 @@
+"""Process-global shared-memory execution pool.
+
+One :class:`~repro.parallel.pool.SharedPool` per process, configured
+explicitly (CLI ``--pool-workers``, benches, tests) and consumed by
+the hot paths:
+
+* :meth:`repro.netlist.circuit.Circuit.propagate` shards the block
+  axis of the compiled engines over the pool (shared-memory
+  workspaces, zero per-call pickling);
+* :func:`repro.mc.runner.run_point` runs per-trial-seed chunks on the
+  pool instead of forking a throwaway ``multiprocessing.Pool`` per
+  point;
+* the campaign orchestrator shards work units over the pool instead
+  of forking a pool per campaign invocation.
+
+:func:`get_pool` is fork-aware: a worker process that inherited the
+parent's pool object sees ``None`` and falls back to serial execution
+-- a forked child must never talk over its parent's pipes.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+
+from repro.parallel.pool import (
+    PoolError,
+    SharedPool,
+    fork_available,
+    pool_task,
+    shard_ranges,
+)
+from repro.parallel.shm import is_shared, shared_empty
+
+__all__ = [
+    "PoolError",
+    "SharedPool",
+    "configure_pool",
+    "fork_available",
+    "get_pool",
+    "is_shared",
+    "next_token",
+    "pool_task",
+    "shard_ranges",
+    "shared_empty",
+    "shutdown_pool",
+]
+
+_POOL: SharedPool | None = None
+
+_TOKENS = itertools.count(1)
+
+
+def next_token() -> int:
+    """Process-unique small int for building registry keys."""
+    return next(_TOKENS)
+
+
+def configure_pool(workers: int | None,
+                   min_shard_vectors: int = 64) -> SharedPool | None:
+    """Install (or clear) the process-global pool.
+
+    ``workers`` of None/0/1 -- or an environment without fork --
+    clears the pool: every consumer falls back to its serial path.
+    Workers spawn lazily on first use, so configuring is free until
+    something actually runs on the pool.
+    """
+    global _POOL
+    shutdown_pool()
+    if workers and workers >= 2 and fork_available():
+        _POOL = SharedPool(workers, min_shard_vectors=min_shard_vectors)
+    return _POOL
+
+
+def get_pool() -> SharedPool | None:
+    """The process-global pool, or None (also for forked children)."""
+    pool = _POOL
+    if pool is None or pool.owner_pid != os.getpid():
+        return None
+    return pool
+
+
+def shutdown_pool() -> None:
+    """Stop and drop the process-global pool, if this process owns it."""
+    global _POOL
+    if _POOL is not None and _POOL.owner_pid == os.getpid():
+        _POOL.shutdown()
+    _POOL = None
+
+
+atexit.register(shutdown_pool)

@@ -1,0 +1,310 @@
+"""Persistent shared-memory fork pool: spawn once, execute many.
+
+The historical parallel paths (``run_point(n_jobs=...)``, the campaign
+orchestrator) created a ``multiprocessing.Pool`` per call: every call
+paid a fork per worker plus the inheritance of whatever happened to be
+in the parent at that moment.  :class:`SharedPool` inverts that:
+
+* **Workers are spawned once** (per registration generation, see
+  below) and stay alive across calls; each holds the objects the
+  parent registered -- compiled netlist plans, shared-memory
+  workspaces, Monte-Carlo state -- so the per-call message is a task
+  name plus a few ints.  No plan, buffer or closure is ever pickled
+  per call.
+* **Results land in place** for the sharded netlist path: workspace
+  matrices are anonymous shared mappings
+  (:func:`repro.parallel.shm.shared_empty`), each worker writes its
+  own column range, and the parent reads the full matrix after the
+  join.  There is no inter-level barrier because the block axis is
+  embarrassingly parallel: every row a level reads was written by the
+  same column shard at an earlier level.
+* **Two transports** feed the workers.  Picklable objects
+  (:meth:`SharedPool.push_if_new` -- plans, delay vectors, seed lists)
+  are broadcast over the worker pipes once, when they change.
+  Unpicklable or shared-mapping objects (:meth:`SharedPool.register`
+  -- workspaces, closures over injector factories and compiled
+  kernels) ride fork inheritance: registering one after the workers
+  exist marks the pool *stale*, and the next :meth:`SharedPool.run`
+  respawns the workers so they fork with the new state in memory.
+  Spawn cost is therefore amortized: registrations happen when a
+  circuit, sweep or campaign is first seen, and every hot-path call
+  after that reuses the same workers.
+
+Tasks are module-level functions declared with :func:`pool_task` at
+import time (workers inherit the registry via fork); they receive the
+worker's object registry plus the per-call arguments and must return
+something picklable (or ``None`` when results land in shared memory).
+
+Failure semantics: a worker exception travels back as a formatted
+traceback and re-raises as :class:`PoolError` in the parent after all
+workers of the call have been drained (no worker is left mid-task); a
+dead worker (EOF on its pipe) marks the pool stale so the next call
+respawns.  Workers ignore SIGINT (the parent handles it) and exit on
+pipe EOF, so they cannot outlive a killed parent.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import traceback
+import multiprocessing
+from typing import Callable
+
+#: Task-name -> function registry, populated at import time by
+#: :func:`pool_task`; forked workers inherit it.
+_TASKS: dict[str, Callable] = {}
+
+
+def pool_task(name: str) -> Callable:
+    """Register a module-level function as a pool task.
+
+    The function runs inside workers as ``fn(registry, *args)``.  It
+    must be declared at import time (before the pool spawns) so fork
+    inheritance carries it into every worker.
+    """
+    def decorate(fn: Callable) -> Callable:
+        existing = _TASKS.get(name)
+        if existing is not None and existing is not fn:
+            raise ValueError(f"pool task {name!r} already registered")
+        _TASKS[name] = fn
+        return fn
+    return decorate
+
+
+class PoolError(RuntimeError):
+    """A pool task failed or the pool is unusable in this process."""
+
+
+#: Distinguishes "key absent" from "key holds None" in the registry
+#: (``None`` is a legitimate registered value, e.g. a default config).
+_MISSING = object()
+
+
+def fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods() \
+        and hasattr(os, "fork")
+
+
+def _worker_main(conn, registry: dict, stale_parent_ends: list) -> None:
+    """Worker loop: serve ``set``/``run`` messages until EOF or exit.
+
+    ``stale_parent_ends`` are the parent-side pipe ends this worker
+    inherited through fork (its own included); closing them here makes
+    parent death observable as EOF on ``conn`` -- otherwise sibling
+    workers would keep each other's pipes open forever.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    for end in stale_parent_ends:
+        try:
+            end.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break  # parent is gone
+        kind = message[0]
+        if kind == "set":
+            registry[message[1]] = message[2]
+        elif kind == "run":
+            _, name, calls = message
+            try:
+                fn = _TASKS[name]
+                conn.send(("ok", [fn(registry, *args) for args in calls]))
+            except BaseException:
+                conn.send(("err", traceback.format_exc()))
+        elif kind == "exit":
+            break
+    conn.close()
+
+
+def shard_ranges(n: int, shards: int) -> list[tuple[int, int]]:
+    """Split ``range(n)`` into contiguous near-equal (lo, hi) ranges."""
+    base, extra = divmod(n, shards)
+    ranges = []
+    lo = 0
+    for index in range(shards):
+        hi = lo + base + (1 if index < extra else 0)
+        if hi > lo:
+            ranges.append((lo, hi))
+        lo = hi
+    return ranges
+
+
+class SharedPool:
+    """Persistent fork-worker pool with a fork-inherited object registry.
+
+    Args:
+        workers: worker process count (>= 1; sharding helpers require
+            >= 2 to bother).
+        min_shard_vectors: narrowest column shard
+            :meth:`shard_columns` will produce; blocks narrower than
+            ``workers * min_shard_vectors`` run serially (the per-call
+            pipe round-trip would dominate).
+    """
+
+    def __init__(self, workers: int, min_shard_vectors: int = 64):
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        if min_shard_vectors < 1:
+            raise ValueError("min_shard_vectors must be positive")
+        self.workers = int(workers)
+        self.min_shard_vectors = int(min_shard_vectors)
+        self.owner_pid = os.getpid()
+        #: Forks performed so far; benches assert it stays flat across
+        #: hot-path calls (spawn cost amortized).
+        self.spawn_count = 0
+        self._registry: dict = {}
+        self._procs: list = []
+        self._conns: list = []
+        self._stale = True
+
+    # -- state distribution ----------------------------------------------
+
+    def register(self, key, obj) -> None:
+        """Make ``obj`` visible to workers via fork inheritance.
+
+        For objects that cannot travel a pipe: shared-memory
+        workspaces (pickling would copy them) and closures (cannot be
+        pickled at all).  Re-registering the same object is free;
+        registering a new object under a live pool marks it stale, and
+        the next :meth:`run` respawns the workers.
+        """
+        if self._registry.get(key, _MISSING) is obj:
+            return
+        self._registry[key] = obj
+        if self._alive():
+            self._stale = True
+
+    def push_if_new(self, key, obj) -> None:
+        """Send a picklable object to the workers, once per change.
+
+        Pipe sends are ordered, so a ``run`` issued after a push is
+        guaranteed to see the object -- no acknowledgement needed.
+        """
+        if self._registry.get(key, _MISSING) is obj:
+            return
+        self._registry[key] = obj
+        if self._alive() and not self._stale:
+            for conn in self._conns:
+                conn.send(("set", key, obj))
+
+    # -- execution --------------------------------------------------------
+
+    def shard_columns(self, n_vectors: int) -> list[tuple[int, int]] | None:
+        """Column ranges for sharding a block, or None when not worth it.
+
+        Deterministic in (n_vectors, workers): a given total width
+        always produces the same ranges, so each worker sees a stable
+        shard width and its delay-tile cache stays hot.
+        """
+        if self.workers < 2 \
+                or n_vectors < self.workers * self.min_shard_vectors:
+            return None
+        return shard_ranges(n_vectors, self.workers)
+
+    def run(self, task: str, calls: list[tuple]) -> list:
+        """Execute ``task`` once per argument tuple; results in order.
+
+        Calls are dealt round-robin across workers; the parent blocks
+        until every worker involved has replied.
+        """
+        if task not in _TASKS:
+            raise PoolError(f"unknown pool task {task!r}")
+        calls = list(calls)
+        if not calls:
+            return []
+        self._ensure()
+        buckets: list[list] = [[] for _ in self._conns]
+        for index, args in enumerate(calls):
+            buckets[index % len(buckets)].append((index, tuple(args)))
+        for conn, bucket in zip(self._conns, buckets):
+            if bucket:
+                conn.send(("run", task, [args for _, args in bucket]))
+        results: list = [None] * len(calls)
+        failure = None
+        for worker, (conn, bucket) in enumerate(zip(self._conns, buckets)):
+            if not bucket:
+                continue
+            try:
+                status, payload = conn.recv()
+            except (EOFError, OSError):
+                self._stale = True
+                raise PoolError(
+                    f"pool worker {worker} died while running {task!r}")
+            if status == "err":
+                failure = payload  # drain the remaining workers first
+                continue
+            for (index, _), value in zip(bucket, payload):
+                results[index] = value
+        if failure is not None:
+            raise PoolError(
+                f"pool task {task!r} failed in a worker:\n{failure}")
+        return results
+
+    # -- lifecycle --------------------------------------------------------
+
+    def _alive(self) -> bool:
+        return bool(self._procs) \
+            and all(proc.is_alive() for proc in self._procs)
+
+    def _ensure(self) -> None:
+        if os.getpid() != self.owner_pid:
+            raise PoolError(
+                "SharedPool used from a process that does not own it "
+                "(pools do not survive fork; use repro.parallel.get_pool)")
+        if not fork_available():  # pragma: no cover - posix containers
+            raise PoolError("SharedPool needs the fork start method")
+        if self._alive() and not self._stale:
+            return
+        self._teardown()
+        context = multiprocessing.get_context("fork")
+        for index in range(self.workers):
+            parent_end, child_end = context.Pipe(duplex=True)
+            # The child inherits every parent end created so far (its
+            # own included); the worker closes them all first thing.
+            proc = context.Process(
+                target=_worker_main,
+                args=(child_end, self._registry,
+                      [*self._conns, parent_end]),
+                daemon=True, name=f"repro-pool-{index}")
+            proc.start()
+            child_end.close()
+            self._conns.append(parent_end)
+            self._procs.append(proc)
+        self._stale = False
+        self.spawn_count += 1
+
+    def _teardown(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(("exit",))
+            except (BrokenPipeError, OSError):
+                pass
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        for proc in self._procs:
+            proc.join(timeout=2.0)
+            if proc.is_alive():  # pragma: no cover - wedged worker
+                proc.terminate()
+                proc.join(timeout=1.0)
+        self._conns = []
+        self._procs = []
+
+    def shutdown(self) -> None:
+        """Stop the workers (the registry survives for a respawn)."""
+        if os.getpid() != self.owner_pid:
+            return  # a forked child must not reap its parent's workers
+        self._teardown()
+        self._stale = True
+
+    def __enter__(self) -> "SharedPool":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.shutdown()
+        return False

@@ -1,0 +1,64 @@
+"""Shared-memory numpy buffers for the persistent execution pool.
+
+Buffers are anonymous ``MAP_SHARED`` mappings (``mmap.mmap(-1, n)``),
+not named :mod:`multiprocessing.shared_memory` segments, for three
+reasons that matter to this repo's fork-only pool:
+
+* **Inheritance is the transport.**  Pool workers are forked from the
+  parent, so they inherit the mapping directly -- there is no name to
+  attach to, no pickling, and parent/worker writes are visible to each
+  other immediately (the pages are shared, not copy-on-write).
+* **Kill-safe by construction.**  A SIGKILLed campaign must leave no
+  litter (the campaign smoke test kills whole process groups).  An
+  anonymous mapping disappears with its last process; a named
+  ``/dev/shm`` segment would leak until someone unlinks it.
+* **No resource-tracker hazards.**  Named segments are registered with
+  the multiprocessing resource tracker, which double-unlinks and warns
+  when parent and forked children disagree about ownership (fixed only
+  in Python 3.13's ``track=False``).  Anonymous mappings sidestep the
+  whole mechanism.
+
+The one rule callers must respect: a worker only sees mappings created
+*before* it was forked.  :class:`~repro.parallel.pool.SharedPool`
+enforces this by respawning its workers (generation bump) whenever a
+fork-inherited object is registered after spawn.
+"""
+
+from __future__ import annotations
+
+import mmap
+
+import numpy as np
+
+
+def shared_empty(shape, dtype) -> np.ndarray:
+    """Uninitialized array backed by an anonymous shared mapping.
+
+    The returned array owns a reference to the mapping (via the buffer
+    protocol), so the mapping lives exactly as long as the array --
+    and, through fork, as long as any worker still maps it.
+    """
+    dtype = np.dtype(dtype)
+    count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+    nbytes = max(1, count * dtype.itemsize)
+    buffer = mmap.mmap(-1, nbytes)
+    return np.frombuffer(buffer, dtype=dtype,
+                         count=count).reshape(shape)
+
+
+def is_shared(array: np.ndarray) -> bool:
+    """Whether an array (or its base chain) sits on a shared mapping.
+
+    ``np.frombuffer`` wraps its buffer in a memoryview, so the base
+    chain of a :func:`shared_empty` array ends in a ``memoryview``
+    whose ``.obj`` is the mapping -- follow both links.
+    """
+    base = array
+    while base is not None:
+        if isinstance(base, mmap.mmap):
+            return True
+        if isinstance(base, memoryview):
+            base = base.obj
+        else:
+            base = getattr(base, "base", None)
+    return False

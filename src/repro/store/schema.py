@@ -18,7 +18,7 @@ from __future__ import annotations
 
 #: Artifact kinds the store can hold.
 KINDS = ("mc_point", "frequency_sweep", "alu_characterization",
-         "fig2_curve", "fig4_curve", "adder_ablation")
+         "fig2_curve", "fig4_curve", "adder_ablation", "table1_row")
 
 
 def current_schema(kind: str) -> int:
@@ -41,6 +41,9 @@ def current_schema(kind: str) -> int:
     if kind == "adder_ablation":
         from repro.experiments.ablations import ADDER_ABLATION_SCHEMA
         return ADDER_ABLATION_SCHEMA
+    if kind == "table1_row":
+        from repro.experiments.table1 import TABLE1_ROW_SCHEMA
+        return TABLE1_ROW_SCHEMA
     raise KeyError(f"unknown artifact kind {kind!r}; known: "
                    f"{sorted(KINDS)}")
 
@@ -76,5 +79,8 @@ def artifact_from_json(kind: str, payload: dict):
     if kind == "adder_ablation":
         from repro.experiments.ablations import AdderTopologyAblation
         return AdderTopologyAblation.from_json(payload)
+    if kind == "table1_row":
+        from repro.experiments.table1 import Table1Row
+        return Table1Row.from_json(payload)
     raise KeyError(f"unknown artifact kind {kind!r}; known: "
                    f"{sorted(KINDS)}")

@@ -230,7 +230,8 @@ class ResultStore:
 
     def gc(self, *, remove_all: bool = False,
            kinds: tuple[str, ...] | None = None,
-           max_bytes: int | None = None) -> tuple[int, int]:
+           max_bytes: int | None = None,
+           pin_kinds: tuple[str, ...] = ()) -> tuple[int, int]:
         """Reclaim store space; returns (entries removed, bytes freed).
 
         The default pass removes only *dead* data: unparsable or
@@ -248,6 +249,15 @@ class ResultStore:
         below it, so a gc racing a live campaign reclaims the minimum
         necessary (evicted entries are recomputed on their next
         resolve; everything newer stays a hit).
+
+        ``pin_kinds`` weights the LRU pass by recompute cost: entries
+        of a pinned kind (e.g. ``alu_characterization``, whose 1.5 MB
+        tables cost a full DTA sweep to rebuild) are evicted only
+        after every unpinned entry is gone -- age order within each
+        class.  The cap stays *hard*: when the pinned entries alone
+        exceed ``max_bytes`` (including a cap smaller than the largest
+        single pinned entry), pinned entries are evicted too, oldest
+        first, until the store fits.
         """
         if max_bytes is not None and max_bytes < 0:
             raise ValueError("max_bytes must be non-negative")
@@ -266,7 +276,7 @@ class ResultStore:
                 continue  # renamed/removed by its writer meanwhile
             freed += stat.st_size
             removed += 1
-        live: list[tuple[float, Path, int]] = []
+        live: list[tuple[bool, float, Path, int]] = []
         for path in sorted(self.objects.glob("*/*.json")):
             try:
                 size = path.stat().st_size
@@ -287,7 +297,7 @@ class ResultStore:
                 removed += 1
                 freed += size
             else:
-                live.append((float((envelope or {}).get(
+                live.append((kind in pin_kinds, float((envelope or {}).get(
                     "created_unix", 0.0)), path, size))
         if max_bytes is not None:
             evicted, evicted_bytes = self._evict_lru(live, max_bytes)
@@ -296,18 +306,20 @@ class ResultStore:
         self.rebuild_manifest()
         return removed, freed
 
-    def _evict_lru(self, live: list[tuple[float, Path, int]],
+    def _evict_lru(self, live: list[tuple[bool, float, Path, int]],
                    max_bytes: int) -> tuple[int, int]:
         """Evict oldest live entries until the total fits ``max_bytes``.
 
-        ``live`` carries (created_unix, path, size) of every surviving
-        object; ties on age break by path for determinism.  Eviction
-        stops the moment the running total is at or under the cap.
+        ``live`` carries (pinned, created_unix, path, size) of every
+        surviving object; the sort order (unpinned before pinned,
+        oldest first within each class, path as the deterministic
+        tie-break) *is* the eviction order.  Eviction stops the moment
+        the running total is at or under the cap.
         """
-        total = sum(size for _, _, size in live)
+        total = sum(size for _, _, _, size in live)
         removed = 0
         freed = 0
-        for _, path, size in sorted(live):
+        for _, _, path, size in sorted(live):
             if total <= max_bytes:
                 break
             try:

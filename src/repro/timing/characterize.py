@@ -42,6 +42,11 @@ class CharacterizationConfig:
         seed: base RNG seed (each instruction derives its own stream).
         glitch_model: event model for the timing simulation.
         grid_points: resolution of the compiled period grid.
+        timing_dtype: settle-pipeline dtype of the DTA engine.  The
+            default ``"float64"`` is bit-exact; ``"float32"`` halves
+            the DTA memory traffic under the engine's relaxed-identity
+            contract and caches under its own store keys (see
+            :func:`config_key_fields`).
     """
 
     vdd: float = VDD_REF
@@ -49,6 +54,28 @@ class CharacterizationConfig:
     seed: int = 2016
     glitch_model: str = "sensitized"
     grid_points: int = 2048
+    timing_dtype: str = "float64"
+
+    @property
+    def engine(self) -> str:
+        """Circuit engine implied by the timing dtype."""
+        return "compiled-f32" if self.timing_dtype == "float32" \
+            else "compiled"
+
+
+def config_key_fields(config: CharacterizationConfig) -> dict:
+    """Cache-key fields of a characterization config.
+
+    ``timing_dtype`` is dropped at its default: every float64 key --
+    characterizations and the Monte-Carlo points fingerprinting them
+    -- stays byte-identical to the pre-dtype era, so existing stores
+    keep serving.  float32 runs produce different (tolerance-level)
+    numbers and get distinct keys by keeping the field.
+    """
+    fields = asdict(config)
+    if fields.get("timing_dtype", "float64") == "float64":
+        del fields["timing_dtype"]
+    return fields
 
 
 @dataclass
@@ -74,7 +101,8 @@ class AluCharacterization:
                 n_cycles=config.n_cycles_per_instr,
                 vdd=config.vdd,
                 seed=config.seed + 7919 * index,
-                glitch_model=config.glitch_model)
+                glitch_model=config.glitch_model,
+                engine=config.engine)
             cdfs[mnemonic] = EndpointCdfs.from_critical(
                 mnemonic, config.vdd, result.critical_ps)
             max_critical = max(max_critical,
@@ -112,6 +140,7 @@ class AluCharacterization:
             self.worst_sta_period_ps,
         ])
         arrays["glitch_model"] = np.array(self.config.glitch_model)
+        arrays["timing_dtype"] = np.array(self.config.timing_dtype)
         np.savez_compressed(Path(path), **arrays)
 
     @classmethod
@@ -125,6 +154,9 @@ class AluCharacterization:
             seed=int(meta[2]),
             glitch_model=str(data["glitch_model"]),
             grid_points=int(meta[3]),
+            timing_dtype=(str(data["timing_dtype"])
+                          if "timing_dtype" in data.files
+                          else "float64"),  # pre-dtype files
         )
         criticals = {
             key.split("::", 1)[1]: data[key]
@@ -233,7 +265,7 @@ def characterization_key(alu: "AluNetlist",
         "kind": "alu_characterization",
         "schema": ALU_CHARACTERIZATION_SCHEMA,
         "alu": alu_fingerprint(alu),
-        "config": asdict(config),
+        "config": config_key_fields(config),
     }
 
 

@@ -12,17 +12,36 @@ The Monte-Carlo layer rides on the same guarantee: CPU reuse via
 invisible in the results.
 """
 
+import contextlib
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro import parallel
 from repro.bench.suite import build_kernel
 from repro.fi.base import FaultInjector
 from repro.mc.runner import run_point, run_trial, trial_seeds
 from repro.netlist.circuit import Circuit, CircuitError
 from repro.netlist.gates import GATE_KINDS, arity_of
+from repro.netlist.plan import F32_ATOL, F32_RTOL
 from repro.sim.cpu import Cpu
 from repro.sim.machine import MachineConfig
+
+
+@contextlib.contextmanager
+def _pool(workers: int, min_shard_vectors: int = 1):
+    """Process-global pool for one test body, always torn down.
+
+    ``workers=1`` intentionally configures *no* pool (the serial
+    path): the worker-count sweeps below include it so "1 worker"
+    means exactly what a user gets from ``--pool-workers 1``.
+    """
+    try:
+        yield parallel.configure_pool(
+            workers, min_shard_vectors=min_shard_vectors)
+    finally:
+        parallel.shutdown_pool()
 
 
 # ---------------------------------------------------------------------------
@@ -85,6 +104,124 @@ def test_compiled_engine_bit_identical(case):
                                          glitch_model, engine="reference")
         assert np.array_equal(out_c["y"], out_r["y"]), glitch_model
         assert np.array_equal(arr_c["y"], arr_r["y"]), glitch_model
+
+
+@given(random_circuits())
+@settings(max_examples=40, deadline=None)
+def test_f32_engine_within_documented_tolerance(case):
+    """compiled-f32 vs compiled: values/events exact, arrivals close.
+
+    The value/event network is boolean, so outputs must stay
+    bit-identical; arrivals follow the relaxed-identity contract
+    (F32_RTOL/F32_ATOL) on both glitch models.
+    """
+    circuit, prev, new, delays, arrival = case
+    for glitch_model in ("sensitized", "value-change"):
+        out64, arr64 = circuit.propagate(prev, new, delays, arrival,
+                                         glitch_model, engine="compiled")
+        out32, arr32 = circuit.propagate(prev, new, delays, arrival,
+                                         glitch_model,
+                                         engine="compiled-f32")
+        assert np.array_equal(out32["y"], out64["y"]), glitch_model
+        np.testing.assert_allclose(arr32["y"], arr64["y"],
+                                   rtol=F32_RTOL, atol=F32_ATOL,
+                                   err_msg=glitch_model)
+
+
+@given(random_circuits(), st.sampled_from([1, 2, 4]))
+@settings(max_examples=25, deadline=None)
+def test_sharded_propagate_identical_to_serial(case, workers):
+    """Pool-sharded propagate must be invisible at any worker count.
+
+    f64 shards are bit-identical to the single-core engine; f32
+    shards are bit-identical to the *serial f32* engine (sharding
+    never changes results, only the dtype contract does).
+    """
+    circuit, prev, new, delays, arrival = case
+    serial = {
+        (glitch_model, engine): circuit.propagate(
+            prev, new, delays, arrival, glitch_model, engine=engine)
+        for glitch_model in ("sensitized", "value-change")
+        for engine in ("compiled", "compiled-f32")
+    }
+    with _pool(workers):
+        for (glitch_model, engine), (out_s, arr_s) in serial.items():
+            out_p, arr_p = circuit.propagate(prev, new, delays, arrival,
+                                             glitch_model, engine=engine)
+            assert np.array_equal(out_p["y"], out_s["y"]), \
+                (glitch_model, engine, workers)
+            assert np.array_equal(arr_p["y"], arr_s["y"]), \
+                (glitch_model, engine, workers)
+
+
+def _wide_xor_chain(n_vectors=160):
+    """A small circuit plus a block wide enough to shard at 2 workers."""
+    circuit = Circuit("wide")
+    a = circuit.input_bus("a", 4)
+    b = circuit.input_bus("b", 4)
+    row = [circuit.gate("XOR2", x, y) for x, y in zip(a, b)]
+    for _ in range(3):
+        row = [circuit.gate("AND2", row[i], row[(i + 1) % 4])
+               for i in range(4)]
+    circuit.output_bus("y", row)
+    rng = np.random.default_rng(7)
+    prev = {"a": rng.integers(0, 16, n_vectors, dtype=np.uint64),
+            "b": rng.integers(0, 16, n_vectors, dtype=np.uint64)}
+    new = {"a": rng.integers(0, 16, n_vectors, dtype=np.uint64),
+           "b": rng.integers(0, 16, n_vectors, dtype=np.uint64)}
+    return circuit, prev, new
+
+
+def test_pooled_workspace_buffers_are_shared_mappings():
+    """Sharded runs write shared mappings; serial runs stay private."""
+    circuit, prev, new = _wide_xor_chain()
+    delays = np.full(circuit.n_gates, 2.0)
+    with _pool(2):
+        circuit.propagate(prev, new, delays, 1.0, engine="compiled")
+    shared_ws = circuit._workspaces[(160, "<f8", True)]
+    for matrix in (shared_ws.new, shared_ws.events, shared_ws.settles):
+        assert parallel.is_shared(matrix)
+    circuit.propagate(prev, new, delays, 1.0, engine="compiled")
+    serial_ws = circuit._workspaces[(160, "<f8", False)]
+    assert not parallel.is_shared(serial_ws.new)
+
+
+def test_pooled_propagate_sees_in_place_delay_mutation():
+    """Mutating a pushed delay array must reach the workers.
+
+    The pooled path compares delays by value against its last pushed
+    snapshot (like the serial delay-tile cache); keying by object
+    identity alone would serve stale delays after an in-place `*=`.
+    """
+    circuit, prev, new = _wide_xor_chain()
+    delays = np.full(circuit.n_gates, 2.0)
+    with _pool(2):
+        circuit.propagate(prev, new, delays, 1.0, engine="compiled")
+        delays *= 3.0  # same object, new values
+        _, pooled = circuit.propagate(prev, new, delays, 1.0,
+                                      engine="compiled")
+    _, serial = circuit.propagate(prev, new, delays, 1.0,
+                                  engine="compiled")
+    assert np.array_equal(pooled["y"], serial["y"])
+
+
+def test_pooled_propagate_survives_pool_reconfiguration():
+    """A reconfigured pool starts empty; the delays must be re-pushed.
+
+    The circuit-side snapshot guard keys on the pool instance: with
+    equal delay values but a fresh pool, skipping the push would leave
+    the new workers without the delay vector (KeyError -> PoolError).
+    """
+    circuit, prev, new = _wide_xor_chain()
+    delays = np.full(circuit.n_gates, 2.0)
+    _, serial = circuit.propagate(prev, new, delays, 1.0,
+                                  engine="compiled")
+    with _pool(2):
+        circuit.propagate(prev, new, delays, 1.0, engine="compiled")
+    with _pool(2):  # fresh pool, same circuit, same delay values
+        _, again = circuit.propagate(prev, new, delays, 1.0,
+                                     engine="compiled")
+    assert np.array_equal(again["y"], serial["y"])
 
 
 def test_plan_invalidated_by_gate_add():
@@ -202,6 +339,29 @@ def test_parallel_run_point_equals_serial(kernel):
                          n_trials=8, seed=5, n_jobs=2)
     assert serial.trials == parallel.trials
     assert serial.summary() == parallel.summary()
+
+
+def test_pooled_run_point_equals_serial(kernel):
+    """Persistent-pool run_point: bit-identical, one spawn for many."""
+    factory = lambda rng: _RareInjector(rng)  # noqa: E731
+    serial = run_point(kernel, factory, n_trials=8, seed=5, n_jobs=1)
+    with _pool(2) as pool:
+        first = run_point(kernel, factory, n_trials=8, seed=5, n_jobs=2)
+        second = run_point(kernel, factory, n_trials=8, seed=5, n_jobs=2)
+        assert pool.spawn_count == 1  # spawn cost amortized
+    assert serial.trials == first.trials == second.trials
+    assert serial.summary() == first.summary()
+
+
+def test_pooled_run_point_worker_count_invisible(kernel):
+    """Trial outcomes must not depend on the pool's worker count."""
+    factory = lambda rng: _RareInjector(rng)  # noqa: E731
+    points = []
+    for workers in (1, 2, 4):
+        with _pool(workers):
+            points.append(run_point(kernel, factory, n_trials=8,
+                                    seed=9, n_jobs=2))
+    assert points[0].trials == points[1].trials == points[2].trials
 
 
 def test_trial_seeds_are_deterministic():

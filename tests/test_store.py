@@ -483,3 +483,79 @@ class TestLruEviction:
                           label=f"w{last}")
         assert store.get(_key(seed=last)) is not None
         assert store._object_path(final).exists()
+
+
+def _char_key(seed=0):
+    return {"kind": "alu_characterization",
+            "schema": ALU_CHARACTERIZATION_SCHEMA,
+            "experiment": "test", "scale": None, "seed": seed,
+            "stream": "dta", "config": {"vdd": 0.7}}
+
+
+class TestPinnedEviction:
+    """gc --max-bytes with pin_kinds: recompute-cost-weighted LRU."""
+
+    PINS = ("alu_characterization",)
+
+    def _mixed_store(self, tmp_path):
+        """Two old pinned characterizations + four newer cheap points."""
+        store = ResultStore(tmp_path / "store")
+        char = TestCharacterizationJson()._characterization()
+        for index in range(2):
+            _aged_put(store, _char_key(seed=index), char,
+                      f"char{index}", 500.0 + index)
+        for index in range(4):
+            _aged_put(store, _key(seed=index), _point(f"p{index}"),
+                      f"p{index}", 1000.0 + index)
+        return store
+
+    def test_pinned_kind_evicted_last_despite_age(self, tmp_path):
+        # The pinned entries are the *oldest* in the store; a plain
+        # LRU pass would evict them first.  Pinning must sacrifice
+        # every cheap point before touching a characterization.
+        store = self._mixed_store(tmp_path)
+        pinned_total = sum(entry.n_bytes for entry in store.ls()
+                           if entry.label.startswith("char"))
+        removed, _ = store.gc(max_bytes=pinned_total,
+                              pin_kinds=self.PINS)
+        assert removed == 4  # all points, no characterization
+        assert {entry.label for entry in store.ls()} == \
+            {"char0", "char1"}
+        assert store.get(_char_key(seed=0)) is not None
+
+    def test_cap_stays_hard_over_pinned_entries(self, tmp_path):
+        # When the pinned entries alone exceed the cap, they are
+        # evicted too -- oldest first -- until the store fits.
+        store = self._mixed_store(tmp_path)
+        entries = {entry.label: entry.n_bytes for entry in store.ls()}
+        cap = entries["char1"]  # room for exactly one characterization
+        removed, _ = store.gc(max_bytes=cap, pin_kinds=self.PINS)
+        assert removed == 5  # four points + the older characterization
+        assert {entry.label for entry in store.ls()} == {"char1"}
+
+    def test_cap_smaller_than_largest_pinned_entry(self, tmp_path):
+        # The edge the CLI documents: a cap below the size of a single
+        # pinned entry empties the store rather than overshooting it.
+        store = ResultStore(tmp_path / "store")
+        char = TestCharacterizationJson()._characterization()
+        sha = _aged_put(store, _char_key(seed=0), char, "char", 500.0)
+        size = store._object_path(sha).stat().st_size
+        removed, freed = store.gc(max_bytes=size - 1,
+                                  pin_kinds=self.PINS)
+        assert removed == 1 and freed >= size
+        assert store.ls() == []
+        assert store.get(_char_key(seed=0)) is None
+
+    def test_unpinned_default_keeps_plain_lru_order(self, tmp_path):
+        # Without pin_kinds the characterizations are ordinary LRU
+        # fodder: oldest goes first even though it is pinned-kind.
+        store = self._mixed_store(tmp_path)
+        # On-disk sizes, not manifest ones: _aged_put rewrote the
+        # envelopes, so the manifest's n_bytes are slightly stale.
+        total = sum(path.stat().st_size
+                    for path in store.objects.glob("*/*.json"))
+        oldest = min(store.ls(), key=lambda entry: entry.created_unix)
+        removed, _ = store.gc(max_bytes=total - 1)
+        assert removed == 1
+        assert oldest.label == "char0"
+        assert "char0" not in {entry.label for entry in store.ls()}
