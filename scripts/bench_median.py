@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Regenerate ``BENCH_engines.json`` as a per-row median of N runs.
+
+Single bench-engines runs on a loaded 1-core box swing +-30-40% row to
+row, and committing one run's outlier makes the one-sided
+``make bench-check`` gate flaky in both directions (a high outlier
+trips future checks, a low one weakens the gate).  This driver runs
+the full bench suite ``REPRO_BENCH_RUNS`` times (default 3) into
+scratch files and commits, per row, the *whole row dict* from the run
+with the median speedup -- every row stays internally consistent
+(``speedup == reference_ms / compiled_ms`` from one measurement), only
+the choice of run varies per row.  Top-level fields (block,
+cpu_count, native availability, compiler) come from the first run.
+
+Wired as ``make bench-baseline``; plain ``make bench-engines`` remains
+the fast single-run refresh for local iteration.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+RUNS = int(os.environ.get("REPRO_BENCH_RUNS", "3"))
+
+
+def _one_run(out_path: Path) -> dict:
+    env = dict(os.environ,
+               REPRO_BENCH_OUT=str(out_path),
+               PYTHONPATH=os.pathsep.join(
+                   [str(REPO / "src")]
+                   + ([os.environ["PYTHONPATH"]]
+                      if os.environ.get("PYTHONPATH") else [])))
+    command = [sys.executable, "-m", "pytest",
+               "benchmarks/bench_engines.py", "-x", "-q",
+               "-p", "no:cacheprovider"]
+    proc = subprocess.run(command, cwd=REPO, env=env,
+                          capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout[-2000:] + proc.stderr[-2000:])
+        raise SystemExit(
+            f"bench-median: benchmark run failed (exit "
+            f"{proc.returncode})")
+    return json.loads(out_path.read_text())
+
+
+def main() -> int:
+    runs = []
+    with tempfile.TemporaryDirectory(prefix="bench-median-") as tmp:
+        for index in range(RUNS):
+            print(f"bench-median: run {index + 1}/{RUNS} ...",
+                  flush=True)
+            runs.append(_one_run(Path(tmp) / f"run{index}.json"))
+    merged = dict(runs[0])
+    results = {}
+    # Union of every run's rows: keying on run 0 alone would silently
+    # drop rows a transient hiccup kept out of the first run -- the
+    # exact silent-coverage-loss bench-check exists to catch.
+    names = sorted({name for run in runs for name in run["results"]})
+    for name in names:
+        rows = sorted((run["results"][name] for run in runs
+                       if name in run["results"]),
+                      key=lambda row: row["speedup"])
+        if len(rows) < len(runs):
+            print(f"bench-median: warning: {name} present in only "
+                  f"{len(rows)}/{len(runs)} runs")
+        results[name] = rows[(len(rows) - 1) // 2]  # lower median
+    merged["results"] = results
+    merged["native_available"] = any(run.get("native_available")
+                                     for run in runs)
+    out = REPO / "BENCH_engines.json"
+    out.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+    for name in sorted(results):
+        print(f"  {name:48s} median speedup="
+              f"{results[name]['speedup']:8.2f}x")
+    print(f"bench-median: wrote {out} ({RUNS}-run per-row medians)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

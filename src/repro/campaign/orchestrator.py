@@ -146,7 +146,8 @@ def plan_campaign(experiment: str, ctx: ExperimentContext,
     elif experiment == "ablations":
         semantics_units = ablations.semantics_point_units(ctx, seed=seed)
         adder_units = ablations.adder_topology_units(
-            ctx.scale, seed=seed, timing_dtype=ctx.timing_dtype)
+            ctx.scale, seed=seed, timing_dtype=ctx.timing_dtype,
+            engine=ctx.dta_engine)
         units = semantics_units + adder_units
         n_semantics = len(semantics_units)
 
@@ -201,7 +202,8 @@ def _plan_characterization_configs(experiment: str,
 
 def campaign_status(experiment: str, scale: str | Scale, seed: int,
                     store, log: Callable[[str], None] | None = None,
-                    timing_dtype: str = "float64") -> CampaignStatus:
+                    timing_dtype: str = "float64",
+                    engine: str | None = None) -> CampaignStatus:
     """Report which units of a campaign are already in the store.
 
     Planning needs the experiment's DTA characterizations (frequency
@@ -212,7 +214,8 @@ def campaign_status(experiment: str, scale: str | Scale, seed: int,
     """
     resolved = get_scale(scale)
     ctx = ExperimentContext.create(resolved, seed, store=store,
-                                   timing_dtype=timing_dtype)
+                                   timing_dtype=timing_dtype,
+                                   engine=engine)
     if log is not None:
         missing = [config for config
                    in _plan_characterization_configs(experiment, ctx)
@@ -289,7 +292,8 @@ def _pool_shard(registry: dict, indices: list[int]) -> list[int]:
 def run_campaign(experiment: str, scale: str | Scale = "default",
                  seed: int = 2016, store=None, jobs: int = 1,
                  log: Callable[[str], None] | None = None,
-                 timing_dtype: str = "float64") -> CampaignReport:
+                 timing_dtype: str = "float64",
+                 engine: str | None = None) -> CampaignReport:
     """Run (or resume) a campaign to its rendered figure output.
 
     Args:
@@ -308,6 +312,10 @@ def run_campaign(experiment: str, scale: str | Scale = "default",
         log: optional progress sink (e.g. stderr writer).
         timing_dtype: settle-pipeline dtype of the context's DTA runs
             (``"float32"`` caches under its own keys).
+        engine: backend preference for the context's DTA engine
+            (``"native"`` selects the fused C kernels when a compiler
+            exists, falling back to numpy otherwise; never part of
+            unit keys).
 
     Resuming is the same call again: completed units are store hits
     and only the missing ones execute, with byte-identical rendered
@@ -321,7 +329,8 @@ def run_campaign(experiment: str, scale: str | Scale = "default",
     emit = log or (lambda message: None)
     resolved = get_scale(scale)
     ctx = ExperimentContext.create(resolved, seed, store=store,
-                                   timing_dtype=timing_dtype)
+                                   timing_dtype=timing_dtype,
+                                   engine=engine)
     plans = [plan_campaign(name, ctx, seed)
              for name in _campaign_experiments(experiment)]
     units = [unit for plan in plans for unit in plan.units]

@@ -26,7 +26,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro import parallel
+from repro import native, parallel
 from repro.bench.suite import BENCHMARK_NAMES, build_kernel
 from repro.campaign import ALL_TARGET, CAMPAIGN_EXPERIMENTS, \
     campaign_status, run_campaign
@@ -78,7 +78,8 @@ _EXPERIMENTS = {
                                              store=store, n_jobs=jobs),
             ablations.run_adder_topology_ablation(
                 scale, seed, store=store,
-                timing_dtype=ctx.timing_dtype)),
+                timing_dtype=ctx.timing_dtype,
+                engine=ctx.dta_engine)),
 }
 
 
@@ -117,6 +118,15 @@ def _add_store(parser: argparse.ArgumentParser,
                              "traffic under a relaxed-identity "
                              "contract and caches under its own "
                              "store keys")
+    parser.add_argument("--engine", default="numpy",
+                        choices=native.BACKENDS,
+                        help="engine backend: 'native' runs the DTA "
+                             "hot loop through on-demand-compiled "
+                             "fused C kernels (bit-identical at "
+                             "float64, same tolerance class and store "
+                             "keys at float32) and falls back to "
+                             "numpy when no C compiler is available "
+                             "-- 'repro engines' shows why")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -195,6 +205,11 @@ def build_parser() -> argparse.ArgumentParser:
         "kernels", help="list benchmark kernels and their cycle counts")
     kernels.add_argument("--scale", default="paper",
                          choices=("quick", "paper"))
+
+    subparsers.add_parser(
+        "engines", help="list circuit engines with availability "
+                        "(compiler probe, kernel cache, source hash) "
+                        "-- makes native fallback visible")
     return parser
 
 
@@ -213,11 +228,22 @@ def main(argv: list[str] | None = None) -> int:
     if getattr(args, "pool_workers", None):
         parallel.configure_pool(args.pool_workers)
     timing_dtype = getattr(args, "timing_dtype", "float64")
+    engine = getattr(args, "engine", None)
+    if engine is not None:
+        # The process-global default: forked campaign/pool workers and
+        # every config-implied engine resolution inherit it.
+        native.set_backend(engine)
+        if engine == "native" and not native.native_available():
+            print(f"--engine native unavailable "
+                  f"({native.unavailable_reason()}); falling back to "
+                  f"the numpy engines -- see 'repro engines'",
+                  file=sys.stderr)
 
     if args.command in _EXPERIMENTS or args.command == "all":
         store = _resolve_store(args)
         ctx = ExperimentContext.create(args.scale, args.seed, store=store,
-                                       timing_dtype=timing_dtype)
+                                       timing_dtype=timing_dtype,
+                                       engine=engine)
         names = (list(_EXPERIMENTS) if args.command == "all"
                  else [args.command])
         for name in names:
@@ -237,7 +263,8 @@ def main(argv: list[str] | None = None) -> int:
         if args.campaign_command == "status":
             status = campaign_status(args.experiment, args.scale,
                                      args.seed, store, log=stderr_log,
-                                     timing_dtype=timing_dtype)
+                                     timing_dtype=timing_dtype,
+                                     engine=engine)
             print(status.summary())
             for label in status.pending:
                 print(f"  pending {label}")
@@ -245,7 +272,8 @@ def main(argv: list[str] | None = None) -> int:
         report = run_campaign(args.experiment, args.scale, args.seed,
                               store=store, jobs=args.jobs or 1,
                               log=stderr_log,
-                              timing_dtype=timing_dtype)
+                              timing_dtype=timing_dtype,
+                              engine=engine)
         print(report.summary(), file=sys.stderr)
         print(report.rendered)
         return 0
@@ -292,6 +320,32 @@ def main(argv: list[str] | None = None) -> int:
             print(f"wrote {args.out}")
         else:
             print(text)
+        return 0
+
+    if args.command == "engines":
+        print(f"{'engine':16s} {'dtype':8s} status")
+        print(f"{'reference':16s} {'float64':8s} available "
+              f"(per-gate python loop, the executable spec)")
+        print(f"{'compiled':16s} {'float64':8s} available "
+              f"(numpy SoA plan, bit-identical to reference)")
+        print(f"{'compiled-f32':16s} {'float32':8s} available "
+              f"(numpy SoA plan, relaxed-identity contract)")
+        for name, dtype in sorted(native.NATIVE_ENGINES.items()):
+            status = native.native_status(dtype)
+            if status["available"]:
+                cached = "cached" if status["cached"] else "not built yet"
+                print(f"{name:16s} {dtype:8s} available "
+                      f"({status['compiler_version']})")
+                print(f"{'':16s} {'':8s}   library {status['library']} "
+                      f"[{cached}]")
+                print(f"{'':16s} {'':8s}   source hash "
+                      f"{status['source_hash'][:16]}")
+            else:
+                print(f"{name:16s} {dtype:8s} UNAVAILABLE: "
+                      f"{status['reason']}")
+                print(f"{'':16s} {'':8s}   cache dir "
+                      f"{status['cache_dir']} (numpy engines serve "
+                      f"this dtype instead)")
         return 0
 
     if args.command == "kernels":

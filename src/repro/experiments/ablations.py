@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import native
 from repro.bench.suite import build_kernel
 from repro.fi.model_c import StatisticalInjector
 from repro.mc.results import McPoint
@@ -241,17 +242,19 @@ def _compute_adder_poffs(kind: str, n_samples: int, seed: int,
 
 
 def adder_topology_units(scale: str | Scale, seed: int = 2016,
-                         timing_dtype: str = "float64") \
-        -> list[PointUnit]:
+                         timing_dtype: str = "float64",
+                         engine: str | None = None) -> list[PointUnit]:
     """One work unit per adder topology (planning runs no DTA).
 
     ``timing_dtype="float32"`` runs the per-topology DTA on the f32
     settle pipeline and keys the units separately (the f64 default
     adds no key field, so historical entries keep serving).
+    ``engine`` overrides the dtype-implied circuit engine (e.g. the
+    native backend); it never enters the unit keys.
     """
     scale = get_scale(scale)
     fingerprint = _adder_study_fingerprint()
-    engine = "compiled-f32" if timing_dtype == "float32" else "compiled"
+    engine = engine or native.engine_for(timing_dtype)
     dtype_fields = {} if timing_dtype == "float64" \
         else {"timing_dtype": timing_dtype}
     units = []
@@ -287,7 +290,8 @@ def assemble_adders(parts: list[AdderTopologyAblation]) \
 
 def run_adder_topology_ablation(scale: str | Scale = "default",
                                 seed: int = 2016, store=None,
-                                timing_dtype: str = "float64") \
+                                timing_dtype: str = "float64",
+                                engine: str | None = None) \
         -> AdderTopologyAblation:
     """Measure the 16-vs-32-bit add PoFF spread for each topology.
 
@@ -297,7 +301,8 @@ def run_adder_topology_ablation(scale: str | Scale = "default",
     topologies reload exactly and the rerun performs zero DTA work.
     """
     units = adder_topology_units(scale, seed=seed,
-                                 timing_dtype=timing_dtype)
+                                 timing_dtype=timing_dtype,
+                                 engine=engine)
     parts, _, _ = resolve_units(units, store)
     return assemble_adders(parts)
 

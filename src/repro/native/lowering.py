@@ -1,0 +1,145 @@
+"""Lowering of a :class:`~repro.netlist.plan.CompiledPlan` to the
+flat descriptor the C kernels consume, plus the ctypes dispatch.
+
+A :class:`NativeDesc` is the plan re-expressed as a handful of
+contiguous arrays -- per-op family/row-range/offset records plus one
+stacked ``int32`` input-row table and per-output-row mask/delay
+vectors -- so one C call walks the whole netlist without touching a
+Python object per level.  The lowering makes no assumption about op
+shape: a level with a single gate (``n == 1``) or a plan with a single
+op produce the same records as wide levels, just shorter (regression-
+tested against the width-1 suite in ``tests/``).
+
+The descriptor is cached on the plan instance itself, so it shares the
+plan's lifecycle: a netlist edit rebuilds the plan and thereby drops
+the stale descriptor, and a plan pushed to pool workers carries (or
+lazily rebuilds) its descriptor in each worker.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.native.build import Kernels, load_kernels
+
+_FAMILY_CODES = {"and": 0, "xor": 1, "mux": 2}
+
+
+class NativeDesc:
+    """Flat, native-friendly view of one compiled plan."""
+
+    def __init__(self, plan) -> None:
+        ops = plan.ops
+        self.n_ops = len(ops)
+        self.family = np.array([_FAMILY_CODES[op.family] for op in ops],
+                               dtype=np.int32)
+        self.lo = np.array([op.lo for op in ops], dtype=np.int64)
+        self.hi = np.array([op.hi for op in ops], dtype=np.int64)
+        sizes = [len(op.ins) for op in ops]
+        self.ins_off = np.zeros(self.n_ops, dtype=np.int64)
+        if self.n_ops:
+            np.cumsum(sizes[:-1], out=self.ins_off[1:])
+        self.ins = (np.concatenate([op.ins for op in ops])
+                    if ops else np.empty(0, dtype=np.int64)) \
+            .astype(np.int32)
+        #: First gate-output row; flags/gidx/delays are indexed by
+        #: ``row - gate_row0``.
+        self.gate_row0 = int(ops[0].lo) if ops else int(plan.n_nets)
+        n_rows = (int(ops[-1].hi) - self.gate_row0) if ops else 0
+        self.flags = np.zeros(n_rows, dtype=np.uint8)
+        self.gidx = np.empty(n_rows, dtype=np.int64)
+        for op in ops:
+            n = op.n_gates
+            lo = op.lo - self.gate_row0
+            self.gidx[lo:lo + n] = op.gidx
+            if op.pin is not None:
+                pin = op.pin[:, 0]
+                self.flags[lo:lo + n] |= pin[:n].astype(np.uint8)
+                self.flags[lo:lo + n] |= pin[n:].astype(np.uint8) << 1
+            if op.po is not None:
+                self.flags[lo:lo + n] |= op.po[:, 0].astype(np.uint8) << 2
+        #: Per-dtype one-slot delay cache, mirroring
+        #: ``CompiledPlan.delay_mats``: identity plus defensive value
+        #: comparison, so recycled ids and in-place mutations both
+        #: miss correctly.
+        self._delay_cache: dict[str, tuple] = {}
+
+    def delays_rowed(self, delays: np.ndarray, dtype) -> np.ndarray:
+        """Per-output-row delay vector of one dtype (size-1 cache)."""
+        dtype = np.dtype(dtype)
+        cached = self._delay_cache.get(dtype.str)
+        if (cached is None or cached[0] is not delays
+                or not np.array_equal(cached[1], delays)):
+            rowed = np.ascontiguousarray(
+                delays[self.gidx].astype(dtype, copy=False))
+            cached = (delays, delays.copy(), rowed)
+            self._delay_cache[dtype.str] = cached
+        return cached[2]
+
+
+def native_desc(plan) -> NativeDesc:
+    """The plan's native descriptor (built lazily, cached on the plan)."""
+    desc = getattr(plan, "_native_desc", None)
+    if desc is None:
+        desc = NativeDesc(plan)
+        plan._native_desc = desc
+    return desc
+
+
+def _common_stride(ws) -> int:
+    """Shared row stride (elements) of a workspace's state matrices.
+
+    Serial workspaces are plain C-contiguous ``(n_nets, N)`` blocks;
+    pool shard views are column slices whose rows keep the parent
+    width as stride.  Either way all matrices must agree and columns
+    must be unit-stride -- the kernels address ``base + row * stride +
+    col``.
+    """
+    new, events, settles = ws.new, ws.events, ws.settles
+    stride = new.strides[0] // new.itemsize
+    if (events.strides[0] // events.itemsize != stride
+            or settles.strides[0] // settles.itemsize != stride
+            or new.strides[1] != new.itemsize
+            or settles.strides[1] != settles.itemsize):
+        raise ValueError("workspace matrices disagree on layout")
+    return stride
+
+
+def run_propagate(plan, ws, delays: np.ndarray, glitch_model: str,
+                  kernels: Kernels | None = None) -> None:
+    """Run one propagate call through the fused C kernels.
+
+    Drop-in replacement for ``plan_mod.propagate_sensitized`` /
+    ``propagate_value_change`` over the same :class:`Workspace` (or
+    pool :class:`ShardView`) contract: constants/input rows seeded by
+    the caller, sensitized settle rows left raw, value-change settle
+    rows stored masked.
+    """
+    if ws.timing_dtype == np.float64:
+        dtype_name = "float64"
+    elif ws.timing_dtype == np.float32:
+        dtype_name = "float32"
+    else:
+        raise ValueError(
+            f"no native kernel for timing dtype {ws.timing_dtype}")
+    desc = native_desc(plan)
+    if not desc.n_ops:
+        return  # gate-less plan: nothing to run, nothing to compile
+    if kernels is None:
+        kernels = load_kernels(dtype_name)
+    rowed = desc.delays_rowed(np.asarray(delays, dtype=float), ws.timing_dtype)
+    stride = _common_stride(ws)
+    args = (desc.n_ops, desc.family.ctypes.data, desc.lo.ctypes.data,
+            desc.hi.ctypes.data, desc.ins_off.ctypes.data,
+            desc.ins.ctypes.data, desc.flags.ctypes.data, desc.gate_row0)
+    if glitch_model == "sensitized":
+        kernels.sensitized(*args, ws.new.ctypes.data,
+                           ws.events.ctypes.data, ws.settles.ctypes.data,
+                           rowed.ctypes.data, stride, ws.n_vectors)
+    else:
+        prev = ws.prev
+        if prev.strides[0] // prev.itemsize != stride:
+            raise ValueError("workspace matrices disagree on layout")
+        kernels.value_change(*args, prev.ctypes.data, ws.new.ctypes.data,
+                             ws.events.ctypes.data, ws.settles.ctypes.data,
+                             rowed.ctypes.data, stride, ws.n_vectors)

@@ -77,14 +77,25 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import parallel
+from repro import native as native_mod
 from repro.netlist import plan as plan_mod
 from repro.netlist.gates import GATE_KINDS, arity_of
 from repro.netlist.library import CellLibrary, VDD_REF
 
-ENGINES = ("compiled", "compiled-f32", "reference")
+#: Engines executed by the on-demand-compiled C backend, with their
+#: timing dtypes -- the single source of truth lives in
+#: :mod:`repro.native` (``compiled-native`` is bit-identical to
+#: ``compiled``, ``native-f32`` shares the relaxed-identity contract
+#: of ``compiled-f32``).
+_NATIVE_ENGINES = frozenset(native_mod.NATIVE_ENGINES)
+
+ENGINES = ("compiled", "compiled-f32", *sorted(_NATIVE_ENGINES),
+           "reference")
 
 #: Timing dtype of each compiled engine variant.
-_ENGINE_DTYPES = {"compiled": np.float64, "compiled-f32": np.float32}
+_ENGINE_DTYPES = {"compiled": np.float64, "compiled-f32": np.float32,
+                  **{name: np.dtype(dtype).type
+                     for name, dtype in native_mod.NATIVE_ENGINES.items()}}
 
 
 def bits_from_ints(values: np.ndarray, width: int) -> np.ndarray:
@@ -395,9 +406,15 @@ class Circuit:
                 toggles only).
             engine: ``"compiled"`` (bucketed plan, default),
                 ``"compiled-f32"`` (same plan, float32 timing view
-                under the relaxed-identity contract) or
-                ``"reference"`` (per-gate loop); ``"compiled"`` and
-                ``"reference"`` are bit-identical.
+                under the relaxed-identity contract),
+                ``"compiled-native"`` / ``"native-f32"`` (the same
+                plan through the fused C kernels of
+                :mod:`repro.native`; f64 is bit-identical to
+                ``compiled``, f32 shares the ``compiled-f32``
+                contract; raises when no compiler is available) or
+                ``"reference"`` (per-gate loop); ``"compiled"``,
+                ``"compiled-native"`` and ``"reference"`` are
+                bit-identical.
 
         Returns:
             ``(outputs, arrivals)``: per output bus, the new integer
@@ -415,7 +432,8 @@ class Circuit:
         if engine in _ENGINE_DTYPES:
             return self._propagate_compiled(prev_inputs, new_inputs, delays,
                                             input_arrival, glitch_model,
-                                            _ENGINE_DTYPES[engine])
+                                            _ENGINE_DTYPES[engine],
+                                            native=engine in _NATIVE_ENGINES)
         prev_values, n_prev = self._prepare_inputs(prev_inputs)
         new_values, n_new = self._prepare_inputs(new_inputs)
         if n_prev != n_new:
@@ -450,9 +468,24 @@ class Circuit:
 
     def _propagate_compiled(self, prev_inputs, new_inputs, delays,
                             input_arrival, glitch_model,
-                            timing_dtype=np.float64) -> \
+                            timing_dtype=np.float64,
+                            native: bool = False) -> \
             tuple[dict[str, np.ndarray], dict[str, np.ndarray]]:
-        """Bucketed two-vector simulation on the compiled plan."""
+        """Bucketed two-vector simulation on the compiled plan.
+
+        ``native`` selects the fused C kernels over the same plan and
+        workspace contract; the caller asked for a native engine
+        explicitly, so an unavailable backend is a
+        :class:`CircuitError` here -- silent fallback happens one
+        level up, in :func:`repro.native.engine_for`.
+        """
+        if native:
+            reason = native_mod.unavailable_reason()
+            if reason is not None:
+                raise CircuitError(
+                    f"native engine unavailable: {reason} "
+                    f"(use repro.native.engine_for for fallback "
+                    f"selection)")
         prev_planes, n_prev = self._stimulus_planes(prev_inputs)
         new_planes, n_new = self._stimulus_planes(new_inputs)
         if n_prev != n_new:
@@ -479,7 +512,12 @@ class Circuit:
             ws.settles[bus_rows] = changed * arrival
         if shards is not None:
             self._propagate_pooled(pool, plan, ws, delays, glitch_model,
-                                   shards)
+                                   shards, native=native)
+        elif native:
+            try:
+                native_mod.run_propagate(plan, ws, delays, glitch_model)
+            except native_mod.NativeBuildError as error:
+                raise CircuitError(str(error)) from error
         elif sensitized:
             plan_mod.propagate_sensitized(plan, ws, delays)
         else:
@@ -497,7 +535,7 @@ class Circuit:
         return outputs, out_arrivals
 
     def _propagate_pooled(self, pool, plan, ws, delays, glitch_model,
-                          shards) -> None:
+                          shards, native: bool = False) -> None:
         """Shard one propagate call's block axis over the pool.
 
         The plan and the per-corner delay vector are pushed to the
@@ -532,8 +570,19 @@ class Circuit:
             pool.push_if_new(delays_key, snapshot)
         ws_key = ("netlist-ws", token, ws.n_vectors, ws.timing_dtype.str)
         pool.register(ws_key, ws)
+        if native:
+            # Complete the build before dispatching so cold-cache
+            # workers dlopen a finished library instead of racing the
+            # compile (racing is safe -- atomic replace -- but wasteful).
+            try:
+                native_mod.ensure_library(
+                    "float32" if ws.timing_dtype == np.float32
+                    else "float64")
+            except native_mod.NativeBuildError as error:
+                raise CircuitError(str(error)) from error
         pool.run("netlist-propagate-shard",
-                 [(plan_key, ws_key, delays_key, glitch_model, lo, hi)
+                 [(plan_key, ws_key, delays_key, glitch_model, lo, hi,
+                   native)
                   for lo, hi in shards])
 
     def _propagate_value_change(self, prev_values, new_values, events,

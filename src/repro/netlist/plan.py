@@ -153,6 +153,9 @@ class CompiledPlan:
         #: net id -> row index in the plan's state matrices.
         self.rows = rows
         self.ops = ops
+        #: Widest per-level gather, in stacked input rows; sizes the
+        #: workspace scratch planes so no level allocates its own.
+        self.max_gather_rows = max((len(op.ins) for op in ops), default=0)
         self._dmat_key: tuple | None = None
         self._dmat_delays: np.ndarray | None = None  # strong ref, keeps id
         self._dmat_values: np.ndarray | None = None  # defensive copy
@@ -297,8 +300,29 @@ class Workspace:
         self._events: np.ndarray | None = None
         self._settles: np.ndarray | None = None
         self._prev: np.ndarray | None = None
+        self._scratch: dict[tuple, np.ndarray] = {}
         if eager:
             self.prev, self.events, self.settles  # noqa: B018
+
+    def scratch(self, tag: str, rows: int, n_vectors: int | None = None,
+                dtype=bool) -> np.ndarray:
+        """Reusable private ``(rows, N)`` gather plane, grown on demand.
+
+        The timing engines gather each level's stacked inputs into
+        these planes (``np.take(..., out=...)``) instead of allocating
+        ``values[op.ins]`` fresh for every level of every call; one
+        plane per role ("values"/"events"/"settles") sized to the
+        plan's widest level serves the whole propagate.  Scratch is
+        always process-private ``np.empty`` -- never the shared
+        allocator -- because no other process ever reads it.
+        """
+        n_vectors = self.n_vectors if n_vectors is None else n_vectors
+        key = (tag, n_vectors, np.dtype(dtype).str)
+        buffer = self._scratch.get(key)
+        if buffer is None or buffer.shape[0] < rows:
+            buffer = np.empty((rows, n_vectors), np.dtype(dtype))
+            self._scratch[key] = buffer
+        return buffer
 
     @property
     def prev(self) -> np.ndarray:
@@ -343,21 +367,56 @@ class ShardView:
     def prev(self) -> np.ndarray:
         return self._ws.prev[:, self._lo:self._hi]
 
+    def scratch(self, tag: str, rows: int, n_vectors: int | None = None,
+                dtype=bool) -> np.ndarray:
+        """Shard-width gather plane (safety net, not the hot path).
+
+        The engines key the scratch path on C-contiguity, which a
+        proper column slice never has -- but a full-width view would,
+        so this passthrough keeps the workspace duck type complete
+        instead of resting on ``shard_columns`` never producing one.
+        Cached on the owning workspace (each pool worker owns its
+        forked copy of that object; only the state matrices are
+        shared mappings).
+        """
+        return self._ws.scratch(tag, rows, self.n_vectors, dtype)
+
 
 # ---------------------------------------------------------------------------
 # Value kernels (shared by evaluate and both timing engines)
 # ---------------------------------------------------------------------------
 
-def _values_op(op: FamilyOp, values: np.ndarray) -> tuple[np.ndarray, ...]:
+def _gather(matrix: np.ndarray, ins: np.ndarray,
+            scratch: np.ndarray | None) -> np.ndarray:
+    """Gather stacked input rows, into ``scratch`` when profitable.
+
+    ``np.take(..., out=scratch)`` keeps steady-state propagate calls
+    allocation-free -- but only on C-contiguous matrices: handed a
+    column-sliced shard view it falls into a buffering slow path that
+    copies the whole source (measured ~90x), so shard views keep the
+    fancy-index gather (callers pass ``scratch=None``).
+    """
+    if scratch is None:
+        return matrix[ins]
+    out = scratch[:len(ins)]
+    np.take(matrix, ins, axis=0, out=out, mode="clip")
+    return out
+
+
+def _values_op(op: FamilyOp, values: np.ndarray,
+               scratch: np.ndarray | None = None) -> tuple[np.ndarray, ...]:
     """Evaluate one family op; returns the gathered per-leg inputs.
 
     Writes the output values into ``values[op.lo:op.hi]`` and returns
     the (possibly inversion-masked) gathered input planes so the event
-    kernels can reuse them without a second gather.
+    kernels can reuse them without a second gather.  With ``scratch``
+    (a preallocated ``(>= len(op.ins), N)`` plane) the gather runs
+    allocation-free via ``np.take``; the indices are plan-built and
+    in-range, so ``mode="clip"`` only buys the cheap unchecked path.
     """
     n = op.n_gates
     out = values[op.lo:op.hi]
-    gathered = values[op.ins]
+    gathered = _gather(values, op.ins, scratch)
     if op.family == "and":
         if op.pin is not None:
             np.bitwise_xor(gathered, op.pin, out=gathered)
@@ -402,10 +461,15 @@ def propagate_sensitized(plan: CompiledPlan, ws: Workspace,
     """
     new, events, settles = ws.new, ws.events, ws.settles
     dmats = plan.delay_mats(delays, ws.n_vectors, ws.timing_dtype)
+    rows = plan.max_gather_rows if new.flags.c_contiguous else 0
+    vbuf = ws.scratch("values", rows) if rows else None
+    ebuf = ws.scratch("events", rows) if rows else None
+    sbuf = ws.scratch("settles", rows, dtype=ws.timing_dtype) \
+        if rows else None
     for op, dmat in zip(plan.ops, dmats):
         n = op.n_gates
-        legs = _values_op(op, new)
-        eff = events[op.ins]
+        legs = _values_op(op, new, vbuf)
+        eff = _gather(events, op.ins, ebuf)
         out_events = events[op.lo:op.hi]
         if op.family == "and":
             va, vb = legs
@@ -429,9 +493,10 @@ def propagate_sensitized(plan: CompiledPlan, ws: Workspace,
             np.bitwise_and(es, ~legs_equal, out=es)
             np.bitwise_or(ea, eb, out=out_events)
             np.bitwise_or(out_events, es, out=out_events)
-        gathered = settles[op.ins]
+        gathered = _gather(settles, op.ins, sbuf)
         np.multiply(gathered, eff, out=gathered)
-        latest = np.maximum(gathered[:n], gathered[n:2 * n])
+        latest = np.maximum(gathered[:n], gathered[n:2 * n],
+                            out=gathered[:n])
         if op.family == "mux":
             np.maximum(latest, gathered[2 * n:], out=latest)
         np.add(latest, dmat, out=settles[op.lo:op.hi])
@@ -447,26 +512,33 @@ def propagate_value_change(plan: CompiledPlan, ws: Workspace,
     """
     prev, new, events, settles = ws.prev, ws.new, ws.events, ws.settles
     dmats = plan.delay_mats(delays, ws.n_vectors, ws.timing_dtype)
+    rows = plan.max_gather_rows if new.flags.c_contiguous else 0
+    vbuf = ws.scratch("values", rows) if rows else None
+    sbuf = ws.scratch("settles", rows, dtype=ws.timing_dtype) \
+        if rows else None
     for op, dmat in zip(plan.ops, dmats):
         n = op.n_gates
-        _values_op(op, prev)
-        _values_op(op, new)
+        _values_op(op, prev, vbuf)
+        _values_op(op, new, vbuf)
         changed = events[op.lo:op.hi]
         np.not_equal(prev[op.lo:op.hi], new[op.lo:op.hi], out=changed)
-        gathered = settles[op.ins]
+        gathered = _gather(settles, op.ins, sbuf)
         if op.family == "mux":
             # Reference input order is (select, a, b).
-            latest = np.maximum(gathered[2 * n:], gathered[:n])
+            latest = np.maximum(gathered[2 * n:], gathered[:n],
+                                out=gathered[:n])
             np.maximum(latest, gathered[n:2 * n], out=latest)
         else:
-            latest = np.maximum(gathered[:n], gathered[n:])
+            latest = np.maximum(gathered[:n], gathered[n:],
+                                out=gathered[:n])
         np.add(latest, dmat, out=latest)
         np.multiply(latest, changed, out=settles[op.lo:op.hi])
 
 
 @pool_task("netlist-propagate-shard")
 def _propagate_shard(registry: dict, plan_key, ws_key, delays_key,
-                     glitch_model: str, lo: int, hi: int) -> None:
+                     glitch_model: str, lo: int, hi: int,
+                     native: bool = False) -> None:
     """Pool task: run one column shard of a propagate call in place.
 
     The plan and delay vector arrive by pipe push (picklable, sent
@@ -474,9 +546,18 @@ def _propagate_shard(registry: dict, plan_key, ws_key, delays_key,
     matrices are shared mappings, so the writes below land in the
     parent's buffers).  Nothing is returned -- the join in
     ``SharedPool.run`` is the synchronization point.
+
+    With ``native`` set the shard runs the fused C kernels over its
+    column range of the same shared mappings: the worker either
+    inherited the parent's loaded library through fork or lazily
+    dlopens the cached .so the parent ensured before dispatching.
     """
     view = ShardView(registry[ws_key], lo, hi)
-    if glitch_model == "sensitized":
+    if native:
+        from repro import native as native_mod
+        native_mod.run_propagate(registry[plan_key], view,
+                                 registry[delays_key], glitch_model)
+    elif glitch_model == "sensitized":
         propagate_sensitized(registry[plan_key], view, registry[delays_key])
     else:
         propagate_value_change(registry[plan_key], view,

@@ -58,9 +58,16 @@ class CharacterizationConfig:
 
     @property
     def engine(self) -> str:
-        """Circuit engine implied by the timing dtype."""
-        return "compiled-f32" if self.timing_dtype == "float32" \
-            else "compiled"
+        """Circuit engine implied by the timing dtype.
+
+        Resolves through the process-global backend preference
+        (:func:`repro.native.engine_for`): the native engines are
+        execution details, never part of the config identity or any
+        cache key -- native f64 is bit-identical to numpy f64, and
+        native f32 shares the f32 tolerance class.
+        """
+        from repro import native
+        return native.engine_for(self.timing_dtype)
 
 
 def config_key_fields(config: CharacterizationConfig) -> dict:
@@ -89,9 +96,15 @@ class AluCharacterization:
 
     @classmethod
     def run(cls, alu: "AluNetlist",
-            config: CharacterizationConfig | None = None) -> \
-            "AluCharacterization":
-        """Characterize every FI-eligible instruction of an ALU."""
+            config: CharacterizationConfig | None = None,
+            engine: str | None = None) -> "AluCharacterization":
+        """Characterize every FI-eligible instruction of an ALU.
+
+        ``engine`` overrides the config-implied circuit engine (e.g. a
+        context with an explicit backend preference); it must serve
+        the config's timing dtype and never affects the result
+        identity.
+        """
         config = config or CharacterizationConfig()
         cdfs: dict[str, EndpointCdfs] = {}
         max_critical = 0.0
@@ -102,7 +115,7 @@ class AluCharacterization:
                 vdd=config.vdd,
                 seed=config.seed + 7919 * index,
                 glitch_model=config.glitch_model,
-                engine=config.engine)
+                engine=engine or config.engine)
             cdfs[mnemonic] = EndpointCdfs.from_critical(
                 mnemonic, config.vdd, result.critical_ps)
             max_critical = max(max_critical,
@@ -270,14 +283,21 @@ def characterization_key(alu: "AluNetlist",
 
 
 def get_characterization(alu: "AluNetlist",
-                         config: CharacterizationConfig | None = None) -> \
+                         config: CharacterizationConfig | None = None,
+                         engine: str | None = None) -> \
         AluCharacterization:
-    """Cached characterization lookup (runs DTA on first use)."""
+    """Cached characterization lookup (runs DTA on first use).
+
+    The cache key is (ALU identity, config) only: ``engine`` is an
+    execution detail -- native f64 is bit-identical to numpy f64, and
+    the two f32 engines share one tolerance class -- so results are
+    interchangeable across backends.
+    """
     config = config or CharacterizationConfig()
     key = (alu_fingerprint(alu), config)
     found = _CACHE.get(key)
     if found is None:
-        found = AluCharacterization.run(alu, config)
+        found = AluCharacterization.run(alu, config, engine=engine)
         _CACHE[key] = found
     return found
 
