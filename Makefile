@@ -8,7 +8,8 @@ PYTHON ?= python
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
 .PHONY: tier1 test bench-engines bench-engines-scratch bench-baseline \
-        bench-check bench-figures campaign-smoke native-smoke
+        bench-check bench-figures campaign-smoke native-smoke \
+        chaos-smoke
 
 # tier1 runs the bench suite into a scratch file (its bit-identity and
 # pool asserts still gate) so the *committed* median-anchored
@@ -16,7 +17,7 @@ PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 # otherwise the single run just written would overwrite the baseline
 # seconds before the gate reads it (and, under REPRO_NO_CC, silently
 # drop every native row from the committed file).
-tier1: test native-smoke bench-engines-scratch bench-check campaign-smoke
+tier1: test native-smoke bench-engines-scratch bench-check campaign-smoke chaos-smoke
 
 bench-engines-scratch:
 	PYTHONPATH=$(PYTHONPATH) REPRO_BENCH_OUT=$(or $(TMPDIR),/tmp)/repro-bench-tier1.json \
@@ -56,6 +57,14 @@ native-smoke:
 # while evicted units recompute byte-identically.
 campaign-smoke:
 	$(PYTHON) scripts/campaign_smoke.py
+
+# Run the full quick-scale campaign under a standing fault-injection
+# schedule (torn store writes, failing manifest appends, raising unit
+# computes, SIGKILLed pool workers, broken native compiles): the run
+# must exit 0, render byte-identically to a clean run, and its fired-
+# fault log must replay exactly (scripts/fault_replay.py pins it).
+chaos-smoke:
+	$(PYTHON) scripts/chaos_smoke.py
 
 # Full figure/table reproduction benches (slow; scale via REPRO_BENCH_SCALE).
 bench-figures:

@@ -1,0 +1,76 @@
+"""Per-unit failure markers: campaign crash isolation state.
+
+A campaign unit that raises must not abort the whole run -- the
+orchestrator records a :class:`UnitFailure` in the store under a key
+*derived from* (but distinct from) the unit's own key, so:
+
+* ``campaign status`` can report failed units separately from
+  never-attempted ones (with the attempt count and the stored
+  traceback available for diagnosis);
+* ``campaign run --max-retries N`` knows how often a unit has already
+  been tried;
+* a later successful compute deletes the marker, so stale failure
+  state never outlives its cause.
+
+Import-light on purpose: the store's schema registry imports this
+module lazily, and importing the orchestrator here would complete a
+cycle through ``repro.store``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.store.serialize import key_hash
+
+UNIT_FAILURE_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class UnitFailure:
+    """Outcome record of a unit whose compute raised."""
+
+    label: str
+    error: str  # formatted traceback of the last attempt
+    attempts: int
+    last_unix: float
+
+    def to_json(self) -> dict:
+        return {
+            "schema": UNIT_FAILURE_SCHEMA,
+            "label": self.label,
+            "error": self.error,
+            "attempts": self.attempts,
+            "last_unix": self.last_unix,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "UnitFailure":
+        if payload.get("schema") != UNIT_FAILURE_SCHEMA:
+            raise ValueError(
+                f"unit_failure schema mismatch: "
+                f"{payload.get('schema')} != {UNIT_FAILURE_SCHEMA}")
+        return cls(
+            label=str(payload["label"]),
+            error=str(payload["error"]),
+            attempts=int(payload["attempts"]),
+            last_unix=float(payload["last_unix"]),
+        )
+
+
+def failure_key(unit_key: dict) -> dict:
+    """Store key of the failure marker shadowing one unit key.
+
+    The unit's full key is folded to its hash: the marker must never
+    collide with the unit's own entry, and the marker key must stay
+    valid for *any* unit kind without copying kind-specific fields.
+    """
+    return {
+        "kind": "unit_failure",
+        "schema": UNIT_FAILURE_SCHEMA,
+        "experiment": unit_key.get("experiment", ""),
+        "scale": None,
+        "seed": unit_key.get("seed", 0),
+        "stream": "failure",
+        "config": {"unit_sha": key_hash(unit_key)},
+    }

@@ -29,12 +29,16 @@ serial execution where fork is unavailable.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import sys
-from dataclasses import dataclass
+import time
+import traceback
+from dataclasses import dataclass, field
 from typing import Callable
 
-from repro import parallel
+from repro import faults, parallel
+from repro.campaign.failures import UnitFailure, failure_key
 from repro.experiments import ablations, fig1, fig2, fig4, fig5, fig6, \
     fig7, table1
 from repro.experiments.context import ExperimentContext, NOMINAL_VDD
@@ -42,6 +46,8 @@ from repro.experiments.scale import Scale, get_scale
 from repro.mc.units import WorkUnit
 from repro.mc.runner import _fork_available
 from repro.timing.characterize import characterization_key
+
+_LOG = logging.getLogger("repro.campaign")
 
 #: Experiments that decompose into campaigns -- every paper artifact
 #: with expensive substance (table2 is a static matrix and has none).
@@ -80,11 +86,19 @@ class CampaignReport:
     cached: int
     computed: int
     rendered: str
+    #: Units whose compute raised on every allowed attempt; their
+    #: failure markers are in the store and their plans render a
+    #: failure notice instead of the figure.
+    failed: int = 0
+    failures: list = field(default_factory=list)
 
     def summary(self) -> str:
-        return (f"campaign {self.experiment} scale={self.scale} "
+        text = (f"campaign {self.experiment} scale={self.scale} "
                 f"seed={self.seed} jobs={self.jobs}: {self.total} units, "
                 f"{self.cached} cached, {self.computed} computed")
+        if self.failed:
+            text += f", {self.failed} FAILED"
+        return text
 
 
 @dataclass
@@ -97,11 +111,17 @@ class CampaignStatus:
     total: int
     done: int
     pending: list[str]
+    #: ``"label (attempts=N)"`` for units with a stored failure marker
+    #: -- attempted and crashed, as opposed to never attempted.
+    failed: list = field(default_factory=list)
 
     def summary(self) -> str:
-        return (f"campaign {self.experiment} scale={self.scale} "
+        text = (f"campaign {self.experiment} scale={self.scale} "
                 f"seed={self.seed}: {self.done}/{self.total} units "
-                f"complete, {self.total - self.done} pending")
+                f"complete, {len(self.pending)} pending")
+        if self.failed:
+            text += f", {len(self.failed)} failed"
+        return text
 
 
 def plan_campaign(experiment: str, ctx: ExperimentContext,
@@ -229,33 +249,78 @@ def campaign_status(experiment: str, scale: str | Scale, seed: int,
     plans = [plan_campaign(name, ctx, seed)
              for name in _campaign_experiments(experiment)]
     units = [unit for plan in plans for unit in plan.units]
-    pending = [unit.label for unit in units
-               if not store.contains(unit.key)]
+    pending = []
+    failed = []
+    for unit in units:
+        if store.contains(unit.key):
+            continue
+        marker = store.get(failure_key(unit.key))
+        if marker is not None:
+            failed.append(f"{unit.label} (attempts={marker.attempts})")
+        else:
+            pending.append(unit.label)
     return CampaignStatus(
         experiment=experiment,
         scale=resolved.name,
         seed=seed,
         total=len(units),
-        done=len(units) - len(pending),
+        done=len(units) - len(pending) - len(failed),
         pending=pending,
+        failed=failed,
     )
 
 
+def _compute_one(unit: WorkUnit, store) -> str | None:
+    """Compute and persist one unit; returns an error string on failure.
+
+    Only the unit's *compute* is isolated: a crashing unit records a
+    :class:`UnitFailure` marker in the store (attempt count
+    accumulated across runs) instead of aborting the campaign.  Store
+    persistence errors propagate -- a failing store is campaign-fatal,
+    and the store layer already retries transient OSErrors itself.
+    """
+    fkey = failure_key(unit.key)
+    try:
+        faults.trip("campaign.unit_run")
+        artifact = unit.compute()
+    except Exception:
+        error = traceback.format_exc()
+        prior = store.get(fkey)
+        attempts = (prior.attempts if prior is not None else 0) + 1
+        store.put(fkey, UnitFailure(label=unit.label, error=error,
+                                    attempts=attempts,
+                                    last_unix=time.time()),
+                  label=f"failure:{unit.label}")
+        _LOG.warning("campaign unit %s failed (attempt %d): %s",
+                     unit.label, attempts,
+                     error.strip().splitlines()[-1])
+        return error
+    store.put(unit.key, artifact, label=unit.label)
+    store.delete(fkey)  # a success clears any stale failure marker
+    return None
+
+
 def _compute_pending(units: list[WorkUnit], store,
-                     indices: list[int]) -> list[int]:
+                     indices: list[int]) -> dict:
     """Compute and persist the units at ``indices``.
 
-    Returns only the indices it *actually* computed: units a worker of
-    a concurrent campaign raced us to are skipped (the recheck keeps
-    the work unique) and must not be reported as computed.
+    Returns ``{"computed": [...], "failed": [...]}`` index lists.
+    ``computed`` holds only the indices *actually* computed: units a
+    worker of a concurrent campaign raced us to are skipped (the
+    recheck keeps the work unique) and must not be reported as
+    computed.  ``failed`` units have failure markers in the store.
     """
-    computed = []
+    computed: list[int] = []
+    failed: list[int] = []
     for index in indices:
         unit = units[index]
-        if not store.contains(unit.key):
-            store.put(unit.key, unit.compute(), label=unit.label)
+        if store.contains(unit.key):
+            continue
+        if _compute_one(unit, store) is None:
             computed.append(index)
-    return computed
+        else:
+            failed.append(index)
+    return {"computed": computed, "failed": failed}
 
 
 # Fork-worker state, inherited through the pool initializer (the unit
@@ -268,7 +333,7 @@ def _init_worker(state: dict) -> None:
     _WORKER_STATE = state
 
 
-def _run_shard(indices: list[int]) -> list[int]:
+def _run_shard(indices: list[int]) -> dict:
     """Throwaway-pool worker: compute/persist the units at ``indices``."""
     state = _WORKER_STATE
     assert state is not None, "worker state missing (pool without fork?)"
@@ -276,7 +341,7 @@ def _run_shard(indices: list[int]) -> list[int]:
 
 
 @parallel.pool_task("campaign-unit-shard")
-def _pool_shard(registry: dict, indices: list[int]) -> list[int]:
+def _pool_shard(registry: dict, indices: list[int]) -> dict:
     """Persistent-pool task: compute/persist the units at ``indices``.
 
     The unit list (closures over contexts, kernels and injector
@@ -289,11 +354,16 @@ def _pool_shard(registry: dict, indices: list[int]) -> list[int]:
                             registry[("campaign-store",)], indices)
 
 
+#: Base backoff between unit retry rounds (seconds, doubled per round).
+RETRY_BACKOFF_S = 0.05
+
+
 def run_campaign(experiment: str, scale: str | Scale = "default",
                  seed: int = 2016, store=None, jobs: int = 1,
                  log: Callable[[str], None] | None = None,
                  timing_dtype: str = "float64",
-                 engine: str | None = None) -> CampaignReport:
+                 engine: str | None = None,
+                 max_retries: int = 0) -> CampaignReport:
     """Run (or resume) a campaign to its rendered figure output.
 
     Args:
@@ -316,6 +386,11 @@ def run_campaign(experiment: str, scale: str | Scale = "default",
             (``"native"`` selects the fused C kernels when a compiler
             exists, falling back to numpy otherwise; never part of
             unit keys).
+        max_retries: extra rounds for units whose compute raised.
+            Retries run serially in the parent with exponential
+            backoff between rounds; units still failing afterwards
+            keep their store markers, render as a failure notice, and
+            are counted in ``CampaignReport.failed``.
 
     Resuming is the same call again: completed units are store hits
     and only the missing ones execute, with byte-identical rendered
@@ -353,6 +428,12 @@ def run_campaign(experiment: str, scale: str | Scale = "default",
             plan.prepare()
 
     computed_indices: set[int] = set()
+    failed_indices: set[int] = set()
+
+    def absorb(outcome: dict) -> None:
+        computed_indices.update(outcome["computed"])
+        failed_indices.update(outcome["failed"])
+
     shared_pool = parallel.get_pool()
     if len(pending) > 1 and jobs >= 2 and shared_pool is not None \
             and shared_pool.workers >= 2:
@@ -364,10 +445,11 @@ def run_campaign(experiment: str, scale: str | Scale = "default",
         shards = [pending[start::shared_pool.workers]
                   for start in range(shared_pool.workers)
                   if pending[start::shared_pool.workers]]
-        for indices in shared_pool.run("campaign-unit-shard",
+        for outcome in shared_pool.run("campaign-unit-shard",
                                        [(shard,) for shard in shards]):
-            computed_indices.update(indices)
-            emit(f"shard done ({len(indices)} units computed)")
+            absorb(outcome)
+            emit(f"shard done ({len(outcome['computed'])} units "
+                 f"computed, {len(outcome['failed'])} failed)")
     elif len(pending) > 1 and jobs >= 2 and _fork_available():
         shards = [pending[start::jobs] for start in range(jobs)
                   if pending[start::jobs]]
@@ -376,34 +458,86 @@ def run_campaign(experiment: str, scale: str | Scale = "default",
         with context.Pool(processes=len(shards),
                           initializer=_init_worker,
                           initargs=(state,)) as pool:
-            for indices in pool.imap_unordered(_run_shard, shards):
-                computed_indices.update(indices)
-                emit(f"shard done ({len(indices)} units computed)")
+            for outcome in pool.imap_unordered(_run_shard, shards):
+                absorb(outcome)
+                emit(f"shard done ({len(outcome['computed'])} units "
+                     f"computed, {len(outcome['failed'])} failed)")
     else:
         for index in pending:
             unit = units[index]
-            store.put(unit.key, unit.compute(), label=unit.label)
-            computed_indices.add(index)
-            emit(f"computed {unit.label}")
+            if store.contains(unit.key):
+                continue
+            if _compute_one(unit, store) is None:
+                computed_indices.add(index)
+                emit(f"computed {unit.label}")
+            else:
+                failed_indices.add(index)
+                emit(f"FAILED {unit.label}")
+
+    # Retry rounds for crashed units: serial in the parent (the pool
+    # may be part of the problem), exponential backoff between rounds.
+    for attempt in range(1, max_retries + 1):
+        if not failed_indices:
+            break
+        time.sleep(RETRY_BACKOFF_S * (1 << (attempt - 1)))
+        emit(f"retry round {attempt}/{max_retries}: "
+             f"{len(failed_indices)} failed unit(s)")
+        still_failed: set[int] = set()
+        for index in sorted(failed_indices):
+            unit = units[index]
+            if store.contains(unit.key) \
+                    or _compute_one(unit, store) is None:
+                computed_indices.add(index)
+                emit(f"computed {unit.label} (retry {attempt})")
+            else:
+                still_failed.add(index)
+        failed_indices = still_failed
 
     artifacts = []
     for index, unit in enumerate(units):
+        if index in failed_indices:
+            artifacts.append(None)
+            continue
         artifact = store.get(unit.key)
         if artifact is None:
             # A unit that passed the envelope scan but fails to decode
-            # (corrupted artifact body): self-heal by recomputing.
+            # (corrupted artifact body): self-heal by recomputing,
+            # under the same retry budget as the main rounds -- the
+            # heal itself can crash or be corrupted again.
             emit(f"recomputing undecodable unit {unit.label}")
-            artifact = unit.compute()
-            store.put(unit.key, artifact, label=unit.label)
-            computed_indices.add(index)
+            for heal in range(max_retries + 1):
+                if _compute_one(unit, store) is None:
+                    artifact = store.get(unit.key)
+                    if artifact is not None:
+                        computed_indices.add(index)
+                        break
+                if heal < max_retries:
+                    time.sleep(RETRY_BACKOFF_S * (1 << heal))
+            if artifact is None:
+                failed_indices.add(index)
+                computed_indices.discard(index)
+                emit(f"FAILED {unit.label}")
         artifacts.append(artifact)
 
     sections = []
     offset = 0
     for plan in plans:
-        rendered = plan.render(
-            artifacts[offset:offset + len(plan.units)])
+        plan_units = units[offset:offset + len(plan.units)]
+        plan_artifacts = artifacts[offset:offset + len(plan.units)]
         offset += len(plan.units)
+        missing = [unit.label for unit, artifact
+                   in zip(plan_units, plan_artifacts)
+                   if artifact is None]
+        if missing:
+            # Failure isolation at render time too: a plan with failed
+            # units reports them instead of poisoning its renderer
+            # (and the other plans still render normally).
+            rendered = (f"{plan.experiment}: NOT RENDERED -- "
+                        f"{len(missing)} unit(s) failed "
+                        f"(see `campaign status`):\n"
+                        + "\n".join(f"  {label}" for label in missing))
+        else:
+            rendered = plan.render(plan_artifacts)
         if len(plans) > 1:
             rendered = (f"{'=' * 72}\n{plan.experiment} "
                         f"(scale: {resolved.name})\n{'=' * 72}\n"
@@ -415,9 +549,13 @@ def run_campaign(experiment: str, scale: str | Scale = "default",
         seed=seed,
         jobs=jobs,
         total=len(units),
-        cached=len(units) - len(computed_indices),
+        cached=len(units) - len(computed_indices)
+        - len(failed_indices),
         computed=len(computed_indices),
         rendered="\n\n".join(sections),
+        failed=len(failed_indices),
+        failures=sorted(units[index].label
+                        for index in failed_indices),
     )
 
 

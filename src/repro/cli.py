@@ -26,7 +26,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro import native, parallel
+from repro import faults, native, parallel
 from repro.bench.suite import BENCHMARK_NAMES, build_kernel
 from repro.campaign import ALL_TARGET, CAMPAIGN_EXPERIMENTS, \
     campaign_status, run_campaign
@@ -127,6 +127,13 @@ def _add_store(parser: argparse.ArgumentParser,
                              "keys at float32) and falls back to "
                              "numpy when no C compiler is available "
                              "-- 'repro engines' shows why")
+    parser.add_argument("--faults", default=None, metavar="SPEC",
+                        help="deterministic fault-injection schedule "
+                             "(same grammar as $REPRO_FAULTS, e.g. "
+                             "'seed=7;store.object_write:torn@p=0.05'); "
+                             "fired faults are logged to "
+                             "$REPRO_FAULT_LOG for exact replay via "
+                             "scripts/fault_replay.py")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -156,6 +163,13 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=CAMPAIGN_EXPERIMENTS + (ALL_TARGET,))
         _add_scale(sub)
         _add_store(sub, with_jobs=(action != "status"))
+        if action != "status":
+            sub.add_argument("--max-retries", type=int, default=0,
+                             metavar="N",
+                             help="re-attempt units that failed this "
+                                  "run up to N times (serial, with "
+                                  "backoff) before reporting them as "
+                                  "FAILED")
 
     cache = subparsers.add_parser(
         "cache", help="inspect or clean the result store")
@@ -206,10 +220,16 @@ def build_parser() -> argparse.ArgumentParser:
     kernels.add_argument("--scale", default="paper",
                          choices=("quick", "paper"))
 
-    subparsers.add_parser(
+    engines = subparsers.add_parser(
         "engines", help="list circuit engines with availability "
                         "(compiler probe, kernel cache, source hash) "
                         "-- makes native fallback visible")
+    engines.add_argument("--strict", action="store_true",
+                         help="exit nonzero when the native backend "
+                              "is unavailable or has degraded to "
+                              "numpy after a runtime failure -- for "
+                              "scripts that require the requested "
+                              "engine rather than a silent fallback")
     return parser
 
 
@@ -224,6 +244,12 @@ def _resolve_store(args) -> ResultStore | None:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+
+    if getattr(args, "faults", None):
+        # Before any store/pool/native work: forked workers inherit
+        # the configured plane, so one schedule governs the process
+        # tree.
+        faults.configure(args.faults)
 
     if getattr(args, "pool_workers", None):
         parallel.configure_pool(args.pool_workers)
@@ -266,6 +292,8 @@ def main(argv: list[str] | None = None) -> int:
                                      timing_dtype=timing_dtype,
                                      engine=engine)
             print(status.summary())
+            for label in status.failed:
+                print(f"  FAILED  {label}")
             for label in status.pending:
                 print(f"  pending {label}")
             return 0
@@ -273,10 +301,11 @@ def main(argv: list[str] | None = None) -> int:
                               store=store, jobs=args.jobs or 1,
                               log=stderr_log,
                               timing_dtype=timing_dtype,
-                              engine=engine)
+                              engine=engine,
+                              max_retries=args.max_retries)
         print(report.summary(), file=sys.stderr)
         print(report.rendered)
-        return 0
+        return 1 if report.failed else 0
 
     if args.command == "cache":
         store = _resolve_store(args)
@@ -330,9 +359,18 @@ def main(argv: list[str] | None = None) -> int:
               f"(numpy SoA plan, bit-identical to reference)")
         print(f"{'compiled-f32':16s} {'float32':8s} available "
               f"(numpy SoA plan, relaxed-identity contract)")
+        degraded = native.runtime_failure()
+        strict_fail = False
         for name, dtype in sorted(native.NATIVE_ENGINES.items()):
             status = native.native_status(dtype)
-            if status["available"]:
+            if status["available"] and degraded is not None:
+                strict_fail = True
+                print(f"{name:16s} {dtype:8s} DEGRADED to numpy: "
+                      f"{degraded}")
+                print(f"{'':16s} {'':8s}   cache dir "
+                      f"{status['cache_dir']} (restart clears the "
+                      f"degradation latch)")
+            elif status["available"]:
                 cached = "cached" if status["cached"] else "not built yet"
                 print(f"{name:16s} {dtype:8s} available "
                       f"({status['compiler_version']})")
@@ -341,11 +379,16 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"{'':16s} {'':8s}   source hash "
                       f"{status['source_hash'][:16]}")
             else:
+                strict_fail = True
                 print(f"{name:16s} {dtype:8s} UNAVAILABLE: "
                       f"{status['reason']}")
                 print(f"{'':16s} {'':8s}   cache dir "
                       f"{status['cache_dir']} (numpy engines serve "
                       f"this dtype instead)")
+        if args.strict and strict_fail:
+            print("strict: native backend not fully available",
+                  file=sys.stderr)
+            return 2
         return 0
 
     if args.command == "kernels":

@@ -51,6 +51,7 @@ __all__ = [
     "NativeBuildError",
     "NativeDesc",
     "cache_dir",
+    "clear_runtime_failure",
     "engine_for",
     "ensure_library",
     "get_backend",
@@ -61,8 +62,10 @@ __all__ = [
     "native_desc",
     "native_status",
     "probe_compiler",
+    "record_runtime_failure",
     "render_source",
     "run_propagate",
+    "runtime_failure",
     "set_backend",
     "source_hash",
     "unavailable_reason",
@@ -77,6 +80,34 @@ _NUMPY_ENGINES = {"float64": "compiled", "float32": "compiled-f32"}
 BACKENDS = ("numpy", "native")
 
 _BACKEND = "numpy"
+
+#: First runtime native failure of this process (compile error behind
+#: a passing probe, unloadable library after the rebuild retry, ...).
+#: Once latched, engine selection stops offering the native engines --
+#: every later propagate runs numpy -- and ``repro engines`` surfaces
+#: the reason.  f64 native is bit-identical to numpy, so a mid-run
+#: degrade never changes rendered results.
+_RUNTIME_FAILURE: str | None = None
+
+
+def record_runtime_failure(reason: str) -> None:
+    """Latch a native runtime failure and degrade to numpy (logged)."""
+    global _RUNTIME_FAILURE
+    if _RUNTIME_FAILURE is None:
+        import logging
+        logging.getLogger("repro.native").warning(
+            "native backend degraded to numpy for the rest of this "
+            "process: %s", reason)
+        _RUNTIME_FAILURE = reason
+
+
+def runtime_failure() -> str | None:
+    return _RUNTIME_FAILURE
+
+
+def clear_runtime_failure() -> None:
+    global _RUNTIME_FAILURE
+    _RUNTIME_FAILURE = None
 
 
 def set_backend(name: str) -> None:
@@ -127,7 +158,8 @@ def engine_for(timing_dtype: str, backend: str | None = None) -> str:
     backend = backend if backend is not None else _BACKEND
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; known: {BACKENDS}")
-    if backend == "native" and native_available():
+    if backend == "native" and native_available() \
+            and _RUNTIME_FAILURE is None:
         return {"float64": "compiled-native",
                 "float32": "native-f32"}[timing_dtype]
     return _NUMPY_ENGINES[timing_dtype]
@@ -144,6 +176,7 @@ def native_status(timing_dtype: str = "float64") -> dict:
     record: dict = {
         "available": reason is None,
         "reason": reason,
+        "runtime_failure": _RUNTIME_FAILURE,
         "cache_dir": str(cache_dir()),
         "compiler": None,
         "compiler_version": None,

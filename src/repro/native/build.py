@@ -24,13 +24,32 @@ stderr; they are bugs (the probe passed), not availability conditions.
 from __future__ import annotations
 
 import ctypes
+import logging
 import os
 import subprocess
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro import faults
 from repro.native.source import KERNEL_ABI, render_source, source_hash
+
+_LOG = logging.getLogger("repro.native")
+
+#: Ceiling on one kernel compile; a wedged compiler (NFS stall, broken
+#: LTO plugin) becomes a NativeBuildError -- and thereby a numpy
+#: fallback -- instead of hanging the campaign.
+DEFAULT_CC_TIMEOUT_S = 300.0
+
+
+def compile_timeout() -> float:
+    env = os.environ.get("REPRO_CC_TIMEOUT_S")
+    if env:
+        try:
+            return float(env)
+        except ValueError:
+            pass
+    return DEFAULT_CC_TIMEOUT_S
 
 #: Flag sets tried in order; the first one whose probe compiles wins
 #: and is hashed into the cache key.  The kernels only vectorize --
@@ -203,6 +222,10 @@ def ensure_library(timing_dtype: str,
     if not probe.ok:
         raise NativeBuildError(
             f"native backend unavailable: {probe.reason}")
+    mode = faults.fire("native.compile")
+    if mode is not None:
+        raise NativeBuildError(
+            f"injected {mode} fault at native.compile")
     source = render_source(timing_dtype)
     sha = source_hash(source, probe.version or "", probe.cflags)
     directory = Path(directory) if directory is not None else cache_dir()
@@ -220,7 +243,16 @@ def ensure_library(timing_dtype: str,
     os.replace(tmp_src, src_path)
     tmp_out = path.with_name(f".{path.name}.{os.getpid()}.tmp")
     command = [probe.exe, *probe.cflags, str(src_path), "-o", str(tmp_out)]
-    proc = subprocess.run(command, capture_output=True, text=True)
+    timeout = compile_timeout()
+    try:
+        proc = subprocess.run(command, capture_output=True, text=True,
+                              timeout=timeout)
+    except subprocess.TimeoutExpired:
+        build_count += 1
+        tmp_out.unlink(missing_ok=True)
+        raise NativeBuildError(
+            f"kernel compile timed out after {timeout:g}s "
+            f"({' '.join(command)})")
     build_count += 1
     if proc.returncode != 0 or not tmp_out.exists():
         tmp_out.unlink(missing_ok=True)
@@ -266,11 +298,31 @@ def load_kernels(timing_dtype: str,
     Safe in forked pool workers: a worker either inherits the parent's
     already-loaded handle through fork or lazily opens the cached file
     itself -- the build step was completed by whoever ran first.
+
+    A cached library that will not load (truncated by a full disk,
+    bit-rotted, built by an incompatible toolchain state) is **rebuilt
+    once**: the corrupt file is moved aside (``<name>.corrupt``, kept
+    for forensics) and the compile re-runs against the now-empty cache
+    slot; a second failure propagates as :class:`NativeBuildError`.
     """
     result = ensure_library(timing_dtype, directory)
     key = str(result.path)
     kernels = _KERNELS.get(key)
-    if kernels is None:
+    if kernels is not None:
+        return kernels
+    if faults.fire("native.dlopen") == "corrupt":
+        result.path.write_bytes(b"injected corruption: not ELF\n")
+    try:
         kernels = Kernels(result.path)
-        _KERNELS[key] = kernels
+    except (OSError, AttributeError, NativeBuildError) as error:
+        _LOG.warning("cached kernel library %s failed to load (%s); "
+                     "rebuilding once", result.path, error)
+        try:
+            os.replace(result.path,
+                       result.path.with_name(result.path.name + ".corrupt"))
+        except OSError:  # pragma: no cover - already reclaimed
+            pass
+        result = ensure_library(timing_dtype, directory)
+        kernels = Kernels(result.path)
+    _KERNELS[key] = kernels
     return kernels

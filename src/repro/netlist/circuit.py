@@ -517,7 +517,15 @@ class Circuit:
             try:
                 native_mod.run_propagate(plan, ws, delays, glitch_model)
             except native_mod.NativeBuildError as error:
-                raise CircuitError(str(error)) from error
+                # Runtime failure behind a passing probe (compile or
+                # dlopen broke mid-run): latch the degrade and finish
+                # on the numpy engine over the same plan/workspace --
+                # bit-identical at f64, same relaxed contract at f32.
+                native_mod.record_runtime_failure(str(error))
+                if sensitized:
+                    plan_mod.propagate_sensitized(plan, ws, delays)
+                else:
+                    plan_mod.propagate_value_change(plan, ws, delays)
         elif sensitized:
             plan_mod.propagate_sensitized(plan, ws, delays)
         else:
@@ -579,7 +587,8 @@ class Circuit:
                     "float32" if ws.timing_dtype == np.float32
                     else "float64")
             except native_mod.NativeBuildError as error:
-                raise CircuitError(str(error)) from error
+                native_mod.record_runtime_failure(str(error))
+                native = False  # shards run the numpy propagate
         pool.run("netlist-propagate-shard",
                  [(plan_key, ws_key, delays_key, glitch_model, lo, hi,
                    native)

@@ -555,9 +555,17 @@ def _propagate_shard(registry: dict, plan_key, ws_key, delays_key,
     view = ShardView(registry[ws_key], lo, hi)
     if native:
         from repro import native as native_mod
-        native_mod.run_propagate(registry[plan_key], view,
-                                 registry[delays_key], glitch_model)
-    elif glitch_model == "sensitized":
+        try:
+            native_mod.run_propagate(registry[plan_key], view,
+                                     registry[delays_key], glitch_model)
+            return
+        except native_mod.NativeBuildError as error:
+            # The parent ensured the library before dispatch, but this
+            # worker's dlopen can still fail (cache evicted between
+            # ensure and load); degrade this shard to numpy -- f64 is
+            # bit-identical -- and latch the reason worker-locally.
+            native_mod.record_runtime_failure(str(error))
+    if glitch_model == "sensitized":
         propagate_sensitized(registry[plan_key], view, registry[delays_key])
     else:
         propagate_value_change(registry[plan_key], view,

@@ -37,19 +37,53 @@ something picklable (or ``None`` when results land in shared memory).
 
 Failure semantics: a worker exception travels back as a formatted
 traceback and re-raises as :class:`PoolError` in the parent after all
-workers of the call have been drained (no worker is left mid-task); a
-dead worker (EOF on its pipe) marks the pool stale so the next call
-respawns.  Workers ignore SIGINT (the parent handles it) and exit on
-pipe EOF, so they cannot outlive a killed parent.
+workers of the call have been drained (no worker is left mid-task) --
+task-level bugs are deterministic, so they are never retried.  Worker
+*loss* is different: each worker sends a heartbeat every
+``heartbeat_s / 4`` while idle or computing, and the parent treats a
+worker as lost when its pipe hits EOF, its process exits, or no beat
+arrives within ``heartbeat_s`` (hung: the process is killed).  Lost
+workers trigger **one respawn-and-reassign cycle** for their in-flight
+calls; if workers keep dying, the pool logs a fallback and runs the
+remaining calls **serially in the parent** -- tasks are deterministic
+and idempotent (shared-memory shard writes, store puts), so results
+are bit-identical either way.  Workers ignore SIGINT (the parent
+handles it) and exit on pipe EOF, so they cannot outlive a killed
+parent; an ``atexit`` hook additionally reaps every live pool of the
+owning process, and ``shutdown`` is idempotent, so a parent exception
+mid-dispatch leaves no zombie children behind.
 """
 
 from __future__ import annotations
 
+import atexit
+import logging
 import os
 import signal
+import threading
+import time
 import traceback
+import weakref
 import multiprocessing
 from typing import Callable
+
+from repro import faults
+
+_LOG = logging.getLogger("repro.parallel")
+
+#: Default worker staleness timeout (seconds); 0 disables hung-worker
+#: detection (dead-worker detection via pipe EOF stays on).
+DEFAULT_HEARTBEAT_S = 30.0
+
+
+def default_heartbeat_s() -> float:
+    env = os.environ.get("REPRO_POOL_HEARTBEAT_S")
+    if env:
+        try:
+            return float(env)
+        except ValueError:
+            pass
+    return DEFAULT_HEARTBEAT_S
 
 #: Task-name -> function registry, populated at import time by
 #: :func:`pool_task`; forked workers inherit it.
@@ -86,13 +120,19 @@ def fork_available() -> bool:
         and hasattr(os, "fork")
 
 
-def _worker_main(conn, registry: dict, stale_parent_ends: list) -> None:
+def _worker_main(conn, registry: dict, stale_parent_ends: list,
+                 heartbeat_s: float = 0.0) -> None:
     """Worker loop: serve ``set``/``run`` messages until EOF or exit.
 
     ``stale_parent_ends`` are the parent-side pipe ends this worker
     inherited through fork (its own included); closing them here makes
     parent death observable as EOF on ``conn`` -- otherwise sibling
     workers would keep each other's pipes open forever.
+
+    With ``heartbeat_s > 0`` a daemon thread sends ``("hb",)`` every
+    quarter-timeout (under a lock shared with result sends, so beats
+    never interleave into a result frame); the parent declares the
+    worker hung when no message arrives for a full timeout.
     """
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     for end in stale_parent_ends:
@@ -100,11 +140,30 @@ def _worker_main(conn, registry: dict, stale_parent_ends: list) -> None:
             end.close()
         except OSError:  # pragma: no cover - already closed
             pass
+    send_lock = threading.Lock()
+    stop_beat = threading.Event()
+    if heartbeat_s > 0:
+        def beat() -> None:
+            while not stop_beat.wait(heartbeat_s / 4.0):
+                try:
+                    with send_lock:
+                        conn.send(("hb",))
+                except OSError:  # pragma: no cover - parent gone
+                    return
+        threading.Thread(target=beat, daemon=True,
+                         name="repro-pool-heartbeat").start()
     while True:
         try:
             message = conn.recv()
         except (EOFError, OSError):
             break  # parent is gone
+        mode = faults.fire("pool.worker_heartbeat")
+        if mode == "hang":
+            # A genuine hang stops making progress *and* stops
+            # beating; sleeping with the beat thread alive would look
+            # like a slow-but-healthy worker to the parent.
+            stop_beat.set()
+            time.sleep(600.0)
         kind = message[0]
         if kind == "set":
             registry[message[1]] = message[2]
@@ -112,11 +171,16 @@ def _worker_main(conn, registry: dict, stale_parent_ends: list) -> None:
             _, name, calls = message
             try:
                 fn = _TASKS[name]
-                conn.send(("ok", [fn(registry, *args) for args in calls]))
+                results = [fn(registry, *args) for args in calls]
+                faults.fire("pool.result_return")
+                with send_lock:
+                    conn.send(("ok", results))
             except BaseException:
-                conn.send(("err", traceback.format_exc()))
+                with send_lock:
+                    conn.send(("err", traceback.format_exc()))
         elif kind == "exit":
             break
+    stop_beat.set()
     conn.close()
 
 
@@ -143,15 +207,22 @@ class SharedPool:
             :meth:`shard_columns` will produce; blocks narrower than
             ``workers * min_shard_vectors`` run serially (the per-call
             pipe round-trip would dominate).
+        heartbeat_s: worker staleness timeout; a worker whose last
+            heartbeat is older than this mid-call is killed as hung.
+            ``None`` reads ``REPRO_POOL_HEARTBEAT_S`` (default 30);
+            0 disables hung detection (EOF detection stays).
     """
 
-    def __init__(self, workers: int, min_shard_vectors: int = 64):
+    def __init__(self, workers: int, min_shard_vectors: int = 64,
+                 heartbeat_s: float | None = None):
         if workers < 1:
             raise ValueError("workers must be positive")
         if min_shard_vectors < 1:
             raise ValueError("min_shard_vectors must be positive")
         self.workers = int(workers)
         self.min_shard_vectors = int(min_shard_vectors)
+        self.heartbeat_s = default_heartbeat_s() if heartbeat_s is None \
+            else float(heartbeat_s)
         self.owner_pid = os.getpid()
         #: Forks performed so far; benches assert it stays flat across
         #: hot-path calls (spawn cost amortized).
@@ -209,40 +280,118 @@ class SharedPool:
         """Execute ``task`` once per argument tuple; results in order.
 
         Calls are dealt round-robin across workers; the parent blocks
-        until every worker involved has replied.
+        until every worker involved has replied.  Calls whose worker is
+        lost (dead, hung, or unreachable) survive one
+        respawn-and-reassign cycle; if workers keep dying the leftover
+        calls run serially in the parent -- same tasks, same registry,
+        bit-identical results.
         """
         if task not in _TASKS:
             raise PoolError(f"unknown pool task {task!r}")
         calls = list(calls)
         if not calls:
             return []
+        faults.trip("pool.shard_dispatch")
         self._ensure()
-        buckets: list[list] = [[] for _ in self._conns]
-        for index, args in enumerate(calls):
-            buckets[index % len(buckets)].append((index, tuple(args)))
-        for conn, bucket in zip(self._conns, buckets):
-            if bucket:
-                conn.send(("run", task, [args for _, args in bucket]))
         results: list = [None] * len(calls)
-        failure = None
-        for worker, (conn, bucket) in enumerate(zip(self._conns, buckets)):
+        leftover, task_error = self._run_round(
+            task, results, list(enumerate(calls)))
+        if leftover and task_error is None:
+            _LOG.warning(
+                "pool lost worker(s) running %r; respawning and "
+                "reassigning %d call(s)", task, len(leftover))
+            self._stale = True
+            self._ensure()
+            leftover, task_error = self._run_round(task, results, leftover)
+            if leftover and task_error is None:
+                _LOG.warning(
+                    "pool workers keep dying; running %d call(s) of %r "
+                    "serially in the parent", len(leftover), task)
+                self._stale = True
+                for index, args in leftover:
+                    try:
+                        results[index] = _TASKS[task](self._registry,
+                                                      *args)
+                    except Exception:
+                        task_error = traceback.format_exc()
+                        break
+        if task_error is not None:
+            raise PoolError(
+                f"pool task {task!r} failed in a worker:\n{task_error}")
+        return results
+
+    def _run_round(self, task: str, results: list,
+                   indexed_calls: list) -> tuple[list, str | None]:
+        """Dispatch indexed calls and collect; returns what is left.
+
+        Returns (lost calls needing another round, task error).  A
+        task error -- the function itself raised -- is deterministic
+        and is reported, never retried; the remaining workers are
+        still drained first so none is left mid-task.
+        """
+        buckets: list[list] = [[] for _ in self._conns]
+        for n, item in enumerate(indexed_calls):
+            buckets[n % len(buckets)].append(item)
+        pending: list[tuple[int, list]] = []
+        lost: list = []
+        for worker, bucket in enumerate(buckets):
             if not bucket:
                 continue
             try:
-                status, payload = conn.recv()
-            except (EOFError, OSError):
-                self._stale = True
-                raise PoolError(
-                    f"pool worker {worker} died while running {task!r}")
-            if status == "err":
-                failure = payload  # drain the remaining workers first
+                self._conns[worker].send(
+                    ("run", task, [tuple(args) for _, args in bucket]))
+            except (BrokenPipeError, OSError):
+                lost.extend(bucket)
                 continue
-            for (index, _), value in zip(bucket, payload):
-                results[index] = value
-        if failure is not None:
-            raise PoolError(
-                f"pool task {task!r} failed in a worker:\n{failure}")
-        return results
+            pending.append((worker, bucket))
+        task_error = None
+        for worker, bucket in pending:
+            status, payload = self._recv_result(worker)
+            if status == "lost":
+                lost.extend(bucket)
+            elif status == "err":
+                task_error = payload
+            else:
+                for (index, _), value in zip(bucket, payload):
+                    results[index] = value
+        return lost, task_error
+
+    def _recv_result(self, worker: int) -> tuple[str, object]:
+        """Await one result frame, skipping heartbeats.
+
+        Returns ("ok", values) / ("err", traceback) / ("lost", reason).
+        A worker is lost on pipe EOF, on process exit (a buffered
+        result still in the pipe is served first -- poll precedes the
+        liveness check), or when no message of any kind arrives within
+        the heartbeat timeout (hung; the process is killed so a later
+        wakeup cannot corrupt a respawned successor's shared state).
+        """
+        conn = self._conns[worker]
+        proc = self._procs[worker]
+        last_message = time.monotonic()
+        while True:
+            try:
+                if conn.poll(0.05):
+                    message = conn.recv()
+                    if message[0] == "hb":
+                        last_message = time.monotonic()
+                        continue
+                    return message[0], message[1]
+            except (EOFError, OSError):
+                return "lost", f"worker {worker} pipe EOF"
+            if not proc.is_alive():
+                return "lost", f"worker {worker} exited"
+            if self.heartbeat_s > 0 \
+                    and time.monotonic() - last_message > self.heartbeat_s:
+                _LOG.warning("pool worker %d hung (no heartbeat for "
+                             "%.1fs); killing it", worker,
+                             self.heartbeat_s)
+                try:
+                    proc.kill()
+                except (OSError, AttributeError):  # pragma: no cover
+                    proc.terminate()
+                proc.join(timeout=1.0)
+                return "lost", f"worker {worker} hung"
 
     # -- lifecycle --------------------------------------------------------
 
@@ -268,7 +417,7 @@ class SharedPool:
             proc = context.Process(
                 target=_worker_main,
                 args=(child_end, self._registry,
-                      [*self._conns, parent_end]),
+                      [*self._conns, parent_end], self.heartbeat_s),
                 daemon=True, name=f"repro-pool-{index}")
             proc.start()
             child_end.close()
@@ -276,6 +425,7 @@ class SharedPool:
             self._procs.append(proc)
         self._stale = False
         self.spawn_count += 1
+        _LIVE_POOLS.add(self)
 
     def _teardown(self) -> None:
         for conn in self._conns:
@@ -308,3 +458,19 @@ class SharedPool:
     def __exit__(self, *exc) -> bool:
         self.shutdown()
         return False
+
+
+#: Every pool that ever spawned workers, reaped at interpreter exit so
+#: a parent exception outside a ``with`` block cannot leak children.
+#: Weak references: a collected pool's daemon workers are torn down by
+#: their pipes' EOF, so holding it alive here would only delay that.
+_LIVE_POOLS: "weakref.WeakSet[SharedPool]" = weakref.WeakSet()
+
+
+@atexit.register
+def _atexit_reap_pools() -> None:  # pragma: no cover - exit path
+    for pool in list(_LIVE_POOLS):
+        try:
+            pool.shutdown()
+        except Exception:
+            pass

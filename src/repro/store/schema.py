@@ -18,7 +18,8 @@ from __future__ import annotations
 
 #: Artifact kinds the store can hold.
 KINDS = ("mc_point", "frequency_sweep", "alu_characterization",
-         "fig2_curve", "fig4_curve", "adder_ablation", "table1_row")
+         "fig2_curve", "fig4_curve", "adder_ablation", "table1_row",
+         "unit_failure")
 
 
 def current_schema(kind: str) -> int:
@@ -44,6 +45,9 @@ def current_schema(kind: str) -> int:
     if kind == "table1_row":
         from repro.experiments.table1 import TABLE1_ROW_SCHEMA
         return TABLE1_ROW_SCHEMA
+    if kind == "unit_failure":
+        from repro.campaign.failures import UNIT_FAILURE_SCHEMA
+        return UNIT_FAILURE_SCHEMA
     raise KeyError(f"unknown artifact kind {kind!r}; known: "
                    f"{sorted(KINDS)}")
 
@@ -82,5 +86,8 @@ def artifact_from_json(kind: str, payload: dict):
     if kind == "table1_row":
         from repro.experiments.table1 import Table1Row
         return Table1Row.from_json(payload)
+    if kind == "unit_failure":
+        from repro.campaign.failures import UnitFailure
+        return UnitFailure.from_json(payload)
     raise KeyError(f"unknown artifact kind {kind!r}; known: "
                    f"{sorted(KINDS)}")

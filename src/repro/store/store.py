@@ -18,8 +18,18 @@ Robustness rules:
   never leaves a half-written (and thus poisoned) entry -- at worst a
   stray temp file that ``gc`` reclaims.
 * Reads are **paranoid**: an entry whose JSON does not parse, whose
-  embedded key does not canonically match the request, or whose schema
-  version is stale is treated as a miss (never returned).
+  embedded key does not canonically match the request, whose artifact
+  body fails its stored checksum, or whose schema version is stale is
+  treated as a miss (never returned).  Corrupt objects are never
+  silently skipped: they are **quarantined** -- moved to
+  ``quarantine/`` under the store root with a logged reason -- so the
+  caller recomputes and the forensic evidence survives until ``gc``.
+* Writes are **durable**: the object temp file and the manifest are
+  fsynced (plus the containing directory after the rename), so an
+  acknowledged ``put`` survives a crash of the machine, not only of
+  the process.  ``REPRO_STORE_NO_FSYNC=1`` trades that away for speed.
+* Transient ``OSError``s on the write path are retried with bounded
+  exponential backoff before surfacing.
 * The manifest is only an index *cache* and is append-only on the hot
   path: each ``put`` appends one line under an exclusive ``flock``
   (O(1), no read-modify-write for fork workers to corrupt); ``ls``
@@ -31,12 +41,14 @@ Robustness rules:
 from __future__ import annotations
 
 import json
+import logging
 import os
 import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro import faults
 from repro.store.schema import artifact_from_json, artifact_to_json, \
     current_schema
 from repro.store.serialize import canonical_json, key_hash
@@ -47,6 +59,24 @@ except ImportError:  # pragma: no cover - non-posix fallback
     fcntl = None
 
 FORMAT = "repro-store/1"
+
+_LOG = logging.getLogger("repro.store")
+
+
+def _fsync_enabled() -> bool:
+    return os.environ.get("REPRO_STORE_NO_FSYNC") != "1"
+
+
+def _fsync_dir(path: Path) -> None:
+    """fsync a directory so a just-renamed entry survives a crash."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystems
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 @dataclass(frozen=True)
@@ -78,9 +108,14 @@ def default_root() -> Path:
 class ResultStore:
     """Content-addressed artifact store rooted at a directory."""
 
+    #: Write-path OSError retry budget (attempts, not re-tries).
+    RETRY_ATTEMPTS = 3
+    RETRY_BACKOFF_S = 0.02
+
     def __init__(self, root: str | Path):
         self.root = Path(root)
         self.objects = self.root / "objects"
+        self.quarantine_dir = self.root / "quarantine"
         self.manifest_path = self.root / "manifest.jsonl"
         self.objects.mkdir(parents=True, exist_ok=True)
 
@@ -108,26 +143,59 @@ class ResultStore:
         """
         kind = key_payload["kind"]
         sha = self.key_of(key_payload)
+        body = artifact_to_json(kind, artifact)
         envelope = {
             "format": FORMAT,
             "sha256": sha,
             "label": label,
             "created_unix": time.time(),
             "key": json.loads(canonical_json(key_payload)),
-            "artifact": artifact_to_json(kind, artifact),
+            "artifact": body,
+            # Body checksum, verified on get(): detects torn or
+            # bit-rotted artifact bodies behind a parseable envelope.
+            "body_sha256": key_hash(body),
         }
         path = self._object_path(sha)
         path.parent.mkdir(parents=True, exist_ok=True)
         text = json.dumps(envelope, separators=(",", ":"))
-        self._atomic_write(path, text)
-        self._manifest_add(self._entry_of(envelope, len(text)))
+        self._retry("object write",
+                    lambda: self._write_object(path, text))
+        entry = self._entry_of(envelope, len(text))
+        self._retry("manifest append", lambda: self._manifest_add(entry))
         return sha
+
+    def _write_object(self, path: Path, text: str) -> None:
+        mode = faults.fire("store.object_write")
+        if mode == "oserror":
+            raise OSError(
+                "injected transient OSError at store.object_write")
+        if mode == "torn":
+            # An acknowledged-but-torn write: the atomic machinery runs,
+            # but half the payload is lost.  get() must catch this via
+            # parse/checksum failure and quarantine the object.
+            text = text[:len(text) // 2]
+        self._atomic_write(path, text)
+
+    def _retry(self, what: str, func):
+        """Run a write-path step, absorbing transient OSErrors."""
+        for attempt in range(self.RETRY_ATTEMPTS):
+            try:
+                return func()
+            except OSError as error:
+                if attempt == self.RETRY_ATTEMPTS - 1:
+                    raise
+                _LOG.warning("transient %s failure (%s); retrying",
+                             what, error)
+                time.sleep(self.RETRY_BACKOFF_S * (1 << attempt))
 
     def get(self, key_payload: dict):
         """Load the artifact stored under a key, or None on any miss.
 
-        Corrupted files, key mismatches (hash collisions, tampering)
-        and stale schema versions all read as misses.
+        Corrupted files, key mismatches (hash collisions, tampering),
+        checksum failures and stale schema versions all read as
+        misses -- and any of those found *on disk* is quarantined with
+        a logged reason rather than silently skipped, so the caller's
+        recompute does not re-hit the same poison.
         """
         kind = key_payload.get("kind", "")
         try:
@@ -135,15 +203,29 @@ class ResultStore:
                 return None  # stale-schema request: never served
         except KeyError:
             return None
-        envelope = self._read_envelope(self._object_path(
-            self.key_of(key_payload)))
+        path = self._object_path(self.key_of(key_payload))
+        if not path.exists():
+            return None
+        if faults.fire("store.object_read") == "corrupt":
+            self._quarantine(path, "injected read corruption")
+            return None
+        envelope = self._read_envelope(path)
         if envelope is None:
+            self._quarantine(path, "unreadable or malformed envelope")
             return None
         if canonical_json(envelope["key"]) != canonical_json(key_payload):
+            self._quarantine(path, "embedded key mismatches address")
+            return None
+        body_sha = envelope.get("body_sha256")
+        if body_sha is not None \
+                and key_hash(envelope["artifact"]) != body_sha:
+            self._quarantine(path, "artifact body checksum mismatch")
             return None
         try:
             return artifact_from_json(kind, envelope["artifact"])
-        except Exception:
+        except Exception as error:
+            self._quarantine(path,
+                             f"artifact body failed to decode: {error}")
             return None
 
     def contains(self, key_payload: dict) -> bool:
@@ -161,10 +243,41 @@ class ResultStore:
                 return False
         except KeyError:
             return False
-        envelope = self._read_envelope(self._object_path(
-            self.key_of(key_payload)))
-        return envelope is not None and \
-            canonical_json(envelope["key"]) == canonical_json(key_payload)
+        path = self._object_path(self.key_of(key_payload))
+        if not path.exists():
+            return False
+        envelope = self._read_envelope(path)
+        if envelope is None:
+            self._quarantine(path, "unreadable or malformed envelope")
+            return False
+        if canonical_json(envelope["key"]) != canonical_json(key_payload):
+            self._quarantine(path, "embedded key mismatches address")
+            return False
+        return True
+
+    def delete(self, key_payload: dict) -> bool:
+        """Remove the entry stored under a key; True if one existed.
+
+        The stale manifest line is filtered by ``ls`` on its next read
+        (vanished objects never surface), so no index rewrite is
+        needed here.
+        """
+        try:
+            self._object_path(self.key_of(key_payload)).unlink()
+        except OSError:
+            return False
+        return True
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a corrupt object aside, keeping it for forensics."""
+        target = self.quarantine_dir / path.name
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except OSError:
+            return  # already gone (e.g. a racing reader moved it)
+        _LOG.warning("quarantined corrupt store object %s: %s",
+                     path.name, reason)
 
     # -- manifest index --------------------------------------------------
 
@@ -276,6 +389,15 @@ class ResultStore:
                 continue  # renamed/removed by its writer meanwhile
             freed += stat.st_size
             removed += 1
+        if self.quarantine_dir.exists():
+            for path in self.quarantine_dir.iterdir():
+                try:
+                    size = path.stat().st_size
+                    path.unlink()
+                except OSError:
+                    continue
+                removed += 1
+                freed += size
         live: list[tuple[bool, float, Path, int]] = []
         for path in sorted(self.objects.glob("*/*.json")):
             try:
@@ -339,7 +461,15 @@ class ResultStore:
         try:
             with os.fdopen(fd, "w") as handle:
                 handle.write(text)
+                if _fsync_enabled():
+                    handle.flush()
+                    os.fsync(handle.fileno())
             os.replace(tmp, path)
+            if _fsync_enabled():
+                # Persist the rename itself: without the directory
+                # fsync a machine crash can roll back an acknowledged
+                # write even though the file data hit the platter.
+                _fsync_dir(path.parent)
         except BaseException:
             if os.path.exists(tmp):
                 os.unlink(tmp)
@@ -391,9 +521,18 @@ class ResultStore:
         """Append one index line (O(1); duplicate shas resolve to the
         newest line on read, vanished objects are filtered by ls)."""
         line = json.dumps(entry.__dict__, sort_keys=True) + "\n"
+        mode = faults.fire("store.manifest_append")
+        if mode == "oserror":
+            raise OSError(
+                "injected transient OSError at store.manifest_append")
+        if mode == "torn":
+            line = line[:len(line) // 2]  # killed mid-append
         with self._lock():
             with open(self.manifest_path, "a") as handle:
                 handle.write(line)
+                if _fsync_enabled():
+                    handle.flush()
+                    os.fsync(handle.fileno())
 
     def _lock(self):
         return _FileLock(self.root / ".lock")

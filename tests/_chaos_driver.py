@@ -1,0 +1,37 @@
+"""Subprocess driver for the kill-resume matrix test.
+
+Runs a tiny pool-backed fig7 campaign against the store directory
+given as ``argv[1]`` and writes the rendered output to stdout.  The
+test harness sets ``REPRO_FAULTS`` to SIGKILL this process (or its
+pool workers) at one injection site per matrix cell, then reruns the
+driver fault-free and requires byte-identical rendered output.
+
+Not a test module (the leading underscore keeps pytest away).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import parallel
+from repro.campaign import run_campaign
+from repro.experiments.scale import Scale
+from repro.store import ResultStore
+
+TINY = Scale(name="tiny", trials=4, freq_points=4, kernel_scale="quick",
+             char_cycles=128, fig4_samples=128, voltage_points=3)
+
+SEED = 2016
+
+
+def main() -> int:
+    store_dir = sys.argv[1]
+    parallel.configure_pool(2)
+    report = run_campaign("fig7", TINY, seed=SEED,
+                          store=ResultStore(store_dir), jobs=2)
+    sys.stdout.write(report.rendered)
+    return 1 if report.failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

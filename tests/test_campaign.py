@@ -403,8 +403,9 @@ class TestReportAccuracy:
         store.put(units[0].key, units[0].compute(),
                   label=units[0].label)
         _init_worker({"units": units, "store": store})
-        computed = _run_shard([0, 1])
-        assert computed == [1]
+        outcome = _run_shard([0, 1])
+        assert outcome["computed"] == [1]
+        assert outcome["failed"] == []
 
 
 class TestColdStoreDetection:
@@ -429,3 +430,78 @@ class TestColdStoreDetection:
         campaign_status("fig7", TINY, SEED, store,
                         log=warnings.append)
         assert warnings == []
+
+
+class TestFailureIsolation:
+    """Crashing units must not abort or poison the campaign."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_plane(self, monkeypatch):
+        from repro import faults
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        monkeypatch.delenv("REPRO_FAULT_LOG", raising=False)
+        faults.reset()
+        yield
+        faults.reset()
+
+    def test_failed_unit_is_recorded_and_the_rest_complete(self, store):
+        from repro import faults
+        from repro.campaign.failures import failure_key
+        faults.configure("campaign.unit_run:raise@after=1")
+        report = run_campaign("fig7", TINY, seed=SEED, store=store,
+                              jobs=1)
+        assert report.failed == 1
+        assert len(report.failures) == 1
+        assert report.computed == report.total - 1
+        assert "NOT RENDERED" in report.rendered
+        assert report.failures[0] in report.rendered
+        assert "FAILED" in report.summary()
+        # The marker is in the store, with the traceback and count.
+        plan = plan_campaign("fig7",
+                             ExperimentContext.create(
+                                 TINY, seed=SEED, store=store), SEED)
+        failed_unit = next(unit for unit in plan.units
+                           if unit.label == report.failures[0])
+        marker = store.get(failure_key(failed_unit.key))
+        assert marker is not None
+        assert marker.attempts == 1
+        assert "InjectedFault" in marker.error
+
+    def test_status_reports_failed_separately_from_pending(self, store):
+        from repro import faults
+        faults.configure("campaign.unit_run:raise@after=1")
+        run_campaign("fig7", TINY, seed=SEED, store=store, jobs=1)
+        faults.reset()
+        status = campaign_status("fig7", TINY, SEED, store)
+        assert len(status.failed) == 1
+        assert "attempts=1" in status.failed[0]
+        assert status.pending == []
+        assert status.done == status.total - 1
+        assert "1 failed" in status.summary()
+
+    def test_max_retries_heals_a_flaky_unit_in_one_run(self, store):
+        from repro import faults
+        faults.configure("campaign.unit_run:raise@hits=1")
+        report = run_campaign("fig7", TINY, seed=SEED, store=store,
+                              jobs=1, max_retries=2)
+        assert report.failed == 0
+        assert report.computed == report.total
+        status = campaign_status("fig7", TINY, SEED, store)
+        assert status.failed == []  # success cleared the marker
+
+    def test_rerun_clears_the_marker_and_renders(self, store, ctx,
+                                                 fig7_truth):
+        from repro import faults
+        faults.configure("campaign.unit_run:raise@after=1")
+        first = run_campaign("fig7", TINY, seed=SEED, store=store,
+                             jobs=1)
+        assert first.failed == 1
+        faults.reset()
+        second = run_campaign("fig7", TINY, seed=SEED, store=store,
+                              jobs=1)
+        assert second.failed == 0
+        assert second.computed == 1  # exactly the previously failed unit
+        assert second.rendered == fig7_truth
+        status = campaign_status("fig7", TINY, SEED, store)
+        assert status.failed == []
+        assert status.pending == []

@@ -1,0 +1,90 @@
+"""Kill-resume matrix: SIGKILL at every injection site, then resume.
+
+Satellite of the fault-injection harness: a real campaign process
+(tests/_chaos_driver.py) is SIGKILLed -- by the fault plane itself --
+at each stage of the unit pipeline (pool dispatch, mid-shard compute,
+result return, manifest append).  Whatever the kill leaves behind
+(half-written shards, workers dead mid-unit, a torn store), a
+fault-free rerun of the driver must render byte-identical output to a
+never-killed baseline.
+
+Sites that kill only *workers* are allowed to complete in one go (the
+pool respawns or falls back to serial); their output must then match
+the baseline directly.  Either way the fired-fault log must show the
+site actually fired -- a cell whose fault never triggers is vacuous
+and fails.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import faults
+
+DRIVER = Path(__file__).parent / "_chaos_driver.py"
+
+#: site -> fault clause; each clause SIGKILLs the process that reaches
+#: the site (parent or pool worker -- whichever hits it first).
+MATRIX = {
+    "dispatch": "pool.shard_dispatch:kill@after=1",
+    "mid-shard": "campaign.unit_run:kill@after=3",
+    "result-return": "pool.result_return:kill@after=1",
+    "manifest-append": "store.manifest_append:kill@after=2",
+}
+
+
+def run_driver(store: Path, env_extra: dict | None = None
+               ) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    src = str(Path(__file__).parent.parent / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    env.pop("REPRO_FAULTS", None)
+    env.pop("REPRO_FAULT_LOG", None)
+    env.update(env_extra or {})
+    return subprocess.run([sys.executable, str(DRIVER), str(store)],
+                          capture_output=True, text=True, env=env,
+                          timeout=600)
+
+
+@pytest.fixture(scope="module")
+def baseline(tmp_path_factory) -> str:
+    """Rendered output of a never-killed driver run."""
+    store = tmp_path_factory.mktemp("kill-matrix") / "store-clean"
+    result = run_driver(store)
+    assert result.returncode == 0, result.stderr
+    assert result.stdout
+    return result.stdout
+
+
+@pytest.mark.parametrize("site", sorted(MATRIX))
+def test_kill_at_site_then_resume_is_byte_identical(
+        site, baseline, tmp_path):
+    store = tmp_path / "store"
+    log = tmp_path / "faults.jsonl"
+    chaotic = run_driver(store, env_extra={
+        "REPRO_FAULTS": MATRIX[site],
+        "REPRO_FAULT_LOG": str(log),
+    })
+
+    fired = faults.read_log(log) if log.exists() else []
+    assert fired, f"the {site} fault never fired -- vacuous cell"
+    assert all(record["mode"] == "kill" for record in fired)
+
+    if chaotic.returncode == 0:
+        # Only workers were killed; the pool healed around them and
+        # the campaign finished -- its output must already match.
+        assert chaotic.stdout == baseline
+        return
+
+    # The campaign process itself was SIGKILLed mid-run.
+    assert chaotic.returncode == -9, (chaotic.returncode,
+                                      chaotic.stderr[-2000:])
+    resumed = run_driver(store)
+    assert resumed.returncode == 0, resumed.stderr[-2000:]
+    assert resumed.stdout == baseline

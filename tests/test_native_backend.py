@@ -243,3 +243,88 @@ def test_native_zero_gate_circuit(tmp_path, monkeypatch):
                                      engine="compiled")
     assert np.array_equal(out["y"], ref["y"])
     assert np.array_equal(arr["y"], ref_arr["y"])
+
+
+# ---------------------------------------------------------------------------
+# Fault injection and runtime degradation
+# ---------------------------------------------------------------------------
+
+@pytest.fixture()
+def clean_faults(monkeypatch):
+    from repro import faults
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    monkeypatch.delenv("REPRO_FAULT_LOG", raising=False)
+    faults.reset()
+    yield faults
+    faults.reset()
+
+
+def test_compile_timeout_is_configurable(monkeypatch):
+    assert build_mod.compile_timeout() == build_mod.DEFAULT_CC_TIMEOUT_S
+    monkeypatch.setenv("REPRO_CC_TIMEOUT_S", "7.5")
+    assert build_mod.compile_timeout() == 7.5
+    monkeypatch.setenv("REPRO_CC_TIMEOUT_S", "junk")
+    assert build_mod.compile_timeout() == build_mod.DEFAULT_CC_TIMEOUT_S
+
+
+@needs_native
+def test_injected_compile_fault_surfaces_as_build_error(tmp_path,
+                                                        clean_faults):
+    clean_faults.configure("native.compile:fail@after=1")
+    with pytest.raises(native.NativeBuildError, match="injected"):
+        build_mod.ensure_library("float64", tmp_path)
+    # The fault fired once; the next attempt compiles normally.
+    result = build_mod.ensure_library("float64", tmp_path)
+    assert result.path.exists()
+
+
+@needs_native
+def test_corrupt_cached_library_rebuilds_once(tmp_path, clean_faults):
+    clean_faults.configure("native.dlopen:corrupt@after=1")
+    count = build_mod.build_count
+    kernels = build_mod.load_kernels("float64", tmp_path)
+    # dlopen hit the injected garbage, moved it aside and rebuilt.
+    assert kernels.path.exists()
+    assert build_mod.build_count == count + 2  # first build + rebuild
+    corpses = list(tmp_path.glob("*.corrupt"))
+    assert len(corpses) == 1
+    assert corpses[0].read_bytes().startswith(b"injected corruption")
+
+
+def test_runtime_failure_latch_degrades_engine_selection():
+    native.clear_runtime_failure()
+    try:
+        native.record_runtime_failure("kernel exploded mid-run")
+        assert native.runtime_failure() == "kernel exploded mid-run"
+        # Even an available toolchain must not be re-selected.
+        assert native.engine_for("float64", "native") == "compiled"
+        assert native.engine_for("float32", "native") == "compiled-f32"
+        status = native.native_status("float64")
+        assert status["runtime_failure"] == "kernel exploded mid-run"
+        # First reason wins; later failures do not overwrite it.
+        native.record_runtime_failure("second reason")
+        assert native.runtime_failure() == "kernel exploded mid-run"
+    finally:
+        native.clear_runtime_failure()
+    assert native.runtime_failure() is None
+
+
+def test_engines_cli_strict_exit_codes(capsys, monkeypatch):
+    native.clear_runtime_failure()
+    if native.native_available():
+        assert main(["engines", "--strict"]) == 0
+        capsys.readouterr()
+        try:
+            native.record_runtime_failure("injected degrade")
+            assert main(["engines", "--strict"]) == 2
+            out = capsys.readouterr().out
+            assert "DEGRADED" in out
+            assert "injected degrade" in out
+        finally:
+            native.clear_runtime_failure()
+    monkeypatch.setenv("REPRO_NO_CC", "1")
+    assert main(["engines", "--strict"]) == 2
+    out = capsys.readouterr().out
+    assert "UNAVAILABLE" in out
+    # Without --strict the same situation stays informational.
+    assert main(["engines"]) == 0

@@ -1,0 +1,154 @@
+"""SharedPool failure semantics: loss, respawn, fallback, cleanup."""
+
+from __future__ import annotations
+
+import logging
+import os
+import subprocess
+import sys
+import textwrap
+import time
+
+import pytest
+
+from repro import faults
+from repro.parallel.pool import SharedPool, _LIVE_POOLS, fork_available, \
+    pool_task
+
+pytestmark = pytest.mark.skipif(not fork_available(),
+                                reason="needs the fork start method")
+
+
+@pool_task("faults_echo")
+def _echo(registry, value):
+    return ("echo", value)
+
+
+@pytest.fixture(autouse=True)
+def _clean_plane(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    monkeypatch.delenv("REPRO_FAULT_LOG", raising=False)
+    faults.reset()
+    yield
+    faults.reset()
+
+
+def _pid_gone(pid: int, timeout_s: float = 5.0) -> bool:
+    """True once a pid no longer exists (reaped, not just zombified)."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return True
+        time.sleep(0.05)
+    return False
+
+
+CALLS = [(value,) for value in range(8)]
+WANT = [("echo", value) for value in range(8)]
+
+
+class TestWorkerLoss:
+    def test_killed_worker_respawns_and_results_are_complete(self):
+        with SharedPool(2, heartbeat_s=10.0) as pool:
+            assert pool.run("faults_echo", CALLS) == WANT
+            spawned = pool.spawn_count
+            pool._procs[0].kill()
+            pool._procs[0].join(timeout=2.0)
+            assert pool.run("faults_echo", CALLS) == WANT
+            assert pool.spawn_count == spawned + 1
+
+    def test_persistent_kills_fall_back_to_serial(self, caplog):
+        # Every worker SIGKILLs itself on its first message; the
+        # respawned generation inherits the same schedule and dies
+        # too, so the pool must log a fallback and compute the calls
+        # serially in the parent -- with identical results.
+        faults.configure("pool.worker_heartbeat:kill@after=1")
+        with SharedPool(2, heartbeat_s=10.0) as pool:
+            with caplog.at_level(logging.WARNING, "repro.parallel"):
+                assert pool.run("faults_echo", CALLS) == WANT
+        assert any("respawning" in record.message
+                   for record in caplog.records)
+        assert any("serially in the parent" in record.message
+                   for record in caplog.records)
+
+    def test_hung_worker_is_detected_and_killed(self, caplog):
+        # Workers hang (stop beating, stop replying) on their first
+        # message; a short heartbeat timeout must detect them, kill
+        # them, and still deliver full results via the fallback.
+        faults.configure("pool.worker_heartbeat:hang@after=1")
+        with SharedPool(2, heartbeat_s=0.5) as pool:
+            with caplog.at_level(logging.WARNING, "repro.parallel"):
+                assert pool.run("faults_echo", CALLS) == WANT
+            hung_pids = [proc.pid for proc in pool._procs]
+        assert any("hung" in record.message
+                   for record in caplog.records)
+        for pid in hung_pids:
+            assert _pid_gone(pid), f"hung worker {pid} still running"
+
+    def test_injected_dispatch_fault_raises_before_spawn(self):
+        faults.configure("pool.shard_dispatch:raise@after=1")
+        pool = SharedPool(2)
+        with pytest.raises(faults.InjectedFault, match="shard_dispatch"):
+            pool.run("faults_echo", CALLS)
+        assert pool.spawn_count == 0  # tripped before any fork
+
+
+class TestCleanup:
+    def test_context_manager_reaps_children_on_parent_exception(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with SharedPool(2, heartbeat_s=10.0) as pool:
+                pool.run("faults_echo", CALLS)
+                pids = [proc.pid for proc in pool._procs]
+                assert pids
+                raise RuntimeError("boom")
+        for pid in pids:
+            assert _pid_gone(pid), f"worker {pid} outlived the parent"
+
+    def test_shutdown_is_idempotent_and_pool_respawns_after(self):
+        pool = SharedPool(2, heartbeat_s=10.0)
+        assert pool.run("faults_echo", CALLS) == WANT
+        pool.shutdown()
+        pool.shutdown()  # second shutdown must be a no-op
+        assert not pool._procs
+        assert pool.run("faults_echo", CALLS) == WANT  # respawns
+        pool.shutdown()
+
+    def test_live_pools_are_tracked_for_atexit(self):
+        with SharedPool(2, heartbeat_s=10.0) as pool:
+            pool.run("faults_echo", CALLS)
+            assert pool in _LIVE_POOLS
+
+    def test_atexit_reaps_workers_of_a_crashing_parent(self, tmp_path):
+        # A parent that raises without ever calling shutdown() must
+        # still leave no worker processes behind: the atexit hook (and
+        # daemon teardown) reaps them on interpreter exit.
+        script = textwrap.dedent("""\
+            from repro.parallel.pool import SharedPool, pool_task
+
+            @pool_task("crash_echo")
+            def echo(registry, value):
+                return value
+
+            pool = SharedPool(2)
+            assert pool.run("crash_echo", [(1,), (2,)]) == [1, 2]
+            print(" ".join(str(proc.pid) for proc in pool._procs),
+                  flush=True)
+            raise RuntimeError("parent crashed before shutdown")
+        """)
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "src")
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH") else "")
+        result = subprocess.run([sys.executable, "-c", script],
+                                capture_output=True, text=True, env=env,
+                                timeout=60)
+        assert result.returncode != 0  # the crash must propagate
+        pids = [int(word) for word in result.stdout.split()]
+        assert len(pids) == 2
+        for pid in pids:
+            assert _pid_gone(pid), \
+                f"worker {pid} survived the parent crash"

@@ -376,6 +376,124 @@ class TestManifestReconcile:
         assert len(store.ls()) == 1
         assert calls["n"] == 0
 
+    def test_ls_recovers_truncated_final_manifest_line(self, tmp_path):
+        # A crash mid-append can leave the *last* manifest line torn
+        # with no trailing newline; the entry it described must still
+        # surface via the objects-directory reconcile.
+        store = ResultStore(tmp_path / "store")
+        store.put(_key(seed=1), _point("a"), label="one")
+        store.put(_key(seed=2), _point("b"), label="two")
+        lines = store.manifest_path.read_text().splitlines(keepends=True)
+        torn = lines[-1][:len(lines[-1]) // 2]
+        store.manifest_path.write_text("".join(lines[:-1]) + torn)
+        assert {entry.label for entry in store.ls()} == {"one", "two"}
+        # The reconcile persisted the recovery: a fresh handle agrees.
+        fresh = ResultStore(tmp_path / "store")
+        assert {entry.label for entry in fresh.ls()} == {"one", "two"}
+
+
+class TestFaultHardening:
+    """Injected store faults: retry, quarantine, and reconciliation."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_plane(self, monkeypatch):
+        from repro import faults
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        monkeypatch.delenv("REPRO_FAULT_LOG", raising=False)
+        faults.reset()
+        yield
+        faults.reset()
+
+    def test_transient_object_write_oserror_is_retried(self, tmp_path,
+                                                       caplog):
+        from repro import faults
+        import logging
+        faults.configure("store.object_write:oserror@after=1")
+        store = ResultStore(tmp_path / "store")
+        with caplog.at_level(logging.WARNING, "repro.store"):
+            store.put(_key(), _point(), label="retried")
+        assert any("retrying" in record.message
+                   for record in caplog.records)
+        assert store.get(_key()) is not None
+
+    def test_transient_manifest_oserror_is_retried(self, tmp_path):
+        from repro import faults
+        faults.configure("store.manifest_append:oserror@after=1")
+        store = ResultStore(tmp_path / "store")
+        store.put(_key(), _point(), label="kept")
+        assert {entry.label for entry in store.ls()} == {"kept"}
+
+    def test_persistent_oserror_exhausts_the_retry_budget(self,
+                                                          tmp_path):
+        from repro import faults
+        faults.configure("store.object_write:oserror")  # every hit
+        store = ResultStore(tmp_path / "store")
+        with pytest.raises(OSError, match="injected"):
+            store.put(_key(), _point())
+
+    def test_torn_object_write_quarantines_and_heals(self, tmp_path,
+                                                     caplog):
+        from repro import faults
+        import logging
+        faults.configure("store.object_write:torn@after=1")
+        store = ResultStore(tmp_path / "store")
+        store.put(_key(), _point(), label="torn")
+        with caplog.at_level(logging.WARNING, "repro.store"):
+            assert store.get(_key()) is None  # detected, not served
+        assert any("quarantined" in record.message
+                   for record in caplog.records)
+        assert list(store.quarantine_dir.iterdir())  # evidence kept
+        store.put(_key(), _point(), label="healed")  # hit 2: clean
+        assert store.get(_key()) is not None
+
+    def test_torn_manifest_append_is_reconciled(self, tmp_path):
+        from repro import faults
+        faults.configure("store.manifest_append:torn@after=1")
+        store = ResultStore(tmp_path / "store")
+        store.put(_key(), _point(), label="recovered")
+        assert {entry.label for entry in store.ls()} == {"recovered"}
+
+    def test_body_checksum_mismatch_quarantines(self, tmp_path, caplog):
+        import logging
+        store = ResultStore(tmp_path / "store")
+        store.put(_key(), _point())
+        path = store._object_path(store.key_of(_key()))
+        envelope = json.loads(path.read_text())
+        envelope["artifact"]["__rot__"] = 1  # silent bit-rot
+        path.write_text(json.dumps(envelope, separators=(",", ":")))
+        with caplog.at_level(logging.WARNING, "repro.store"):
+            assert store.get(_key()) is None
+        assert any("checksum" in record.message
+                   for record in caplog.records)
+
+    def test_gc_reclaims_quarantined_objects(self, tmp_path):
+        from repro import faults
+        faults.configure("store.object_write:torn@after=1")
+        store = ResultStore(tmp_path / "store")
+        store.put(_key(), _point())
+        assert store.get(_key()) is None  # quarantined
+        faults.reset()
+        removed, freed = store.gc()
+        assert removed == 1
+        assert freed > 0
+        assert not list(store.quarantine_dir.iterdir())
+
+    def test_delete_removes_entry_and_index_line(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put(_key(seed=1), _point(), label="doomed")
+        store.put(_key(seed=2), _point(), label="kept")
+        assert store.delete(_key(seed=1))
+        assert store.get(_key(seed=1)) is None
+        assert not store.contains(_key(seed=1))
+        assert {entry.label for entry in store.ls()} == {"kept"}
+        assert not store.delete(_key(seed=1))  # already gone
+
+    def test_no_fsync_escape_hatch(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_NO_FSYNC", "1")
+        store = ResultStore(tmp_path / "store")
+        store.put(_key(), _point(), label="fast")
+        assert store.get(_key()) is not None
+
 
 def _aged_put(store, key, artifact, label, created_unix):
     """put() an entry, then pin its created_unix deterministically."""
