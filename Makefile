@@ -9,7 +9,7 @@ PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
 .PHONY: tier1 test bench-engines bench-engines-scratch bench-baseline \
         bench-check bench-figures campaign-smoke native-smoke \
-        chaos-smoke
+        chaos-smoke obs-smoke trace-baseline
 
 # tier1 runs the bench suite into a scratch file (its bit-identity and
 # pool asserts still gate) so the *committed* median-anchored
@@ -17,7 +17,7 @@ PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 # otherwise the single run just written would overwrite the baseline
 # seconds before the gate reads it (and, under REPRO_NO_CC, silently
 # drop every native row from the committed file).
-tier1: test native-smoke bench-engines-scratch bench-check campaign-smoke chaos-smoke
+tier1: test native-smoke bench-engines-scratch bench-check campaign-smoke chaos-smoke obs-smoke
 
 bench-engines-scratch:
 	PYTHONPATH=$(PYTHONPATH) REPRO_BENCH_OUT=$(or $(TMPDIR),/tmp)/repro-bench-tier1.json \
@@ -65,6 +65,20 @@ campaign-smoke:
 # fault log must replay exactly (scripts/fault_replay.py pins it).
 chaos-smoke:
 	$(PYTHON) scripts/chaos_smoke.py
+
+# Trace a quick-scale pool-backed campaign, require byte-identical
+# rendered output vs untraced, validate the Chrome export (store/pool/
+# campaign/native spans from >= 2 pids) and `repro stats`, then gate
+# the disabled telemetry path at <= 2% propagate overhead vs a
+# no-telemetry no-op baseline.
+obs-smoke:
+	$(PYTHON) scripts/obs_smoke.py
+
+# Refresh the committed BENCH_trace.jsonl (serial native-f32 propagate
+# stages + pool-sharded dispatch, traced through the telemetry plane)
+# and print the ceiling-analysis numbers ROADMAP.md quotes from it.
+trace-baseline:
+	$(PYTHON) scripts/trace_baseline.py
 
 # Full figure/table reproduction benches (slow; scale via REPRO_BENCH_SCALE).
 bench-figures:

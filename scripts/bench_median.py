@@ -70,7 +70,12 @@ def main() -> int:
         if len(rows) < len(runs):
             print(f"bench-median: warning: {name} present in only "
                   f"{len(rows)}/{len(runs)} runs")
-        results[name] = rows[(len(rows) - 1) // 2]  # lower median
+        chosen = dict(rows[(len(rows) - 1) // 2])  # lower median
+        # Every run's raw speedup rides along with the committed
+        # median, so a reviewer staring at a bench-check regression
+        # can see the spread the median was drawn from.
+        chosen["speedup_runs"] = [row["speedup"] for row in rows]
+        results[name] = chosen
     merged["results"] = results
     merged["native_available"] = any(run.get("native_available")
                                      for run in runs)

@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Regenerate ``BENCH_trace.jsonl`` and re-derive the ceiling numbers.
+
+The ROADMAP's ceiling analysis quotes two measurements: the share of a
+serial native-f32 multiplier propagate spent in the numpy stages
+around the C kernel (stimulus bit-plane conversion + output
+extraction), and the per-task transport overhead of the pool's shard
+dispatch.  Both used to come from one-off timers that were deleted
+after reading; this driver re-measures them through the permanent
+telemetry plane and commits the evidence, so the numbers in
+ROADMAP.md stay one ``make trace-baseline`` away from their raw data.
+
+Writes ``BENCH_trace.jsonl`` (a merged obs trace of the runs below)
+and prints the derived numbers:
+
+* serial native-f32 (fallback: compiled-f32) sensitized multiplier
+  propagate at block=512 -- per-stage spans give
+  ``(stimulus + extract) / whole-call``;
+* pool-sharded compiled propagate (4 workers) -- ``pool.task`` spans
+  carry ``queue_wait_us`` (send-to-receive pipe latency) and the
+  dispatch-span remainder gives whole-round-trip overhead per task.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro import native, obs, parallel  # noqa: E402
+from repro.experiments.context import ExperimentContext  # noqa: E402
+from repro.experiments.scale import get_scale  # noqa: E402
+
+BLOCK = 512
+REPS = 5
+POOL_WORKERS = 4
+POOL_ROUNDS = 5
+OUT = REPO / "BENCH_trace.jsonl"
+
+
+def main() -> int:
+    engine = ("native-f32" if native.native_available()
+              else "compiled-f32")
+    alu = ExperimentContext.create(get_scale("quick"), seed=2016).alu
+    rng = np.random.default_rng(0)
+    a = rng.integers(0, 1 << 32, BLOCK + 1, dtype=np.uint64)
+    b = rng.integers(0, 1 << 32, BLOCK + 1, dtype=np.uint64)
+    prev, new = (a[:BLOCK], b[:BLOCK]), (a[1:], b[1:])
+
+    def run(eng):
+        return alu.propagate("l.mul", prev, new, 0.7, "sensitized",
+                             engine=eng)
+
+    # Warm untraced: plan compile, native build, delay tiles -- the
+    # committed trace should show steady-state calls, not first-call
+    # compilation.
+    run(engine)
+    run("compiled")
+
+    obs.configure(OUT)
+    for _ in range(REPS):
+        run(engine)
+    pool = parallel.configure_pool(POOL_WORKERS)
+    try:
+        run("compiled")  # spawn + warm the shared workspace (traced)
+        for _ in range(POOL_ROUNDS):
+            run("compiled")
+    finally:
+        parallel.shutdown_pool()
+    obs.shutdown()
+
+    records = obs.read_trace(OUT)
+    spans = list(obs.spans(records))
+    by_parent: dict[str, list] = {}
+    for span in spans:
+        by_parent.setdefault(span.get("parent"), []).append(span)
+
+    tops = [s for s in spans if s["name"] == "circuit.propagate"
+            and s.get("a", {}).get("engine") == engine]
+    stage_us = {"propagate.stimulus": 0.0, "propagate.extract": 0.0}
+    total_us = sum(s["dur"] for s in tops)
+    for top in tops:
+        for child in by_parent.get(top["id"], []):
+            if child["name"] in stage_us:
+                stage_us[child["name"]] += child["dur"]
+    share = sum(stage_us.values()) / total_us if total_us else 0.0
+    print(f"serial {engine} l.mul propagate, {len(tops)} calls:")
+    print(f"  stimulus+extract share of whole call: {share:6.1%}  "
+          f"(stimulus {stage_us['propagate.stimulus'] / total_us:.1%},"
+          f" extract {stage_us['propagate.extract'] / total_us:.1%})")
+
+    tasks = [s for s in spans if s["name"] == "pool.task"]
+    dispatches = [s for s in spans if s["name"] == "pool.dispatch"]
+    queue_us = [s["a"]["queue_wait_us"] for s in tasks]
+    # Worker task spans overlap on a timesharing box, so per-round
+    # transport overhead is the dispatch span minus the *union* of its
+    # tasks' intervals (all spans share one monotonic timebase).
+    overhead_us = 0.0
+    for dispatch in dispatches:
+        lo, hi = dispatch["ts"], dispatch["ts"] + dispatch["dur"]
+        intervals = sorted((t["ts"], t["ts"] + t["dur"])
+                           for t in tasks if lo <= t["ts"] <= hi)
+        busy, cursor = 0.0, lo
+        for start, end in intervals:
+            busy += max(0.0, min(end, hi) - max(start, cursor))
+            cursor = max(cursor, end)
+        overhead_us += dispatch["dur"] - busy
+    per_task = overhead_us / len(tasks) if tasks else 0.0
+    print(f"pool-sharded compiled propagate, {len(dispatches)} rounds"
+          f" x {POOL_WORKERS} workers:")
+    print(f"  mean queue wait (send->receive): "
+          f"{np.mean(queue_us) / 1e3:6.3f} ms/task")
+    print(f"  transport overhead (dispatch minus task-busy union): "
+          f"{per_task / 1e3:6.3f} ms/task")
+    print(f"trace-baseline: wrote {OUT} ({len(records)} records)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

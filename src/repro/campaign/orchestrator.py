@@ -37,7 +37,7 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro import faults, parallel
+from repro import faults, obs, parallel
 from repro.campaign.failures import UnitFailure, failure_key
 from repro.experiments import ablations, fig1, fig2, fig4, fig5, fig6, \
     fig7, table1
@@ -280,23 +280,28 @@ def _compute_one(unit: WorkUnit, store) -> str | None:
     and the store layer already retries transient OSErrors itself.
     """
     fkey = failure_key(unit.key)
-    try:
-        faults.trip("campaign.unit_run")
-        artifact = unit.compute()
-    except Exception:
-        error = traceback.format_exc()
-        prior = store.get(fkey)
-        attempts = (prior.attempts if prior is not None else 0) + 1
-        store.put(fkey, UnitFailure(label=unit.label, error=error,
-                                    attempts=attempts,
-                                    last_unix=time.time()),
-                  label=f"failure:{unit.label}")
-        _LOG.warning("campaign unit %s failed (attempt %d): %s",
-                     unit.label, attempts,
-                     error.strip().splitlines()[-1])
-        return error
-    store.put(unit.key, artifact, label=unit.label)
-    store.delete(fkey)  # a success clears any stale failure marker
+    with obs.span("campaign.unit", label=unit.label) as rec:
+        try:
+            faults.trip("campaign.unit_run")
+            artifact = unit.compute()
+        except Exception:
+            error = traceback.format_exc()
+            prior = store.get(fkey)
+            attempts = (prior.attempts if prior is not None else 0) + 1
+            store.put(fkey, UnitFailure(label=unit.label, error=error,
+                                        attempts=attempts,
+                                        last_unix=time.time()),
+                      label=f"failure:{unit.label}")
+            _LOG.warning("campaign unit %s failed (attempt %d): %s",
+                         unit.label, attempts,
+                         error.strip().splitlines()[-1])
+            rec.set(outcome="failed", attempt=attempts)
+            obs.counter("campaign.units_failed")
+            return error
+        store.put(unit.key, artifact, label=unit.label)
+        store.delete(fkey)  # a success clears any stale failure marker
+        rec.set(outcome="ok")
+        obs.counter("campaign.units_computed")
     return None
 
 
@@ -320,6 +325,9 @@ def _compute_pending(units: list[WorkUnit], store,
             computed.append(index)
         else:
             failed.append(index)
+    # Shard workers exit via os._exit (no atexit): flush counter
+    # snapshots at this barrier so the merged trace sees them.
+    obs.flush()
     return {"computed": computed, "failed": failed}
 
 
@@ -406,13 +414,18 @@ def run_campaign(experiment: str, scale: str | Scale = "default",
     ctx = ExperimentContext.create(resolved, seed, store=store,
                                    timing_dtype=timing_dtype,
                                    engine=engine)
-    plans = [plan_campaign(name, ctx, seed)
-             for name in _campaign_experiments(experiment)]
+    plans = []
+    for name in _campaign_experiments(experiment):
+        with obs.span("campaign.plan", experiment=name) as rec:
+            plan = plan_campaign(name, ctx, seed)
+            rec.set(units=len(plan.units))
+        plans.append(plan)
     units = [unit for plan in plans for unit in plan.units]
     # Envelope-level existence scan: no artifact decoding here, the
     # single full decode per unit happens in the collection loop below.
     pending = [index for index, unit in enumerate(units)
                if not store.contains(unit.key)]
+    obs.counter("campaign.units_cached", len(units) - len(pending))
     emit(f"{experiment}: {len(units)} units, "
          f"{len(units) - len(pending)} cached, "
          f"{len(pending)} to compute")
@@ -445,34 +458,41 @@ def run_campaign(experiment: str, scale: str | Scale = "default",
         shards = [pending[start::shared_pool.workers]
                   for start in range(shared_pool.workers)
                   if pending[start::shared_pool.workers]]
-        for outcome in shared_pool.run("campaign-unit-shard",
-                                       [(shard,) for shard in shards]):
-            absorb(outcome)
-            emit(f"shard done ({len(outcome['computed'])} units "
-                 f"computed, {len(outcome['failed'])} failed)")
+        with obs.span("campaign.dispatch", mode="pool",
+                      pending=len(pending), shards=len(shards)):
+            for outcome in shared_pool.run(
+                    "campaign-unit-shard",
+                    [(shard,) for shard in shards]):
+                absorb(outcome)
+                emit(f"shard done ({len(outcome['computed'])} units "
+                     f"computed, {len(outcome['failed'])} failed)")
     elif len(pending) > 1 and jobs >= 2 and _fork_available():
         shards = [pending[start::jobs] for start in range(jobs)
                   if pending[start::jobs]]
         state = {"units": units, "store": store}
         context = multiprocessing.get_context("fork")
-        with context.Pool(processes=len(shards),
-                          initializer=_init_worker,
-                          initargs=(state,)) as pool:
+        with obs.span("campaign.dispatch", mode="fork",
+                      pending=len(pending), shards=len(shards)), \
+                context.Pool(processes=len(shards),
+                             initializer=_init_worker,
+                             initargs=(state,)) as pool:
             for outcome in pool.imap_unordered(_run_shard, shards):
                 absorb(outcome)
                 emit(f"shard done ({len(outcome['computed'])} units "
                      f"computed, {len(outcome['failed'])} failed)")
     else:
-        for index in pending:
-            unit = units[index]
-            if store.contains(unit.key):
-                continue
-            if _compute_one(unit, store) is None:
-                computed_indices.add(index)
-                emit(f"computed {unit.label}")
-            else:
-                failed_indices.add(index)
-                emit(f"FAILED {unit.label}")
+        with obs.span("campaign.dispatch", mode="serial",
+                      pending=len(pending)):
+            for index in pending:
+                unit = units[index]
+                if store.contains(unit.key):
+                    continue
+                if _compute_one(unit, store) is None:
+                    computed_indices.add(index)
+                    emit(f"computed {unit.label}")
+                else:
+                    failed_indices.add(index)
+                    emit(f"FAILED {unit.label}")
 
     # Retry rounds for crashed units: serial in the parent (the pool
     # may be part of the problem), exponential backoff between rounds.
@@ -537,12 +557,15 @@ def run_campaign(experiment: str, scale: str | Scale = "default",
                         f"(see `campaign status`):\n"
                         + "\n".join(f"  {label}" for label in missing))
         else:
-            rendered = plan.render(plan_artifacts)
+            with obs.span("campaign.render",
+                          experiment=plan.experiment):
+                rendered = plan.render(plan_artifacts)
         if len(plans) > 1:
             rendered = (f"{'=' * 72}\n{plan.experiment} "
                         f"(scale: {resolved.name})\n{'=' * 72}\n"
                         f"{rendered}")
         sections.append(rendered)
+    obs.flush()
     return CampaignReport(
         experiment=experiment,
         scale=resolved.name,

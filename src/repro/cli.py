@@ -26,7 +26,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro import faults, native, parallel
+from repro import faults, native, obs, parallel
 from repro.bench.suite import BENCHMARK_NAMES, build_kernel
 from repro.campaign import ALL_TARGET, CAMPAIGN_EXPERIMENTS, \
     campaign_status, run_campaign
@@ -134,6 +134,15 @@ def _add_store(parser: argparse.ArgumentParser,
                              "fired faults are logged to "
                              "$REPRO_FAULT_LOG for exact replay via "
                              "scripts/fault_replay.py")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="record a telemetry trace (spans + "
+                             "counters, JSONL) to PATH; same as "
+                             "$REPRO_TRACE.  'repro trace export' "
+                             "converts it to Chrome/Perfetto JSON, "
+                             "'repro stats' prints aggregates.  For "
+                             "'campaign status' an existing trace is "
+                             "read, not overwritten, to report "
+                             "per-unit wall times")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -200,6 +209,27 @@ def build_parser() -> argparse.ArgumentParser:
                          "pinned entries still go, oldest first, "
                          "when they alone exceed it")
 
+    trace = subparsers.add_parser(
+        "trace", help="work with recorded telemetry traces")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    export = trace_sub.add_parser(
+        "export", help="convert a trace to Chrome trace_event JSON "
+                       "(load in Perfetto or chrome://tracing)")
+    export.add_argument("trace", help="trace file recorded by --trace "
+                                      "or $REPRO_TRACE")
+    export.add_argument("--out", default=None, metavar="FILE",
+                        help="output file (default: <trace>.json; "
+                             "'-' writes to stdout)")
+
+    stats = subparsers.add_parser(
+        "stats", help="aggregate a telemetry trace: top spans by "
+                      "total/self time, counter totals, store hit "
+                      "rate, pool utilization")
+    stats.add_argument("trace", help="trace file recorded by --trace "
+                                     "or $REPRO_TRACE")
+    stats.add_argument("--limit", type=int, default=20,
+                       help="span rows to list (by total time)")
+
     report = subparsers.add_parser(
         "timing-report", help="STA endpoint-slack report of the ALU")
     report.add_argument("--frequency-mhz", type=float, default=707.1)
@@ -251,6 +281,18 @@ def main(argv: list[str] | None = None) -> int:
         # tree.
         faults.configure(args.faults)
 
+    # Commands that *read* a trace must never configure (and thereby
+    # clear) it: `campaign status` reports from it, `trace`/`stats`
+    # take the path as a positional that shares the `trace` dest.
+    reads_trace = args.command in ("trace", "stats") \
+        or (args.command == "campaign"
+            and getattr(args, "campaign_command", None) == "status")
+    if getattr(args, "trace", None) and not reads_trace:
+        # Same reasoning as faults: configure before workers fork so
+        # the whole tree records into one trace.  `campaign status`
+        # *reads* an existing trace (configure would clear it).
+        obs.configure(args.trace)
+
     if getattr(args, "pool_workers", None):
         parallel.configure_pool(args.pool_workers)
     timing_dtype = getattr(args, "timing_dtype", "float64")
@@ -296,6 +338,19 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"  FAILED  {label}")
             for label in status.pending:
                 print(f"  pending {label}")
+            times = {}
+            if getattr(args, "trace", None):
+                times = obs.unit_times(obs.read_trace(args.trace))
+            if times:
+                print(f"{'wall ms':>10s} unit")
+                for label, ms in sorted(times.items(),
+                                        key=lambda item: -item[1]):
+                    print(f"{ms:>10.1f} {label}")
+                print(f"{sum(times.values()):>10.1f} total "
+                      f"({len(times)} traced unit(s))")
+            else:
+                print("unit wall time: - (no trace; run the campaign "
+                      "with --trace and pass it here)")
             return 0
         report = run_campaign(args.experiment, args.scale, args.seed,
                               store=store, jobs=args.jobs or 1,
@@ -333,6 +388,31 @@ def main(argv: list[str] | None = None) -> int:
             print(f"removed {removed} entries, freed {freed} bytes "
                   f"({store.root})")
             return 0
+
+    if args.command == "trace":
+        records = obs.read_trace(args.trace)
+        if not records:
+            print(f"no trace records at {args.trace}", file=sys.stderr)
+            return 2
+        import json
+        text = json.dumps(obs.to_chrome(records))
+        out = args.out or f"{args.trace}.json"
+        if out == "-":
+            print(text)
+        else:
+            with open(out, "w") as handle:
+                handle.write(text)
+            print(f"wrote {out} ({len(obs.spans(records))} spans; "
+                  f"load in Perfetto or chrome://tracing)")
+        return 0
+
+    if args.command == "stats":
+        records = obs.read_trace(args.trace)
+        if not records:
+            print(f"no trace records at {args.trace}", file=sys.stderr)
+            return 2
+        print(obs.render_stats(records, limit=args.limit))
+        return 0
 
     if args.command == "timing-report":
         alu = calibrated_alu()

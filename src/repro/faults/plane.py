@@ -196,8 +196,14 @@ class FaultPlane:
         return None
 
     def _record(self, site: str, mode: str, hit: int) -> None:
+        from repro import obs
+        # mono shares CLOCK_MONOTONIC with trace spans, so firings
+        # order unambiguously across processes; span ties the firing
+        # to the trace region it interrupted (null when not tracing).
         record = {"site": site, "mode": mode, "hit": hit,
-                  "pid": os.getpid(), "unix": time.time()}
+                  "pid": os.getpid(), "unix": time.time(),
+                  "mono": time.monotonic() * 1e6,
+                  "span": obs.current_span_id()}
         self.fired.append(record)
         import logging
         logging.getLogger("repro.faults").warning(

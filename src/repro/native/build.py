@@ -31,7 +31,7 @@ import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro import faults
+from repro import faults, obs
 from repro.native.source import KERNEL_ABI, render_source, source_hash
 
 _LOG = logging.getLogger("repro.native")
@@ -226,40 +226,47 @@ def ensure_library(timing_dtype: str,
     if mode is not None:
         raise NativeBuildError(
             f"injected {mode} fault at native.compile")
-    source = render_source(timing_dtype)
-    sha = source_hash(source, probe.version or "", probe.cflags)
-    directory = Path(directory) if directory is not None else cache_dir()
-    path = directory / library_name(timing_dtype, sha)
-    if path.exists():
+    with obs.span("native.cache_probe", dtype=timing_dtype) as rec:
+        source = render_source(timing_dtype)
+        sha = source_hash(source, probe.version or "", probe.cflags)
+        directory = Path(directory) if directory is not None \
+            else cache_dir()
+        path = directory / library_name(timing_dtype, sha)
+        cached = path.exists()
+        rec.set(cached=cached)
+    if cached:
         return BuildResult(path=path, sha256=sha, built=False)
-    directory.mkdir(parents=True, exist_ok=True)
-    src_path = directory / f"levelkern-{sha[:16]}.c"
-    # The source file is shared between concurrent cold-cache builders
-    # (its name is content-addressed), so it gets the same atomic
-    # write-then-replace as the library: a truncating write_text could
-    # hand a racing compiler a torn file.
-    tmp_src = src_path.with_name(f".{src_path.name}.{os.getpid()}.tmp")
-    tmp_src.write_text(source)
-    os.replace(tmp_src, src_path)
-    tmp_out = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-    command = [probe.exe, *probe.cflags, str(src_path), "-o", str(tmp_out)]
-    timeout = compile_timeout()
-    try:
-        proc = subprocess.run(command, capture_output=True, text=True,
-                              timeout=timeout)
-    except subprocess.TimeoutExpired:
+    with obs.span("native.compile", dtype=timing_dtype, sha=sha[:16]):
+        directory.mkdir(parents=True, exist_ok=True)
+        src_path = directory / f"levelkern-{sha[:16]}.c"
+        # The source file is shared between concurrent cold-cache
+        # builders (its name is content-addressed), so it gets the same
+        # atomic write-then-replace as the library: a truncating
+        # write_text could hand a racing compiler a torn file.
+        tmp_src = src_path.with_name(
+            f".{src_path.name}.{os.getpid()}.tmp")
+        tmp_src.write_text(source)
+        os.replace(tmp_src, src_path)
+        tmp_out = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        command = [probe.exe, *probe.cflags, str(src_path),
+                   "-o", str(tmp_out)]
+        timeout = compile_timeout()
+        try:
+            proc = subprocess.run(command, capture_output=True,
+                                  text=True, timeout=timeout)
+        except subprocess.TimeoutExpired:
+            build_count += 1
+            tmp_out.unlink(missing_ok=True)
+            raise NativeBuildError(
+                f"kernel compile timed out after {timeout:g}s "
+                f"({' '.join(command)})")
         build_count += 1
-        tmp_out.unlink(missing_ok=True)
-        raise NativeBuildError(
-            f"kernel compile timed out after {timeout:g}s "
-            f"({' '.join(command)})")
-    build_count += 1
-    if proc.returncode != 0 or not tmp_out.exists():
-        tmp_out.unlink(missing_ok=True)
-        raise NativeBuildError(
-            f"kernel compile failed ({' '.join(command)}):\n"
-            f"{proc.stderr.strip()}")
-    os.replace(tmp_out, path)
+        if proc.returncode != 0 or not tmp_out.exists():
+            tmp_out.unlink(missing_ok=True)
+            raise NativeBuildError(
+                f"kernel compile failed ({' '.join(command)}):\n"
+                f"{proc.stderr.strip()}")
+        os.replace(tmp_out, path)
     return BuildResult(path=path, sha256=sha, built=True)
 
 

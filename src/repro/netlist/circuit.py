@@ -76,7 +76,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro import parallel
+from repro import obs, parallel
 from repro import native as native_mod
 from repro.netlist import plan as plan_mod
 from repro.netlist.gates import GATE_KINDS, arity_of
@@ -367,23 +367,25 @@ class Circuit:
         """
         if engine not in ENGINES:
             raise CircuitError(f"unknown engine {engine!r}")
-        if engine == "reference":
-            values, _ = self._prepare_inputs(inputs)
-            self._run_functional(values)
+        with obs.span("circuit.evaluate", circuit=self.name,
+                      engine=engine):
+            if engine == "reference":
+                values, _ = self._prepare_inputs(inputs)
+                self._run_functional(values)
+                return {
+                    name: ints_from_bits(
+                        np.stack([values[n] for n in bus.nets]))
+                    for name, bus in self._output_buses.items()
+                }
+            planes, n_vectors = self._stimulus_planes(inputs)
+            plan = self.plan
+            matrix = self._workspace(n_vectors).new
+            self._fill_matrix(planes, matrix, plan.rows)
+            plan_mod.run_functional(plan, matrix)
             return {
-                name: ints_from_bits(
-                    np.stack([values[n] for n in bus.nets]))
+                name: ints_from_bits(matrix[plan.rows[bus.nets]])
                 for name, bus in self._output_buses.items()
             }
-        planes, n_vectors = self._stimulus_planes(inputs)
-        plan = self.plan
-        matrix = self._workspace(n_vectors).new
-        self._fill_matrix(planes, matrix, plan.rows)
-        plan_mod.run_functional(plan, matrix)
-        return {
-            name: ints_from_bits(matrix[plan.rows[bus.nets]])
-            for name, bus in self._output_buses.items()
-        }
 
     def propagate(self, prev_inputs: dict[str, np.ndarray],
                   new_inputs: dict[str, np.ndarray],
@@ -433,7 +435,18 @@ class Circuit:
             return self._propagate_compiled(prev_inputs, new_inputs, delays,
                                             input_arrival, glitch_model,
                                             _ENGINE_DTYPES[engine],
-                                            native=engine in _NATIVE_ENGINES)
+                                            native=engine in _NATIVE_ENGINES,
+                                            engine_name=engine)
+        with obs.span("circuit.propagate", circuit=self.name,
+                      engine=engine, glitch_model=glitch_model):
+            return self._propagate_reference(prev_inputs, new_inputs,
+                                             delays, input_arrival,
+                                             glitch_model)
+
+    def _propagate_reference(self, prev_inputs, new_inputs, delays,
+                             input_arrival, glitch_model) -> \
+            tuple[dict[str, np.ndarray], dict[str, np.ndarray]]:
+        """Per-gate-loop propagate (the executable specification)."""
         prev_values, n_prev = self._prepare_inputs(prev_inputs)
         new_values, n_new = self._prepare_inputs(new_inputs)
         if n_prev != n_new:
@@ -469,7 +482,8 @@ class Circuit:
     def _propagate_compiled(self, prev_inputs, new_inputs, delays,
                             input_arrival, glitch_model,
                             timing_dtype=np.float64,
-                            native: bool = False) -> \
+                            native: bool = False,
+                            engine_name: str = "compiled") -> \
             tuple[dict[str, np.ndarray], dict[str, np.ndarray]]:
         """Bucketed two-vector simulation on the compiled plan.
 
@@ -478,6 +492,13 @@ class Circuit:
         explicitly, so an unavailable backend is a
         :class:`CircuitError` here -- silent fallback happens one
         level up, in :func:`repro.native.engine_for`.
+
+        The three pipeline stages carry their own telemetry spans
+        (``propagate.stimulus`` / ``propagate.kernel`` /
+        ``propagate.extract``) so "where did the time go" inside one
+        call is answerable from a trace instead of hand-inserted
+        timers -- the numpy stages around the native kernel are a
+        ROADMAP-level optimization target.
         """
         if native:
             reason = native_mod.unavailable_reason()
@@ -486,60 +507,79 @@ class Circuit:
                     f"native engine unavailable: {reason} "
                     f"(use repro.native.engine_for for fallback "
                     f"selection)")
-        prev_planes, n_prev = self._stimulus_planes(prev_inputs)
-        new_planes, n_new = self._stimulus_planes(new_inputs)
-        if n_prev != n_new:
-            raise CircuitError("prev/new stimulus lengths differ")
-        delays = np.asarray(delays, dtype=float)
-        plan = self.plan
-        rows = plan.rows
-        pool = parallel.get_pool()
-        shards = pool.shard_columns(n_new) if pool is not None else None
-        ws = self._workspace(n_new, timing_dtype, shared=shards is not None)
-        sensitized = glitch_model == "sensitized"
-        if not sensitized:
-            # Sensitized masks only read current-cycle values; the
-            # previous-cycle value network exists only here.
-            self._fill_matrix(prev_planes, ws.prev, rows)
-        self._fill_matrix(new_planes, ws.new, rows)
-        ws.events[:2] = False
-        ws.settles[:2] = 0.0
-        arrival = float(input_arrival)
-        for name, bus in self._input_buses.items():
-            bus_rows = rows[bus.nets]
-            changed = prev_planes[name] != new_planes[name]
-            ws.events[bus_rows] = changed
-            ws.settles[bus_rows] = changed * arrival
-        if shards is not None:
-            self._propagate_pooled(pool, plan, ws, delays, glitch_model,
-                                   shards, native=native)
-        elif native:
-            try:
-                native_mod.run_propagate(plan, ws, delays, glitch_model)
-            except native_mod.NativeBuildError as error:
-                # Runtime failure behind a passing probe (compile or
-                # dlopen broke mid-run): latch the degrade and finish
-                # on the numpy engine over the same plan/workspace --
-                # bit-identical at f64, same relaxed contract at f32.
-                native_mod.record_runtime_failure(str(error))
-                if sensitized:
+        with obs.span("circuit.propagate", circuit=self.name,
+                      engine=engine_name,
+                      glitch_model=glitch_model) as top:
+            with obs.span("propagate.stimulus"):
+                prev_planes, n_prev = self._stimulus_planes(prev_inputs)
+                new_planes, n_new = self._stimulus_planes(new_inputs)
+                if n_prev != n_new:
+                    raise CircuitError(
+                        "prev/new stimulus lengths differ")
+                delays = np.asarray(delays, dtype=float)
+                plan = self.plan
+                rows = plan.rows
+                pool = parallel.get_pool()
+                shards = pool.shard_columns(n_new) \
+                    if pool is not None else None
+                ws = self._workspace(n_new, timing_dtype,
+                                     shared=shards is not None)
+                sensitized = glitch_model == "sensitized"
+                if not sensitized:
+                    # Sensitized masks only read current-cycle values;
+                    # the previous-cycle value network exists only here.
+                    self._fill_matrix(prev_planes, ws.prev, rows)
+                self._fill_matrix(new_planes, ws.new, rows)
+                ws.events[:2] = False
+                ws.settles[:2] = 0.0
+                arrival = float(input_arrival)
+                for name, bus in self._input_buses.items():
+                    bus_rows = rows[bus.nets]
+                    changed = prev_planes[name] != new_planes[name]
+                    ws.events[bus_rows] = changed
+                    ws.settles[bus_rows] = changed * arrival
+            top.set(n_vectors=n_new)
+            mode = "pooled" if shards is not None \
+                else ("native" if native else "numpy")
+            with obs.span("propagate.kernel", mode=mode):
+                if shards is not None:
+                    self._propagate_pooled(pool, plan, ws, delays,
+                                           glitch_model, shards,
+                                           native=native)
+                elif native:
+                    try:
+                        native_mod.run_propagate(plan, ws, delays,
+                                                 glitch_model)
+                    except native_mod.NativeBuildError as error:
+                        # Runtime failure behind a passing probe
+                        # (compile or dlopen broke mid-run): latch the
+                        # degrade and finish on the numpy engine over
+                        # the same plan/workspace -- bit-identical at
+                        # f64, same relaxed contract at f32.
+                        native_mod.record_runtime_failure(str(error))
+                        if sensitized:
+                            plan_mod.propagate_sensitized(plan, ws,
+                                                          delays)
+                        else:
+                            plan_mod.propagate_value_change(plan, ws,
+                                                            delays)
+                elif sensitized:
                     plan_mod.propagate_sensitized(plan, ws, delays)
                 else:
                     plan_mod.propagate_value_change(plan, ws, delays)
-        elif sensitized:
-            plan_mod.propagate_sensitized(plan, ws, delays)
-        else:
-            plan_mod.propagate_value_change(plan, ws, delays)
-        outputs = {}
-        out_arrivals = {}
-        for name, bus in self._output_buses.items():
-            bus_rows = rows[bus.nets]
-            outputs[name] = ints_from_bits(ws.new[bus_rows])
-            if sensitized:
-                # Settle rows are raw arrivals; event-mask on the way out.
-                out_arrivals[name] = ws.settles[bus_rows] * ws.events[bus_rows]
-            else:
-                out_arrivals[name] = ws.settles[bus_rows]
+            with obs.span("propagate.extract"):
+                outputs = {}
+                out_arrivals = {}
+                for name, bus in self._output_buses.items():
+                    bus_rows = rows[bus.nets]
+                    outputs[name] = ints_from_bits(ws.new[bus_rows])
+                    if sensitized:
+                        # Settle rows are raw arrivals; event-mask on
+                        # the way out.
+                        out_arrivals[name] = ws.settles[bus_rows] \
+                            * ws.events[bus_rows]
+                    else:
+                        out_arrivals[name] = ws.settles[bus_rows]
         return outputs, out_arrivals
 
     def _propagate_pooled(self, pool, plan, ws, delays, glitch_model,

@@ -67,7 +67,7 @@ import weakref
 import multiprocessing
 from typing import Callable
 
-from repro import faults
+from repro import faults, obs
 
 _LOG = logging.getLogger("repro.parallel")
 
@@ -157,6 +157,7 @@ def _worker_main(conn, registry: dict, stale_parent_ends: list,
             message = conn.recv()
         except (EOFError, OSError):
             break  # parent is gone
+        recv_mono = time.monotonic()
         mode = faults.fire("pool.worker_heartbeat")
         if mode == "hang":
             # A genuine hang stops making progress *and* stops
@@ -168,16 +169,26 @@ def _worker_main(conn, registry: dict, stale_parent_ends: list,
         if kind == "set":
             registry[message[1]] = message[2]
         elif kind == "run":
-            _, name, calls = message
+            _, name, calls, t_sent = message
             try:
                 fn = _TASKS[name]
-                results = [fn(registry, *args) for args in calls]
+                # Queue wait = send-to-receive on the shared monotonic
+                # clock; compute = the span's own duration.  Together
+                # they split each shard's latency into transport vs
+                # work in `repro stats`.
+                with obs.span("pool.task", task=name, calls=len(calls),
+                              queue_wait_us=max(
+                                  (recv_mono - t_sent) * 1e6, 0.0)):
+                    results = [fn(registry, *args) for args in calls]
                 faults.fire("pool.result_return")
                 with send_lock:
                     conn.send(("ok", results))
             except BaseException:
                 with send_lock:
                     conn.send(("err", traceback.format_exc()))
+            # Workers exit via os._exit and never run atexit hooks, so
+            # counter snapshots must flush at this barrier.
+            obs.flush()
         elif kind == "exit":
             break
     stop_beat.set()
@@ -292,29 +303,31 @@ class SharedPool:
         if not calls:
             return []
         faults.trip("pool.shard_dispatch")
-        self._ensure()
-        results: list = [None] * len(calls)
-        leftover, task_error = self._run_round(
-            task, results, list(enumerate(calls)))
-        if leftover and task_error is None:
-            _LOG.warning(
-                "pool lost worker(s) running %r; respawning and "
-                "reassigning %d call(s)", task, len(leftover))
-            self._stale = True
+        with obs.span("pool.dispatch", task=task, calls=len(calls)):
             self._ensure()
-            leftover, task_error = self._run_round(task, results, leftover)
+            results: list = [None] * len(calls)
+            leftover, task_error = self._run_round(
+                task, results, list(enumerate(calls)))
             if leftover and task_error is None:
                 _LOG.warning(
-                    "pool workers keep dying; running %d call(s) of %r "
-                    "serially in the parent", len(leftover), task)
+                    "pool lost worker(s) running %r; respawning and "
+                    "reassigning %d call(s)", task, len(leftover))
                 self._stale = True
-                for index, args in leftover:
-                    try:
-                        results[index] = _TASKS[task](self._registry,
-                                                      *args)
-                    except Exception:
-                        task_error = traceback.format_exc()
-                        break
+                self._ensure()
+                leftover, task_error = self._run_round(task, results,
+                                                       leftover)
+                if leftover and task_error is None:
+                    _LOG.warning(
+                        "pool workers keep dying; running %d call(s) of "
+                        "%r serially in the parent", len(leftover), task)
+                    self._stale = True
+                    for index, args in leftover:
+                        try:
+                            results[index] = _TASKS[task](self._registry,
+                                                          *args)
+                        except Exception:
+                            task_error = traceback.format_exc()
+                            break
         if task_error is not None:
             raise PoolError(
                 f"pool task {task!r} failed in a worker:\n{task_error}")
@@ -339,7 +352,8 @@ class SharedPool:
                 continue
             try:
                 self._conns[worker].send(
-                    ("run", task, [tuple(args) for _, args in bucket]))
+                    ("run", task, [tuple(args) for _, args in bucket],
+                     time.monotonic()))
             except (BrokenPipeError, OSError):
                 lost.extend(bucket)
                 continue
@@ -374,6 +388,7 @@ class SharedPool:
                 if conn.poll(0.05):
                     message = conn.recv()
                     if message[0] == "hb":
+                        obs.counter("pool.heartbeat")
                         last_message = time.monotonic()
                         continue
                     return message[0], message[1]
@@ -409,20 +424,24 @@ class SharedPool:
         if self._alive() and not self._stale:
             return
         self._teardown()
+        if self.spawn_count:
+            obs.counter("pool.respawn")
         context = multiprocessing.get_context("fork")
-        for index in range(self.workers):
-            parent_end, child_end = context.Pipe(duplex=True)
-            # The child inherits every parent end created so far (its
-            # own included); the worker closes them all first thing.
-            proc = context.Process(
-                target=_worker_main,
-                args=(child_end, self._registry,
-                      [*self._conns, parent_end], self.heartbeat_s),
-                daemon=True, name=f"repro-pool-{index}")
-            proc.start()
-            child_end.close()
-            self._conns.append(parent_end)
-            self._procs.append(proc)
+        with obs.span("pool.spawn", workers=self.workers):
+            for index in range(self.workers):
+                parent_end, child_end = context.Pipe(duplex=True)
+                # The child inherits every parent end created so far
+                # (its own included); the worker closes them all first
+                # thing.
+                proc = context.Process(
+                    target=_worker_main,
+                    args=(child_end, self._registry,
+                          [*self._conns, parent_end], self.heartbeat_s),
+                    daemon=True, name=f"repro-pool-{index}")
+                proc.start()
+                child_end.close()
+                self._conns.append(parent_end)
+                self._procs.append(proc)
         self._stale = False
         self.spawn_count += 1
         _LIVE_POOLS.add(self)

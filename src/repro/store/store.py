@@ -48,7 +48,7 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro import faults
+from repro import faults, obs
 from repro.store.schema import artifact_from_json, artifact_to_json, \
     current_schema
 from repro.store.serialize import canonical_json, key_hash
@@ -142,26 +142,30 @@ class ResultStore:
         manifest index is updated under the store lock.
         """
         kind = key_payload["kind"]
-        sha = self.key_of(key_payload)
-        body = artifact_to_json(kind, artifact)
-        envelope = {
-            "format": FORMAT,
-            "sha256": sha,
-            "label": label,
-            "created_unix": time.time(),
-            "key": json.loads(canonical_json(key_payload)),
-            "artifact": body,
-            # Body checksum, verified on get(): detects torn or
-            # bit-rotted artifact bodies behind a parseable envelope.
-            "body_sha256": key_hash(body),
-        }
-        path = self._object_path(sha)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        text = json.dumps(envelope, separators=(",", ":"))
-        self._retry("object write",
-                    lambda: self._write_object(path, text))
-        entry = self._entry_of(envelope, len(text))
-        self._retry("manifest append", lambda: self._manifest_add(entry))
+        with obs.span("store.put", kind=kind):
+            sha = self.key_of(key_payload)
+            body = artifact_to_json(kind, artifact)
+            envelope = {
+                "format": FORMAT,
+                "sha256": sha,
+                "label": label,
+                "created_unix": time.time(),
+                "key": json.loads(canonical_json(key_payload)),
+                "artifact": body,
+                # Body checksum, verified on get(): detects torn or
+                # bit-rotted artifact bodies behind a parseable
+                # envelope.
+                "body_sha256": key_hash(body),
+            }
+            path = self._object_path(sha)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            text = json.dumps(envelope, separators=(",", ":"))
+            self._retry("object write",
+                        lambda: self._write_object(path, text))
+            entry = self._entry_of(envelope, len(text))
+            self._retry("manifest append",
+                        lambda: self._manifest_add(entry))
+            obs.counter("store.put_bytes", len(text))
         return sha
 
     def _write_object(self, path: Path, text: str) -> None:
@@ -197,6 +201,15 @@ class ResultStore:
         a logged reason rather than silently skipped, so the caller's
         recompute does not re-hit the same poison.
         """
+        with obs.span("store.get",
+                      kind=key_payload.get("kind", "")) as rec:
+            artifact = self._get(key_payload)
+            hit = artifact is not None
+            rec.set(hit=hit)
+        obs.counter("store.hit" if hit else "store.miss")
+        return artifact
+
+    def _get(self, key_payload: dict):
         kind = key_payload.get("kind", "")
         try:
             if key_payload.get("schema") != current_schema(kind):
@@ -276,6 +289,7 @@ class ResultStore:
             os.replace(path, target)
         except OSError:
             return  # already gone (e.g. a racing reader moved it)
+        obs.counter("store.quarantine")
         _LOG.warning("quarantined corrupt store object %s: %s",
                      path.name, reason)
 
@@ -374,6 +388,17 @@ class ResultStore:
         """
         if max_bytes is not None and max_bytes < 0:
             raise ValueError("max_bytes must be non-negative")
+        with obs.span("store.gc", remove_all=remove_all) as rec:
+            removed, freed = self._gc(remove_all=remove_all,
+                                      kinds=kinds, max_bytes=max_bytes,
+                                      pin_kinds=pin_kinds)
+            rec.set(removed=removed, freed_bytes=freed)
+        return removed, freed
+
+    def _gc(self, *, remove_all: bool,
+            kinds: tuple[str, ...] | None,
+            max_bytes: int | None,
+            pin_kinds: tuple[str, ...]) -> tuple[int, int]:
         removed = 0
         freed = 0
         cutoff = time.time() - self.TEMP_GRACE_S

@@ -45,3 +45,66 @@ class TestTracer:
         text = tracer.render(last=2)
         assert "l.mul" in text and "l.nop" in text
         assert tracer.mnemonic_histogram()["l.addi"] == 2
+
+    def test_entry_render_format(self):
+        tracer = Tracer()
+        cpu = Cpu(assemble(SOURCE), trace_hook=tracer)
+        cpu.run("start")
+        entry = tracer.entries[1]
+        line = entry.render()
+        # "[   index] 0xaddr: disassembly" -- index right-aligned,
+        # address in hex, one line per instruction.
+        assert line.startswith(f"[{entry.index:>8}] ")
+        assert f"{entry.address:#06x}:" in line
+        assert "l.addi" in line
+        assert "\n" not in line
+
+    def test_indices_and_addresses_are_sequential(self):
+        tracer = Tracer()
+        cpu = Cpu(assemble(SOURCE), trace_hook=tracer)
+        cpu.run("start")
+        assert [e.index for e in tracer.entries] == [0, 1, 2, 3]
+        assert [e.address for e in tracer.entries] == [0, 4, 8, 12]
+
+    def test_snapshots_opt_in(self):
+        # Without snapshot_regs -- the default -- entries carry no
+        # register state even when a CPU is attached.
+        tracer = Tracer()
+        cpu = Cpu(assemble(SOURCE), trace_hook=tracer)
+        tracer.attach(cpu)
+        cpu.run("start")
+        assert all(e.regs is None for e in tracer.entries)
+
+    def test_snapshot_without_attach_is_none(self):
+        # snapshot_regs without attach() has no CPU to read from; the
+        # trace still records, just without register state.
+        tracer = Tracer(snapshot_regs=True)
+        cpu = Cpu(assemble(SOURCE), trace_hook=tracer)
+        cpu.run("start")
+        assert len(tracer.entries) == 4
+        assert all(e.regs is None for e in tracer.entries)
+
+    def test_snapshots_are_copies(self):
+        tracer = Tracer(snapshot_regs=True)
+        cpu = Cpu(assemble(SOURCE), trace_hook=tracer)
+        tracer.attach(cpu)
+        cpu.run("start")
+        # Each entry's snapshot is an independent copy, not a live
+        # view of the register file.
+        assert tracer.entries[1].regs[1] == 2
+        assert tracer.entries[2].regs[1] == 5
+        assert cpu.regs[2] == 25
+
+    def test_attach_returns_self(self):
+        tracer = Tracer()
+        assert tracer.attach(object()) is tracer
+
+    def test_render_full_and_empty(self):
+        tracer = Tracer()
+        assert tracer.render() == ""
+        assert tracer.mnemonic_histogram() == {}
+        cpu = Cpu(assemble(SOURCE), trace_hook=tracer)
+        cpu.run("start")
+        assert len(tracer.render().splitlines()) == 4
+        # last=N larger than the trace renders everything once.
+        assert tracer.render(last=100) == tracer.render()
