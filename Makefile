@@ -7,9 +7,10 @@
 PYTHON ?= python
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: tier1 test bench-engines bench-engines-scratch bench-baseline \
-        bench-check bench-figures campaign-smoke native-smoke \
-        chaos-smoke obs-smoke trace-baseline
+.PHONY: tier1 test lint bench-engines bench-engines-scratch \
+        bench-baseline bench-check bench-figures campaign-smoke \
+        native-smoke sanitize-smoke chaos-smoke obs-smoke \
+        trace-baseline
 
 # tier1 runs the bench suite into a scratch file (its bit-identity and
 # pool asserts still gate) so the *committed* median-anchored
@@ -17,7 +18,14 @@ PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 # otherwise the single run just written would overwrite the baseline
 # seconds before the gate reads it (and, under REPRO_NO_CC, silently
 # drop every native row from the committed file).
-tier1: test native-smoke bench-engines-scratch bench-check campaign-smoke chaos-smoke obs-smoke
+tier1: lint test native-smoke sanitize-smoke bench-engines-scratch bench-check campaign-smoke chaos-smoke obs-smoke
+
+# Static checks: ruff + mypy per pyproject.toml (strict on
+# src/repro/analysis/, permissive elsewhere).  Where those tools are
+# not installed the gate falls back to compileall + an AST
+# unused-import sweep and says so -- the gate never silently narrows.
+lint:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) scripts/lint_gate.py
 
 bench-engines-scratch:
 	PYTHONPATH=$(PYTHONPATH) REPRO_BENCH_OUT=$(or $(TMPDIR),/tmp)/repro-bench-tier1.json \
@@ -49,6 +57,14 @@ bench-check:
 # probe's reason when the machine has no working C compiler.
 native-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) scripts/native_smoke.py
+
+# Rebuild the native kernels with -fsanitize=address,undefined
+# (REPRO_CC_SANITIZE=1, own cache key) and rerun the native
+# equivalence tests under the instrumented library with the ASan
+# runtime preloaded.  Skips (exit 0) with a notice when the toolchain
+# lacks libasan or the runtime can't be injected into python.
+sanitize-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) scripts/sanitize_smoke.py
 
 # Kill a quick-scale `campaign run all` mid-run, resume it, and require
 # the rendered output to be byte-identical to an uninterrupted run;

@@ -1,0 +1,220 @@
+"""Structural netlist lint: loops, floating/undriven nets, dead logic.
+
+The :class:`~repro.netlist.circuit.Circuit` construction API already
+rejects the worst malformations (cycles, undriven gate inputs), so the
+linter's job is twofold: surface the *legal-but-suspect* structures a
+well-formed circuit can still carry (floating inputs, dead gates,
+pathological fanout), and diagnose raw netlists that never made it
+through the Circuit API at all -- hand-built arrays, imported designs,
+corrupted payloads.  It therefore operates on a plain
+:class:`NetlistView` of raw arrays (build one from a ``Circuit`` with
+:meth:`NetlistView.from_circuit`) and shares its graph queries with
+``compile_plan`` through :mod:`repro.netlist.graph`, so the compiler's
+diagnostics and the linter's can never drift apart.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.netlist.graph import (fanout_counts, find_combinational_cycle,
+                                 multiply_driven_nets, reaches_outputs,
+                                 undriven_nets)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.netlist.circuit import Circuit
+
+#: Findings that make a netlist unusable.
+ERROR = "error"
+#: Findings that are legal but almost certainly unintended.
+WARNING = "warning"
+
+#: How many offender ids a single finding message spells out.
+_MAX_NAMED = 8
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint diagnostic."""
+
+    code: str
+    severity: str
+    message: str
+    nets: tuple[int, ...] = ()
+
+    def to_json(self) -> dict[str, Any]:
+        return {"code": self.code, "severity": self.severity,
+                "message": self.message, "nets": list(self.nets)}
+
+
+@dataclass
+class NetlistView:
+    """Raw netlist arrays, unconstrained by the Circuit build API."""
+
+    name: str
+    n_nets: int
+    gate_kinds: list[str]
+    gate_inputs: list[tuple[int, ...]]
+    gate_outputs: list[int]
+    input_nets: list[int]
+    output_nets: list[int]
+
+    @classmethod
+    def from_circuit(cls, circuit: "Circuit") -> "NetlistView":
+        outputs: list[int] = []
+        for bus in circuit.output_names:
+            outputs.extend(circuit.output_nets(bus))
+        inputs: list[int] = []
+        for bus in circuit.input_names:
+            inputs.extend(circuit.input_nets(bus))
+        return cls(name=circuit.name, n_nets=circuit.n_nets,
+                   gate_kinds=list(circuit.gate_kinds),
+                   gate_inputs=list(circuit.gate_inputs),
+                   gate_outputs=list(circuit.gate_outputs),
+                   input_nets=inputs, output_nets=outputs)
+
+
+@dataclass
+class LintReport:
+    """All findings plus the informational fanout histogram."""
+
+    circuit: str
+    n_gates: int
+    n_nets: int
+    findings: list[Finding] = field(default_factory=list)
+    fanout_histogram: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == ERROR]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == WARNING]
+
+    def render(self) -> str:
+        lines = [f"lint: {self.circuit}  ({self.n_gates} gates, "
+                 f"{self.n_nets} nets)"]
+        for finding in self.findings:
+            lines.append(f"  {finding.severity.upper():<7} "
+                         f"[{finding.code}] {finding.message}")
+        if self.fanout_histogram:
+            buckets = " ".join(
+                f"{fanout}:{count}" for fanout, count
+                in sorted(self.fanout_histogram.items()))
+            lines.append(f"  fanout histogram (fanout:nets)  {buckets}")
+        lines.append(
+            "  clean" if self.ok else
+            f"  {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s)")
+        return "\n".join(lines)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "circuit": self.circuit,
+            "n_gates": self.n_gates,
+            "n_nets": self.n_nets,
+            "ok": self.ok,
+            "findings": [f.to_json() for f in self.findings],
+            "fanout_histogram": {str(fanout): count for fanout, count
+                                 in sorted(self.fanout_histogram.items())},
+        }
+
+    def render_json(self) -> str:
+        return json.dumps(self.to_json(), indent=2, sort_keys=True)
+
+
+def _name_nets(nets: list[int]) -> str:
+    named = ", ".join(f"n{net}" for net in nets[:_MAX_NAMED])
+    if len(nets) > _MAX_NAMED:
+        named += f", ... ({len(nets) - _MAX_NAMED} more)"
+    return named
+
+
+def lint_netlist(view: NetlistView) -> LintReport:
+    """Run every structural check over one netlist view."""
+    report = LintReport(circuit=view.name, n_gates=len(view.gate_kinds),
+                        n_nets=view.n_nets)
+    findings = report.findings
+
+    cycle = find_combinational_cycle(view.gate_inputs, view.gate_outputs)
+    if cycle is not None:
+        path = " -> ".join(f"n{net}" for net in cycle)
+        findings.append(Finding(
+            code="comb-loop", severity=ERROR, nets=tuple(cycle),
+            message=f"combinational cycle: {path}"))
+
+    undriven = undriven_nets(view.n_nets, view.gate_inputs,
+                             view.gate_outputs, view.input_nets,
+                             view.output_nets)
+    if undriven:
+        findings.append(Finding(
+            code="undriven-net", severity=ERROR, nets=tuple(undriven),
+            message=f"{len(undriven)} referenced net(s) with no driver: "
+                    f"{_name_nets(undriven)}"))
+
+    multi = multiply_driven_nets(view.gate_outputs, view.input_nets)
+    if multi:
+        findings.append(Finding(
+            code="multi-driven-net", severity=ERROR, nets=tuple(multi),
+            message=f"{len(multi)} net(s) with more than one driver: "
+                    f"{_name_nets(multi)}"))
+
+    fanout = fanout_counts(view.n_nets, view.gate_inputs,
+                           view.output_nets)
+    floating = sorted(net for net in view.input_nets
+                      if fanout[net] == 0)
+    if floating:
+        findings.append(Finding(
+            code="floating-input", severity=WARNING, nets=tuple(floating),
+            message=f"{len(floating)} primary input net(s) drive "
+                    f"nothing: {_name_nets(floating)}"))
+
+    live = reaches_outputs(view.n_nets, view.gate_inputs,
+                           view.gate_outputs, view.output_nets)
+    dead = sorted(view.gate_outputs[g] for g in range(len(live))
+                  if not live[g])
+    if dead:
+        findings.append(Finding(
+            code="dead-gate", severity=WARNING, nets=tuple(dead),
+            message=f"{len(dead)} gate(s) reach no output "
+                    f"(dead logic), output nets: {_name_nets(dead)}"))
+
+    # Informational: fanout distribution over driven, consumed nets
+    # (constants excluded -- the INV/BUF phantom leg would otherwise
+    # dominate the n1 bucket on compiled-plan circuits).
+    histogram: dict[int, int] = {}
+    for net in range(2, view.n_nets):
+        count = fanout[net]
+        histogram[count] = histogram.get(count, 0) + 1
+    report.fanout_histogram = histogram
+    return report
+
+
+def lint_circuit(circuit: "Circuit") -> LintReport:
+    """Lint a well-formed Circuit (suspect-structure checks only fire)."""
+    return lint_netlist(NetlistView.from_circuit(circuit))
+
+
+def broken_fixture() -> NetlistView:
+    """The deliberately broken netlist the lint gate must flag.
+
+    Built from raw arrays because the Circuit API (correctly) refuses
+    to express it: a two-gate combinational loop (n5 <-> n6), a
+    floating primary input (n3), and an undriven gate input (n4).
+    """
+    return NetlistView(
+        name="broken-fixture",
+        n_nets=8,
+        gate_kinds=["AND2", "OR2", "XOR2"],
+        gate_inputs=[(2, 6), (5, 5), (4, 5)],
+        gate_outputs=[5, 6, 7],
+        input_nets=[2, 3],
+        output_nets=[7],
+    )

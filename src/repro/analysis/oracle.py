@@ -1,0 +1,121 @@
+"""Opt-in runtime bounds oracle for ``Circuit.propagate``.
+
+With ``REPRO_CHECK_BOUNDS=1`` in the environment, every propagate call
+-- any engine, any glitch model, serial or pool-sharded -- has its
+returned arrivals checked against the static envelope of
+:func:`repro.analysis.sta.compute_envelope`:
+
+    every arrival is exactly 0.0 (no event) or inside [min, max].
+
+Float64 engines are held to the envelope *exactly* (IEEE add/max are
+monotone, so the dynamic recurrence can never produce a value outside
+the static one); float32 engines are checked under the PR 4
+relaxed-identity contract (:data:`~repro.netlist.plan.F32_RTOL` /
+:data:`~repro.netlist.plan.F32_ATOL` around the float64 envelope).
+
+The check is deliberately independent of the engines: it reuses the
+compiled plan's structure but none of the event kernels, so a silent
+kernel bug (native C, f32 views, pooled shards) trips it instead of
+only shifting engine-vs-engine diffs.  Envelopes are cached per plan
+(delays and launch compared by value), so test suites that sweep five
+engines over one circuit pay for one static pass, not five.
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+from typing import TYPE_CHECKING, Mapping
+
+import numpy as np
+
+from repro.analysis.sta import Envelope, compute_envelope
+from repro.netlist.plan import F32_ATOL, F32_RTOL, CompiledPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.netlist.circuit import Circuit
+
+#: Environment switch; any value other than empty/"0" activates.
+ENV_VAR = "REPRO_CHECK_BOUNDS"
+
+
+class BoundsViolation(AssertionError):
+    """A dynamic arrival escaped the static [min, max] envelope."""
+
+
+#: plan -> (delays snapshot, input_arrival, envelope).  Weak keys so
+#: discarded circuits do not pin their plans (mirrors the plan's own
+#: delay-tile cache discipline: identity is not enough, values are
+#: compared defensively).
+_CACHE: weakref.WeakKeyDictionary[
+    CompiledPlan, tuple[np.ndarray, float, Envelope]] = \
+    weakref.WeakKeyDictionary()
+
+
+def bounds_check_enabled() -> bool:
+    """Whether the runtime oracle is active (``REPRO_CHECK_BOUNDS``)."""
+    return os.environ.get(ENV_VAR, "0") not in ("", "0")
+
+
+def envelope_for(circuit: "Circuit", delays: np.ndarray,
+                 input_arrival: float) -> Envelope:
+    """Cached static envelope of one (circuit, delays, launch) corner."""
+    plan = circuit.plan
+    delays = np.asarray(delays, dtype=np.float64)
+    arrival = float(input_arrival)
+    cached = _CACHE.get(plan)
+    if cached is not None and cached[1] == arrival \
+            and np.array_equal(cached[0], delays):
+        return cached[2]
+    envelope = compute_envelope(plan, delays, arrival)
+    _CACHE[plan] = (delays.copy(), arrival, envelope)
+    return envelope
+
+
+def check_bounds(circuit: "Circuit", delays: np.ndarray,
+                 input_arrival: float,
+                 arrivals: Mapping[str, np.ndarray],
+                 timing_dtype: type = np.float64,
+                 engine: str = "?", glitch_model: str = "?") -> None:
+    """Assert propagate output against the envelope; raise on escape."""
+    envelope = envelope_for(circuit, delays, input_arrival)
+    plan = circuit.plan
+    f32 = np.dtype(timing_dtype) == np.float32
+    for name in circuit.output_names:
+        rows = plan.rows[circuit.output_nets(name)]
+        lo = envelope.min_rows[rows][:, None]
+        hi = envelope.max_rows[rows][:, None]
+        observed = np.asarray(arrivals[name], dtype=np.float64)
+        if f32:
+            # The f32 contract is relative to the f64 value, which
+            # itself lies in [lo, hi]; widen both edges by the worst
+            # allowed deviation at the interval's magnitude.
+            pad = F32_ATOL + F32_RTOL * np.where(np.isfinite(hi),
+                                                 np.abs(hi), 0.0)
+            lo = lo - pad
+            hi = hi + pad
+        ok = (observed == 0.0) | ((observed >= lo) & (observed <= hi))
+        if bool(ok.all()):
+            continue
+        bit, vector = np.unravel_index(int(np.argmin(ok)), ok.shape)
+        raise BoundsViolation(
+            f"{circuit.name}: arrival {observed[bit, vector]!r} ps on "
+            f"{name}[{int(bit)}] (vector {int(vector)}) escapes the "
+            f"static envelope [{envelope.min_rows[rows][bit]!r}, "
+            f"{envelope.max_rows[rows][bit]!r}] "
+            f"(engine={engine}, glitch_model={glitch_model}, "
+            f"dtype={'float32' if f32 else 'float64'})")
+
+
+def maybe_check_bounds(circuit: "Circuit", delays: np.ndarray,
+                       input_arrival: float,
+                       arrivals: Mapping[str, np.ndarray],
+                       timing_dtype: type = np.float64,
+                       engine: str = "?",
+                       glitch_model: str = "?") -> None:
+    """The propagate hook: no-op unless ``REPRO_CHECK_BOUNDS`` is set."""
+    if not bounds_check_enabled():
+        return
+    check_bounds(circuit, delays, input_arrival, arrivals,
+                 timing_dtype=timing_dtype, engine=engine,
+                 glitch_model=glitch_model)

@@ -26,7 +26,8 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro import faults, native, obs, parallel
+from repro import analysis, faults, native, obs, parallel
+from repro.analysis import lint as lint_mod
 from repro.bench.suite import BENCHMARK_NAMES, build_kernel
 from repro.campaign import ALL_TARGET, CAMPAIGN_EXPERIMENTS, \
     campaign_status, run_campaign
@@ -40,6 +41,7 @@ from repro.experiments import (
     fig5,
     fig6,
     fig7,
+    fig_sta_margin,
     table1,
     table2,
 )
@@ -70,6 +72,9 @@ _EXPERIMENTS = {
         fig6.run(scale, seed, context=ctx, store=store, n_jobs=jobs)),
     "fig7": lambda scale, seed, ctx, store, jobs: fig7.render(
         fig7.run(scale, seed, context=ctx, store=store, n_jobs=jobs)),
+    "fig-sta-margin": lambda scale, seed, ctx, store, jobs:
+        fig_sta_margin.render(
+            fig_sta_margin.run(scale, seed, context=ctx, store=store)),
     "ablations": lambda scale, seed, ctx, store, jobs:
         ablations.render_all(
             ablations.run_glitch_model_ablation(scale, seed,
@@ -236,6 +241,39 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--vdd", type=float, default=0.7)
     report.add_argument("--limit", type=int, default=10,
                         help="endpoints to list (worst first)")
+
+    sta = subparsers.add_parser(
+        "sta", help="static min/max arrival analysis of a functional "
+                    "unit: envelope bounds, endpoint slack, top-K "
+                    "critical paths (exit 1 on negative slack)")
+    sta.add_argument("unit", choices=("adder", "multiplier", "shifter",
+                                      "logic"))
+    sta.add_argument("--clock-ps", type=float, default=None,
+                     metavar="PS",
+                     help="clock period to compute slack against "
+                          "(default: the ALU's worst-case STA sign-off "
+                          "period at --vdd)")
+    sta.add_argument("--paths", type=int, default=3, metavar="K",
+                     help="critical paths to extract per output bus "
+                          "(gate-by-gate; 0 disables)")
+    sta.add_argument("--vdd", type=float, default=0.7,
+                     help="supply voltage of the delay corner")
+    sta.add_argument("--json", action="store_true",
+                     help="emit the machine-readable report body "
+                          "(the persisted sta_report schema)")
+
+    lint = subparsers.add_parser(
+        "lint", help="structural netlist diagnostics: combinational "
+                     "loops, floating inputs, undriven/multiply-driven "
+                     "nets, dead gates, fanout histogram (exit 1 on "
+                     "findings)")
+    lint.add_argument("unit", choices=("adder", "multiplier", "shifter",
+                                       "logic", "broken-fixture"),
+                      help="functional unit to lint ('broken-fixture' "
+                           "is the deliberately malformed self-test "
+                           "netlist)")
+    lint.add_argument("--json", action="store_true",
+                      help="emit machine-readable findings")
 
     verilog = subparsers.add_parser(
         "verilog", help="export a functional unit as structural Verilog")
@@ -420,6 +458,36 @@ def main(argv: list[str] | None = None) -> int:
         print(report.render(limit=args.limit))
         return 0
 
+    if args.command == "sta":
+        import json
+        alu = calibrated_alu()
+        circuit = alu.units[args.unit]
+        delays = circuit.gate_delays(alu.library, args.vdd,
+                                     alu.unit_scales[args.unit])
+        clock_ps = args.clock_ps if args.clock_ps is not None \
+            else alu.worst_sta_period_ps(args.vdd)
+        report = analysis.build_report(
+            circuit, delays,
+            input_arrival_ps=alu.library.clk_to_q(args.vdd),
+            overhead_ps=alu.mux_delay_ps(args.vdd)
+            + alu.library.setup(args.vdd),
+            clock_ps=clock_ps, k_paths=args.paths)
+        if args.json:
+            print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+        else:
+            print(report.render())
+        slack = report.min_slack_ps
+        return 1 if slack is not None and slack < 0.0 else 0
+
+    if args.command == "lint":
+        if args.unit == "broken-fixture":
+            report = lint_mod.lint_netlist(lint_mod.broken_fixture())
+        else:
+            alu = calibrated_alu()
+            report = lint_mod.lint_circuit(alu.units[args.unit])
+        print(report.render_json() if args.json else report.render())
+        return 0 if report.ok else 1
+
     if args.command == "verilog":
         alu = calibrated_alu()
         text = to_verilog(alu.units[args.unit])
@@ -465,6 +533,14 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"{'':16s} {'':8s}   cache dir "
                       f"{status['cache_dir']} (numpy engines serve "
                       f"this dtype instead)")
+        if analysis.bounds_check_enabled():
+            print(f"{'oracle':16s} {'':8s} ACTIVE: every propagate "
+                  f"checked against the static STA envelope "
+                  f"(REPRO_CHECK_BOUNDS)")
+        else:
+            print(f"{'oracle':16s} {'':8s} off (set "
+                  f"REPRO_CHECK_BOUNDS=1 to assert every propagate "
+                  f"against the static STA envelope)")
         if args.strict and strict_fail:
             print("strict: native backend not fully available",
                   file=sys.stderr)

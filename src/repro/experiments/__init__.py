@@ -1,7 +1,7 @@
 """Experiment drivers regenerating every table and figure of the paper."""
 
 from repro.experiments import ablations, fig1, fig2, fig4, fig5, fig6, fig7
-from repro.experiments import table1, table2
+from repro.experiments import fig_sta_margin, table1, table2
 from repro.experiments.context import (
     ExperimentContext,
     NOISE_SIGMAS,
@@ -24,6 +24,7 @@ __all__ = [
     "fig5",
     "fig6",
     "fig7",
+    "fig_sta_margin",
     "get_scale",
     "table1",
     "table2",

@@ -38,8 +38,6 @@ from repro.netlist.alu import AluConfig, AluNetlist
 from repro.netlist.calibrate import calibrate_alu
 from repro.timing.characterize import CharacterizationConfig
 from repro.timing.dta import run_dta
-from repro.timing.noise import VoltageNoise
-from repro.timing.voltage import VddDelayModel
 from repro.experiments.context import ExperimentContext, NOMINAL_VDD
 from repro.experiments.scale import Scale, get_scale
 

@@ -26,7 +26,6 @@ from repro.bench.suite import build_kernel
 from repro.experiments.context import (
     ExperimentContext,
     NOISE_SIGMAS,
-    NOMINAL_VDD,
 )
 from repro.experiments.scale import Scale, get_scale
 from repro.fi.model_c import StatisticalInjector

@@ -33,7 +33,6 @@ from repro.fi.base import FaultInjector
 from repro.fi.sampling import BitSampler
 from repro.fi.streams import EffectivePeriodStream
 from repro.netlist.alu import AluNetlist
-from repro.netlist.library import VDD_REF
 from repro.timing.characterize import (
     AluCharacterization,
     CharacterizationConfig,

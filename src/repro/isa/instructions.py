@@ -24,7 +24,7 @@ threshold frequency, so only ALU-class instructions are FI-eligible.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 class Format(enum.Enum):

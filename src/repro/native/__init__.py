@@ -27,7 +27,6 @@ campaign workers inherit.
 from __future__ import annotations
 
 from repro.native.build import (
-    CFLAGS,
     BuildResult,
     CompilerProbe,
     Kernels,

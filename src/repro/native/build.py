@@ -72,6 +72,25 @@ CFLAG_SETS = (
 #: probe records the actually chosen set in :class:`CompilerProbe`).
 CFLAGS = CFLAG_SETS[0]
 
+#: Extra flags of the ``REPRO_CC_SANITIZE=1`` debug build variant:
+#: AddressSanitizer + UBSan with frame pointers kept for readable
+#: reports.  The flags join the probed set before hashing, so the
+#: sanitized library lives under its own cache key next to the fast
+#: one (a ``-san`` tag in the file name keeps ``ls`` honest too).
+#: Loading an ASan-instrumented .so into a non-ASan python requires
+#: the ASan runtime to be preloaded (``LD_PRELOAD=$(cc
+#: -print-file-name=libasan.so)``); without it dlopen fails and the
+#: engine degrades to numpy through the normal runtime-failure latch.
+#: ``make sanitize-smoke`` wires all of this up.
+SANITIZE_FLAGS = ("-fsanitize=address,undefined",
+                  "-fno-omit-frame-pointer")
+
+
+def sanitize_enabled() -> bool:
+    """Whether the sanitizer build variant is selected
+    (``REPRO_CC_SANITIZE``)."""
+    return os.environ.get("REPRO_CC_SANITIZE", "0") not in ("", "0")
+
 #: Compilers tried in order when ``$CC`` is unset.
 COMPILER_CANDIDATES = ("gcc", "cc", "clang")
 
@@ -145,7 +164,9 @@ def probe_compiler() -> CompilerProbe:
     """
     env_cc = os.environ.get("CC")
     candidates = ([env_cc] if env_cc else []) + list(COMPILER_CANDIDATES)
-    key = "\x00".join(candidates)
+    # The sanitize state is part of the cache key: a toolchain that
+    # compiles the fast build may lack libasan, and vice versa.
+    key = "\x00".join(candidates + ["san" if sanitize_enabled() else ""])
     cached = _PROBES.get(key)
     if cached is not None:
         return cached
@@ -177,11 +198,13 @@ def _try_compiler(exe: str) -> CompilerProbe:
         return CompilerProbe(ok=False, reason="--version failed")
     version = version_proc.stdout.splitlines()[0].strip() \
         if version_proc.stdout else exe
+    extra = SANITIZE_FLAGS if sanitize_enabled() else ()
     last_detail = ""
     with tempfile.TemporaryDirectory(prefix="repro-cc-probe-") as tmp:
         src = Path(tmp) / "probe.c"
         src.write_text("int repro_probe(void) { return 1; }\n")
-        for cflags in CFLAG_SETS:
+        for base in CFLAG_SETS:
+            cflags = base + extra
             out = Path(tmp) / "probe.so"
             out.unlink(missing_ok=True)
             try:
@@ -195,12 +218,16 @@ def _try_compiler(exe: str) -> CompilerProbe:
                                      cflags=cflags)
             detail = (proc.stderr or "").strip().splitlines()
             last_detail = f": {detail[-1]}" if detail else ""
-    return CompilerProbe(
-        ok=False, reason="probe compile failed" + last_detail)
+    reason = "probe compile failed" + last_detail
+    if extra:
+        reason = f"sanitizer {reason} (toolchain lacks libasan/ubsan?)"
+    return CompilerProbe(ok=False, reason=reason)
 
 
 def library_name(timing_dtype: str, sha256: str) -> str:
     tag = {"float64": "f64", "float32": "f32"}[timing_dtype]
+    if sanitize_enabled():
+        tag += "-san"
     return f"levelkern-{tag}-{sha256[:16]}.so"
 
 

@@ -23,12 +23,12 @@ that formats architectural operands into the unit's input buses.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
 
-from repro.isa.instructions import ALU_MNEMONICS, spec_for
+from repro.isa.instructions import ALU_MNEMONICS
 from repro.netlist.adders import ADDER_KINDS, adder_circuit
 from repro.netlist.circuit import Circuit
 from repro.netlist.library import CellLibrary, VDD_REF

@@ -18,8 +18,6 @@ remains purely structural.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.netlist.alu import AluNetlist
 from repro.netlist.library import VDD_REF
 from repro.timing.sta import static_arrivals

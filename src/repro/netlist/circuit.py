@@ -242,6 +242,9 @@ class Circuit:
     def input_width(self, name: str) -> int:
         return len(self._input_buses[name].nets)
 
+    def input_nets(self, name: str) -> list[int]:
+        return list(self._input_buses[name].nets)
+
     def output_nets(self, name: str) -> list[int]:
         return list(self._output_buses[name].nets)
 
@@ -432,16 +435,27 @@ class Circuit:
         if engine not in ENGINES:
             raise CircuitError(f"unknown engine {engine!r}")
         if engine in _ENGINE_DTYPES:
-            return self._propagate_compiled(prev_inputs, new_inputs, delays,
-                                            input_arrival, glitch_model,
-                                            _ENGINE_DTYPES[engine],
-                                            native=engine in _NATIVE_ENGINES,
-                                            engine_name=engine)
-        with obs.span("circuit.propagate", circuit=self.name,
-                      engine=engine, glitch_model=glitch_model):
-            return self._propagate_reference(prev_inputs, new_inputs,
-                                             delays, input_arrival,
-                                             glitch_model)
+            result = self._propagate_compiled(
+                prev_inputs, new_inputs, delays, input_arrival,
+                glitch_model, _ENGINE_DTYPES[engine],
+                native=engine in _NATIVE_ENGINES, engine_name=engine)
+        else:
+            with obs.span("circuit.propagate", circuit=self.name,
+                          engine=engine, glitch_model=glitch_model):
+                result = self._propagate_reference(prev_inputs, new_inputs,
+                                                   delays, input_arrival,
+                                                   glitch_model)
+        # Opt-in independent oracle (REPRO_CHECK_BOUNDS=1): assert every
+        # dynamic arrival falls inside the static [min, max] envelope.
+        # Imported lazily so the analysis plane stays out of the hot
+        # path's import graph; the enabled check itself is one O(nets)
+        # STA pass (cached per plan/delay/arrival) plus vector compares.
+        from repro.analysis.oracle import maybe_check_bounds
+        maybe_check_bounds(
+            self, delays, input_arrival, result[1],
+            timing_dtype=_ENGINE_DTYPES.get(engine, np.float64),
+            engine=engine, glitch_model=glitch_model)
+        return result
 
     def _propagate_reference(self, prev_inputs, new_inputs, delays,
                              input_arrival, glitch_model) -> \

@@ -1,0 +1,149 @@
+"""Structural graph utilities over raw netlist arrays.
+
+Both the compiled plan (:mod:`repro.netlist.plan`) and the netlist
+linter (:mod:`repro.analysis.lint`) need the same structural questions
+answered about a netlist given only its raw arrays -- gate kinds,
+per-gate input tuples, per-gate output nets -- without assuming the
+arrays came from a well-formed :class:`~repro.netlist.circuit.Circuit`
+(the whole point of linting is that they may not have).  The helpers
+here are pure functions of those arrays, so the two consumers share
+one implementation instead of two drifting ones.
+
+A netlist is *combinational* iff the directed graph whose edges run
+from every gate input net to its output net is acyclic.  The
+:class:`Circuit` construction API enforces this by insisting on
+topological gate order, but netlists assembled by hand, imported from
+Verilog, or corrupted in transit can violate it -- and a cyclic
+netlist used to fail levelization with an obscure internal assertion
+instead of a diagnostic naming the loop.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def driver_map(gate_inputs: Sequence[tuple[int, ...]],
+               gate_outputs: Sequence[int]) -> dict[int, int]:
+    """Net id -> index of the (last) gate driving it."""
+    del gate_inputs  # symmetry with the other helpers' signatures
+    return {out: index for index, out in enumerate(gate_outputs)}
+
+
+def fanout_counts(n_nets: int,
+                  gate_inputs: Sequence[tuple[int, ...]],
+                  output_nets: Iterable[int] = ()) -> list[int]:
+    """Per-net consumer count: gate input pins plus output-bus taps."""
+    counts = [0] * n_nets
+    for ins in gate_inputs:
+        for net in ins:
+            counts[net] += 1
+    for net in output_nets:
+        counts[net] += 1
+    return counts
+
+
+def undriven_nets(n_nets: int,
+                  gate_inputs: Sequence[tuple[int, ...]],
+                  gate_outputs: Sequence[int],
+                  input_nets: Iterable[int],
+                  output_nets: Iterable[int] = ()) -> list[int]:
+    """Nets referenced (gate pin or output bus) but driven by nothing.
+
+    Drivers are the constants 0/1, the primary input nets and every
+    gate output.  Unreferenced undriven ids are not reported -- a
+    netlist may legitimately have net-id gaps.
+    """
+    driven = {0, 1}
+    driven.update(input_nets)
+    driven.update(gate_outputs)
+    referenced: set[int] = set()
+    for ins in gate_inputs:
+        referenced.update(ins)
+    referenced.update(output_nets)
+    return sorted(net for net in referenced if net not in driven)
+
+
+def multiply_driven_nets(gate_outputs: Sequence[int],
+                         input_nets: Iterable[int]) -> list[int]:
+    """Nets with more than one driver (two gates, or gate + input)."""
+    inputs = set(input_nets)
+    seen: set[int] = set()
+    clashing: set[int] = set()
+    for out in gate_outputs:
+        if out in seen or out in inputs or out in (0, 1):
+            clashing.add(out)
+        seen.add(out)
+    return sorted(clashing)
+
+
+def find_combinational_cycle(
+        gate_inputs: Sequence[tuple[int, ...]],
+        gate_outputs: Sequence[int]) -> list[int] | None:
+    """One combinational loop as a closed net-id walk, or None.
+
+    Runs an iterative three-color depth-first search over the gate
+    graph (edge: driver gate -> consumer pin's gate).  On the first
+    back edge the gray stack is unwound into the cycle's *net* ids --
+    the names a user can actually look up -- returned as a closed walk
+    ``[n, ..., n]`` whose first and last entries coincide.
+    """
+    drivers = driver_map(gate_inputs, gate_outputs)
+    n_gates = len(gate_outputs)
+    # 0 = white, 1 = gray (on the current DFS path), 2 = black.
+    color = [0] * n_gates
+    for root in range(n_gates):
+        if color[root] != 0:
+            continue
+        # Stack of (gate, iterator over its driver-gate predecessors).
+        stack = [(root, iter(gate_inputs[root]))]
+        color[root] = 1
+        while stack:
+            gate, pins = stack[-1]
+            advanced = False
+            for net in pins:
+                pred = drivers.get(net)
+                if pred is None:
+                    continue
+                if color[pred] == 1:
+                    # Back edge: unwind the gray path pred -> ... -> gate.
+                    path_gates = [entry[0] for entry in stack]
+                    start = path_gates.index(pred)
+                    nets = [gate_outputs[g] for g in path_gates[start:]]
+                    return nets + [nets[0]]
+                if color[pred] == 0:
+                    color[pred] = 1
+                    stack.append((pred, iter(gate_inputs[pred])))
+                    advanced = True
+                    break
+            if not advanced:
+                color[gate] = 2
+                stack.pop()
+    return None
+
+
+def reaches_outputs(n_nets: int,
+                    gate_inputs: Sequence[tuple[int, ...]],
+                    gate_outputs: Sequence[int],
+                    output_nets: Iterable[int]) -> list[bool]:
+    """Per-gate flag: does the gate's output reach any output-bus net?
+
+    Backward breadth-first search from the output taps through the
+    driver relation; robust to cycles (visited set).  Gates that fail
+    this test are *dead logic* -- they burn area and simulation time
+    but can never influence an observable value.
+    """
+    drivers = driver_map(gate_inputs, gate_outputs)
+    del n_nets  # the walk is over gates; nets only index `drivers`
+    live = [False] * len(gate_outputs)
+    frontier = [drivers[net] for net in output_nets if net in drivers]
+    for gate in frontier:
+        live[gate] = True
+    while frontier:
+        gate = frontier.pop()
+        for net in gate_inputs[gate]:
+            pred = drivers.get(net)
+            if pred is not None and not live[pred]:
+                live[pred] = True
+                frontier.append(pred)
+    return live

@@ -75,6 +75,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.netlist.graph import find_combinational_cycle
 from repro.parallel import pool_task
 
 #: Relative tolerance of the float32 settle pipeline vs float64.
@@ -165,6 +166,35 @@ class CompiledPlan:
     def n_ops(self) -> int:
         return len(self.ops)
 
+    @property
+    def net_of_row(self) -> np.ndarray:
+        """Row index -> net id (inverse of :attr:`rows`), lazily built.
+
+        Static analyzers compute per-*row* quantities (the kernels'
+        native coordinates) and need to speak per-*net* at the API
+        boundary; the inverse permutation is the bridge.
+        """
+        inverse = getattr(self, "_net_of_row", None)
+        if inverse is None:
+            inverse = np.empty(self.n_nets, dtype=np.int64)
+            inverse[self.rows] = np.arange(self.n_nets, dtype=np.int64)
+            self._net_of_row = inverse
+        return inverse
+
+    def row_delays(self, delays: np.ndarray,
+                   dtype=np.float64) -> np.ndarray:
+        """Per-row delay view: ``out[row] = delays[gate]`` (0 elsewhere).
+
+        Constants, primary inputs and any other non-gate rows carry
+        delay 0.  Uncached -- analyzers call this once per report, not
+        per propagated block.
+        """
+        out = np.zeros(self.n_nets, dtype=np.dtype(dtype))
+        typed = delays.astype(np.dtype(dtype), copy=False)
+        for op in self.ops:
+            out[op.lo:op.hi] = typed[op.gidx]
+        return out
+
     def delay_mats(self, delays: np.ndarray, n_vectors: int,
                    dtype=np.float64) -> list[np.ndarray]:
         """Per-op ``(n, N)`` delay tiles of one dtype (size-1 cache).
@@ -197,7 +227,31 @@ def compile_plan(n_nets: int, gate_kinds: list[str],
                  gate_inputs: list[tuple[int, ...]],
                  gate_outputs: list[int],
                  input_nets: set[int]) -> CompiledPlan:
-    """Levelize a topologically-ordered netlist and bucket it by family."""
+    """Levelize a topologically-ordered netlist and bucket it by family.
+
+    Raises:
+        ValueError: on a combinational cycle (the diagnostic names the
+            loop's nets) or a gate reading a net with no driver --
+            conditions that would otherwise corrupt levelization
+            silently (an unassigned level reads as 0, an unassigned
+            row as -1).
+    """
+    driven = {0, 1} | set(input_nets)
+    for index, (ins, out) in enumerate(zip(gate_inputs, gate_outputs)):
+        missing = [net for net in ins if net not in driven]
+        if missing:
+            cycle = find_combinational_cycle(gate_inputs, gate_outputs)
+            if cycle is not None:
+                path = " -> ".join(f"n{net}" for net in cycle)
+                raise ValueError(
+                    f"combinational cycle through nets {path}; "
+                    "break the loop (insert a register) before compiling")
+            raise ValueError(
+                f"gate {index} ({gate_kinds[index]}) reads undriven "
+                f"net(s) {missing}; drive them or list gates in "
+                "topological order")
+        driven.add(out)
+
     level = np.zeros(n_nets, dtype=np.int64)
     gate_levels = []
     for ins, out in zip(gate_inputs, gate_outputs):

@@ -26,7 +26,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.isa.encoding import Decoded, EncodingError, decode
-from repro.isa.instructions import NOP_EXIT, NOP_REPORT, TimingClass
+from repro.isa.instructions import NOP_EXIT, NOP_REPORT
 from repro.isa.program import Program
 from repro.sim.exceptions import (
     IllegalInstruction,

@@ -19,7 +19,7 @@ from __future__ import annotations
 #: Artifact kinds the store can hold.
 KINDS = ("mc_point", "frequency_sweep", "alu_characterization",
          "fig2_curve", "fig4_curve", "adder_ablation", "table1_row",
-         "unit_failure")
+         "unit_failure", "sta_report")
 
 
 def current_schema(kind: str) -> int:
@@ -48,6 +48,9 @@ def current_schema(kind: str) -> int:
     if kind == "unit_failure":
         from repro.campaign.failures import UNIT_FAILURE_SCHEMA
         return UNIT_FAILURE_SCHEMA
+    if kind == "sta_report":
+        from repro.analysis.sta import STA_REPORT_SCHEMA
+        return STA_REPORT_SCHEMA
     raise KeyError(f"unknown artifact kind {kind!r}; known: "
                    f"{sorted(KINDS)}")
 
@@ -89,5 +92,8 @@ def artifact_from_json(kind: str, payload: dict):
     if kind == "unit_failure":
         from repro.campaign.failures import UnitFailure
         return UnitFailure.from_json(payload)
+    if kind == "sta_report":
+        from repro.analysis.sta import StaReport
+        return StaReport.from_json(payload)
     raise KeyError(f"unknown artifact kind {kind!r}; known: "
                    f"{sorted(KINDS)}")

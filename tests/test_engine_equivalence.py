@@ -41,6 +41,19 @@ needs_native = pytest.mark.skipif(
            f"({native.unavailable_reason()})")
 
 
+@pytest.fixture(autouse=True)
+def _bounds_oracle(monkeypatch):
+    """Arm the static bounds oracle for every equivalence test.
+
+    With ``REPRO_CHECK_BOUNDS=1`` each propagate in this file -- five
+    engines, both glitch models, serial and pool-sharded (workers
+    inherit the environment) -- is additionally checked against the
+    independent STA envelope, so the suite cross-checks engines
+    against each other *and* against the static bounds at once.
+    """
+    monkeypatch.setenv("REPRO_CHECK_BOUNDS", "1")
+
+
 @contextlib.contextmanager
 def _pool(workers: int, min_shard_vectors: int = 1):
     """Process-global pool for one test body, always torn down.

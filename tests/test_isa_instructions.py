@@ -4,7 +4,6 @@ import pytest
 
 from repro.isa.instructions import (
     ALU_MNEMONICS,
-    Format,
     INSTRUCTIONS,
     TimingClass,
     alu_mnemonics_for_class,
