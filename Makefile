@@ -10,7 +10,7 @@ PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 .PHONY: tier1 test lint bench-engines bench-engines-scratch \
         bench-baseline bench-check bench-figures campaign-smoke \
         native-smoke sanitize-smoke chaos-smoke obs-smoke \
-        trace-baseline
+        fabric-smoke trace-baseline
 
 # tier1 runs the bench suite into a scratch file (its bit-identity and
 # pool asserts still gate) so the *committed* median-anchored
@@ -18,7 +18,7 @@ PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 # otherwise the single run just written would overwrite the baseline
 # seconds before the gate reads it (and, under REPRO_NO_CC, silently
 # drop every native row from the committed file).
-tier1: lint test native-smoke sanitize-smoke bench-engines-scratch bench-check campaign-smoke chaos-smoke obs-smoke
+tier1: lint test native-smoke sanitize-smoke bench-engines-scratch bench-check campaign-smoke chaos-smoke obs-smoke fabric-smoke
 
 # Static checks: ruff + mypy per pyproject.toml (strict on
 # src/repro/analysis/, permissive elsewhere).  Where those tools are
@@ -81,6 +81,14 @@ campaign-smoke:
 # fault log must replay exactly (scripts/fault_replay.py pins it).
 chaos-smoke:
 	$(PYTHON) scripts/chaos_smoke.py
+
+# Run distributed campaigns against a live `repro store serve` HTTP
+# object service: two lease-fabric workers must render byte-identically
+# to a serial run, a warm rerun must do zero simulation over HTTP,
+# a SIGKILLed worker's lapsed lease must be stolen by the survivor
+# (still byte-identical), and the fired-fault log must replay exactly.
+fabric-smoke:
+	$(PYTHON) scripts/fabric_smoke.py
 
 # Trace a quick-scale pool-backed campaign, require byte-identical
 # rendered output vs untraced, validate the Chrome export (store/pool/

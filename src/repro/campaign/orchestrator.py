@@ -371,7 +371,8 @@ def run_campaign(experiment: str, scale: str | Scale = "default",
                  log: Callable[[str], None] | None = None,
                  timing_dtype: str = "float64",
                  engine: str | None = None,
-                 max_retries: int = 0) -> CampaignReport:
+                 max_retries: int = 0,
+                 fabric_workers: int | None = None) -> CampaignReport:
     """Run (or resume) a campaign to its rendered figure output.
 
     Args:
@@ -399,6 +400,12 @@ def run_campaign(experiment: str, scale: str | Scale = "default",
             backoff between rounds; units still failing afterwards
             keep their store markers, render as a failure notice, and
             are counted in ``CampaignReport.failed``.
+        fabric_workers: run pending units through the distributed
+            fabric instead of a pool -- N forked lease workers racing
+            for unit batches on the (typically ``--fabric URL``
+            remote) store, crash-resuming each other via lease steals
+            (:mod:`repro.fabric.worker`).  Requires fork; falls back
+            to the ordinary dispatch paths where unavailable.
 
     Resuming is the same call again: completed units are store hits
     and only the missing ones execute, with byte-identical rendered
@@ -448,7 +455,18 @@ def run_campaign(experiment: str, scale: str | Scale = "default",
         failed_indices.update(outcome["failed"])
 
     shared_pool = parallel.get_pool()
-    if len(pending) > 1 and jobs >= 2 and shared_pool is not None \
+    if pending and fabric_workers and _fork_available():
+        # Distributed fabric: forked lease workers race for batches
+        # on the shared store; a killed worker's lease lapses and a
+        # peer steals it, and the parent backstops any remainder --
+        # the outcome scan, not worker exit status, is authoritative.
+        from repro.fabric.worker import dispatch_fabric
+        with obs.span("campaign.dispatch", mode="fabric",
+                      pending=len(pending), workers=fabric_workers):
+            absorb(dispatch_fabric(units, pending, store,
+                                   fabric_workers, _compute_one,
+                                   emit))
+    elif len(pending) > 1 and jobs >= 2 and shared_pool is not None \
             and shared_pool.workers >= 2:
         # Persistent pool: registered once per campaign invocation,
         # every shard (and any later campaign in this process) reuses
@@ -570,7 +588,7 @@ def run_campaign(experiment: str, scale: str | Scale = "default",
         experiment=experiment,
         scale=resolved.name,
         seed=seed,
-        jobs=jobs,
+        jobs=fabric_workers if fabric_workers else jobs,
         total=len(units),
         cached=len(units) - len(computed_indices)
         - len(failed_indices),

@@ -177,13 +177,55 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=CAMPAIGN_EXPERIMENTS + (ALL_TARGET,))
         _add_scale(sub)
         _add_store(sub, with_jobs=(action != "status"))
+        sub.add_argument("--fabric", default=None, metavar="URL",
+                         help="shared store service URL (from 'repro "
+                              "store serve'); the campaign reads and "
+                              "writes through it instead of a local "
+                              "directory")
         if action != "status":
+            sub.add_argument("--workers", type=int, default=None,
+                             metavar="N",
+                             help="distributed-fabric worker "
+                                  "processes: N forked lease workers "
+                                  "race for unit batches on the "
+                                  "shared store, heartbeat their "
+                                  "leases and steal from dead peers "
+                                  "(default with --fabric: 2)")
             sub.add_argument("--max-retries", type=int, default=0,
                              metavar="N",
                              help="re-attempt units that failed this "
                                   "run up to N times (serial, with "
                                   "backoff) before reporting them as "
                                   "FAILED")
+
+    store_cmd = subparsers.add_parser(
+        "store", help="run or probe the shared store object service "
+                      "(the distributed-campaign fabric's backend)")
+    store_sub = store_cmd.add_subparsers(dest="store_command",
+                                         required=True)
+    serve_cmd = store_sub.add_parser(
+        "serve", help="serve a store root over HTTP: campaign workers "
+                      "on any host point --fabric at it")
+    serve_cmd.add_argument("--root", default=None, metavar="DIR",
+                           help="store directory to serve (default: "
+                                "$REPRO_STORE or the user cache dir)")
+    serve_cmd.add_argument("--host", default="127.0.0.1",
+                           help="bind address (default: loopback; "
+                                "bind 0.0.0.0 to serve other hosts)")
+    serve_cmd.add_argument("--port", type=int, default=0,
+                           help="TCP port (default 0: pick a free "
+                                "port and print it)")
+    ping_cmd = store_sub.add_parser(
+        "ping", help="probe a store service: health, round-trip "
+                     "latency, degraded/spool state")
+    ping_cmd.add_argument("url", help="service URL, e.g. "
+                                      "http://127.0.0.1:8321")
+    ping_cmd.add_argument("--strict", action="store_true",
+                          help="exit nonzero when the service is "
+                               "unreachable or this client is "
+                               "degraded (unflushed local spool) -- "
+                               "for scripts that need a healthy "
+                               "fabric, like 'repro engines --strict'")
 
     cache = subparsers.add_parser(
         "cache", help="inspect or clean the result store")
@@ -304,6 +346,8 @@ def build_parser() -> argparse.ArgumentParser:
 def _resolve_store(args) -> ResultStore | None:
     if getattr(args, "no_store", False):
         return None
+    if getattr(args, "fabric", None):
+        return ResultStore.remote(args.fabric)
     if getattr(args, "store", None):
         return ResultStore(args.store)
     return ResultStore.default()
@@ -390,15 +434,48 @@ def main(argv: list[str] | None = None) -> int:
                 print("unit wall time: - (no trace; run the campaign "
                       "with --trace and pass it here)")
             return 0
+        fabric_workers = args.workers
+        if fabric_workers is None and getattr(args, "fabric", None):
+            fabric_workers = 2
         report = run_campaign(args.experiment, args.scale, args.seed,
                               store=store, jobs=args.jobs or 1,
                               log=stderr_log,
                               timing_dtype=timing_dtype,
                               engine=engine,
-                              max_retries=args.max_retries)
+                              max_retries=args.max_retries,
+                              fabric_workers=fabric_workers)
         print(report.summary(), file=sys.stderr)
         print(report.rendered)
         return 1 if report.failed else 0
+
+    if args.command == "store":
+        from repro.fabric import HttpBackend, serve
+        from repro.store import default_root
+        if args.store_command == "serve":
+            root = args.root or str(default_root())
+            service = serve(root, host=args.host, port=args.port)
+            host, port = service.server_address
+            # Machine-parseable: scripts launching a service on port 0
+            # read the chosen port from this line.
+            print(f"serving {root} on http://{host}:{port}",
+                  flush=True)
+            try:
+                service.serve_forever()
+            except KeyboardInterrupt:
+                pass
+            finally:
+                service.server_close()
+            return 0
+        if args.store_command == "ping":
+            ping = HttpBackend(args.url).ping()
+            degraded = not ping.get("ok") or ping.get("degraded")
+            state = "DEGRADED" if degraded else "healthy"
+            print(f"{args.url}: {state}")
+            for field in ("backend", "root", "objects", "latency_ms",
+                          "spooled", "error"):
+                if field in ping:
+                    print(f"  {field:12s} {ping[field]}")
+            return 1 if args.strict and degraded else 0
 
     if args.command == "cache":
         store = _resolve_store(args)

@@ -1,0 +1,41 @@
+"""Distributed campaign fabric: shared store service + work leases.
+
+The content-addressed key schema is host-agnostic and every campaign
+``WorkUnit`` is idempotent, so N processes (or hosts) can share one
+store and steal each other's work when they die.  This package holds
+the three pieces that make that safe:
+
+* :mod:`repro.fabric.service` -- a stdlib ``http.server`` object
+  service exposing a store root over five REST-ish verbs
+  (``repro store serve --root R --port P``);
+* :mod:`repro.fabric.remote`  -- :class:`HttpBackend`, the client side
+  of the same :class:`repro.store.backend.StoreBackend` protocol:
+  checksum-verified GETs, conditional PUT-if-absent, bounded retry
+  with seeded-jitter backoff, and graceful degradation to a local
+  spool when the service is unreachable;
+* :mod:`repro.fabric.lease`   -- the work-lease ledger stored *as
+  store objects*: workers claim unit batches under
+  ``(owner_id, deadline)`` leases, renew via heartbeat, and steal
+  lapsed leases, with every race resolved by PUT-if-absent;
+* :mod:`repro.fabric.worker`  -- the per-process scheduler loop that
+  drives the ledger for ``repro campaign run all --fabric URL
+  --workers N``.
+
+Correctness does not rest on the leases: a lease is purely an
+*efficiency* device (suppress duplicate compute).  If two workers ever
+compute the same unit -- a steal racing a slow-but-alive owner -- both
+results are byte-identical by determinism and the store's writes are
+idempotent, so the output cannot diverge from a serial run.
+"""
+
+from repro.fabric.lease import Lease, LeaseLedger, LeaseLost
+from repro.fabric.remote import HttpBackend
+from repro.fabric.service import serve
+
+__all__ = [
+    "HttpBackend",
+    "Lease",
+    "LeaseLedger",
+    "LeaseLost",
+    "serve",
+]

@@ -1,0 +1,203 @@
+"""Work-lease ledger stored as plain store objects.
+
+A *lease* grants one worker the right to compute a batch of campaign
+units for a bounded time.  The ledger needs no coordinator beyond the
+store itself: every transition is a **conditional PUT-if-absent** on a
+generation-numbered object name, which the backends make atomic (an
+``os.link`` on a filesystem root, a 201-vs-409 on the HTTP service).
+
+Object layout, per batch::
+
+    leases/<batch>/g000001      # generation 1: first claim
+    leases/<batch>/g000002      # generation 2: a steal (or re-claim)
+    leases/<batch>/done         # completion tombstone (unconditional)
+
+each a small JSON body ``{owner, deadline_unix, generation, batch}``.
+
+Protocol:
+
+* **acquire** -- read the highest generation; if it is absent, lapsed
+  (``deadline_unix`` behind the ledger clock) or released, attempt
+  PUT-if-absent on generation+1.  Exactly one of any number of racing
+  claimants wins; the rest observe 409/False and re-poll.  Claiming
+  over a lapsed generation owned by someone else is a **steal**.
+* **renew** -- heartbeat: re-read the highest generation; if it is no
+  longer ours (a peer stole it while we stalled), raise
+  :class:`LeaseLost`; otherwise rewrite our generation object with a
+  fresh deadline (unconditional -- we still own the name).
+* **release** -- delete our generation object, returning the batch to
+  the pool (used when a worker abandons work it did not finish).
+* **mark_done / is_done** -- the completion tombstone, written after
+  every unit of the batch is in the store, lets pollers skip finished
+  batches with one read instead of per-unit ``contains`` scans.
+
+Leases are an *efficiency* device, not a correctness one: units are
+idempotent and store writes are atomic, so the worst consequence of a
+stale owner racing its stealer is a duplicate compute whose second
+write is byte-identical.  That is what makes this little protocol safe
+to run over a network that loses, delays and tears messages.
+
+The clock is injectable (tests pin it); production uses wall time,
+which assumes hosts agree within a fraction of the TTL -- the usual
+NTP contract, and double-compute is the worst failure anyway.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import time
+from dataclasses import dataclass, replace
+
+from repro import faults, obs
+from repro.store.backend import StoreBackend
+
+_LOG = logging.getLogger("repro.fabric")
+
+_TTL_ENV = "REPRO_LEASE_TTL_S"
+DEFAULT_TTL_S = 10.0
+
+
+def default_ttl_s() -> float:
+    try:
+        return max(0.1, float(os.environ[_TTL_ENV]))
+    except (KeyError, ValueError):
+        return DEFAULT_TTL_S
+
+
+class LeaseLost(RuntimeError):
+    """Raised on renew when a peer has stolen the lease meanwhile."""
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One granted claim: who owns which batch until when."""
+
+    batch: str
+    owner: str
+    generation: int
+    deadline_unix: float
+
+    @property
+    def name(self) -> str:
+        return f"leases/{self.batch}/g{self.generation:06d}"
+
+    def to_json(self) -> bytes:
+        return json.dumps({
+            "batch": self.batch,
+            "owner": self.owner,
+            "generation": self.generation,
+            "deadline_unix": self.deadline_unix,
+        }, sort_keys=True).encode()
+
+
+class LeaseLedger:
+    """Claim, renew, steal and complete batch leases on a backend."""
+
+    def __init__(self, backend: StoreBackend, *,
+                 ttl_s: float | None = None, clock=time.time):
+        self.backend = backend
+        self.ttl_s = ttl_s if ttl_s is not None else default_ttl_s()
+        self.clock = clock
+
+    # -- inspection ------------------------------------------------------
+
+    def latest(self, batch: str) -> Lease | None:
+        """The highest-generation lease object of a batch, if any."""
+        prefix = f"leases/{batch}/g"
+        names = sorted(stat.name
+                       for stat in self.backend.list(prefix))
+        # Walk newest-first: a racing release may delete the newest
+        # name between list and read.
+        for name in reversed(names):
+            data = self.backend.read(name)
+            if data is None:
+                continue
+            lease = self._decode(batch, data)
+            if lease is not None:
+                return lease
+        return None
+
+    def _decode(self, batch: str, data: bytes) -> Lease | None:
+        try:
+            row = json.loads(data.decode())
+            lease = Lease(batch=row["batch"], owner=row["owner"],
+                          generation=int(row["generation"]),
+                          deadline_unix=float(row["deadline_unix"]))
+        except (json.JSONDecodeError, UnicodeDecodeError, KeyError,
+                TypeError, ValueError):
+            _LOG.warning("unreadable lease object for batch %s", batch)
+            return None
+        return lease if lease.batch == batch else None
+
+    def lapsed(self, lease: Lease) -> bool:
+        return lease.deadline_unix <= self.clock()
+
+    # -- transitions -----------------------------------------------------
+
+    def acquire(self, batch: str, owner: str) -> Lease | None:
+        """Try to claim a batch; None when held or lost to a racer."""
+        current = self.latest(batch)
+        if current is not None and not self.lapsed(current):
+            return None  # alive in someone's hands (possibly ours)
+        generation = (current.generation + 1) if current else 1
+        claim = Lease(batch=batch, owner=owner, generation=generation,
+                      deadline_unix=self.clock() + self.ttl_s)
+        won = self.backend.write(claim.name, claim.to_json(),
+                                 if_absent=True)
+        if not won:
+            obs.counter("fabric.lease.race_lost")
+            return None
+        stolen = current is not None and current.owner != owner
+        obs.counter("fabric.lease.acquire")
+        if stolen:
+            obs.counter("fabric.lease.steal")
+            _LOG.warning(
+                "lease steal: %s took batch %s generation %d from "
+                "lapsed owner %s", owner, batch, generation,
+                current.owner)
+        return claim
+
+    def renew(self, lease: Lease) -> Lease:
+        """Heartbeat: extend our deadline, or learn we lost the lease.
+
+        The fault site ``fabric.lease.renew`` (mode ``oserror``)
+        models a heartbeat that cannot reach the store -- the renew
+        fails transiently and the caller decides whether to retry or
+        abandon the batch.
+        """
+        mode = faults.fire("fabric.lease.renew")
+        if mode == "oserror":
+            raise OSError("injected heartbeat failure at "
+                          "fabric.lease.renew")
+        current = self.latest(lease.batch)
+        if current is None or current.generation != lease.generation \
+                or current.owner != lease.owner:
+            holder = current.owner if current else "nobody"
+            obs.counter("fabric.lease.lost")
+            raise LeaseLost(
+                f"batch {lease.batch}: generation "
+                f"{lease.generation} superseded; held by {holder}")
+        renewed = replace(lease,
+                          deadline_unix=self.clock() + self.ttl_s)
+        # Unconditional: the generation name is ours until stolen,
+        # and a steal bumps the generation rather than this object.
+        self.backend.write(renewed.name, renewed.to_json())
+        obs.counter("fabric.lease.renew")
+        return renewed
+
+    def release(self, lease: Lease) -> None:
+        """Give the batch back (we did not finish it)."""
+        self.backend.delete(lease.name)
+
+    # -- completion ------------------------------------------------------
+
+    def mark_done(self, batch: str, owner: str) -> None:
+        """Write the completion tombstone (idempotent, last wins)."""
+        body = json.dumps({"batch": batch, "owner": owner},
+                          sort_keys=True).encode()
+        self.backend.write(f"leases/{batch}/done", body)
+
+    def is_done(self, batch: str) -> bool:
+        return self.backend.read(f"leases/{batch}/done") is not None

@@ -1,0 +1,337 @@
+"""HTTP store backend: the client side of ``repro store serve``.
+
+:class:`HttpBackend` speaks the five :class:`StoreBackend` primitives
+to the object service in :mod:`repro.fabric.service`, hardened for a
+network that the filesystem backend never had to survive:
+
+* **Checksum-verified GETs** -- the service sends the body's SHA-256
+  in ``X-Repro-Sha256``; a mismatch (torn read, proxy truncation) is
+  treated as a transient failure and retried, never served.
+* **Conditional PUT** -- ``X-Repro-If-Absent: 1`` maps the backend's
+  ``if_absent`` flag onto HTTP: 201 means *this* call wrote, 409
+  Conflict means a racer won.  This is the fabric's lease-steal
+  arbitration primitive, so its semantics must be exact.
+* **Bounded retry** -- timeouts, connection failures, 5xx responses
+  and checksum mismatches all retry under the shared store policy
+  (:class:`repro.store.retry.RetryPolicy`: exponential backoff,
+  deterministic seeded jitter, ``REPRO_STORE_RETRIES`` /
+  ``REPRO_STORE_BACKOFF_S``).
+* **Graceful degradation** -- when the service stays unreachable past
+  the retry budget, unconditional writes land in a local *spool*
+  directory (one JSON file per entry, ordered) instead of failing the
+  campaign; every later successful request first flushes the spool
+  oldest-first, so the service converges to the complete store on
+  reconnect.  Reads consult the spool after a 404 so a degraded
+  worker still sees its own writes.  **Conditional writes are never
+  spooled**: a lease claim that cannot reach the arbiter must lose,
+  not pretend to win -- returning False keeps mutual exclusion sound
+  and the worker simply re-polls.
+
+Fault sites ``fabric.http.put`` / ``fabric.http.get`` fire once per
+attempt (mode ``oserror`` = unreachable network, ``corrupt`` = torn
+response body), so chaos schedules can exercise every path above.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import logging
+import os
+import tempfile
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from pathlib import Path
+
+from repro import faults, obs
+from repro.store.backend import ObjectStat, StoreBackend
+from repro.store.retry import RetryPolicy
+from repro.store.store import default_root
+
+_LOG = logging.getLogger("repro.fabric")
+
+_TIMEOUT_ENV = "REPRO_HTTP_TIMEOUT_S"
+_SPOOL_ENV = "REPRO_STORE_SPOOL"
+
+DEFAULT_TIMEOUT_S = 10.0
+
+SHA_HEADER = "X-Repro-Sha256"
+IF_ABSENT_HEADER = "X-Repro-If-Absent"
+
+
+def default_spool_dir(url: str) -> Path:
+    """Per-service spool location (``REPRO_STORE_SPOOL`` overrides)."""
+    env = os.environ.get(_SPOOL_ENV)
+    if env:
+        return Path(env)
+    tag = hashlib.sha256(url.encode()).hexdigest()[:16]
+    return default_root().parent / "repro-spool" / tag
+
+
+class HttpBackend(StoreBackend):
+    """Store objects served over HTTP by ``repro store serve``."""
+
+    def __init__(self, url: str, *, timeout_s: float | None = None,
+                 spool_dir: str | Path | None = None,
+                 policy: RetryPolicy | None = None):
+        self.url = url.rstrip("/")
+        if timeout_s is None:
+            try:
+                timeout_s = float(os.environ.get(_TIMEOUT_ENV, ""))
+            except ValueError:
+                timeout_s = DEFAULT_TIMEOUT_S
+        self.timeout_s = timeout_s or DEFAULT_TIMEOUT_S
+        self.policy = policy or RetryPolicy.from_env()
+        self.spool_dir = Path(spool_dir) if spool_dir is not None \
+            else default_spool_dir(self.url)
+        self._spool_seq = 0
+
+    # -- raw HTTP --------------------------------------------------------
+
+    def _request(self, method: str, path: str, data: bytes = b"",
+                 headers: dict | None = None):
+        """One HTTP round trip -> (status, headers, body).
+
+        404 and 409 are *semantic* responses (absent / conditional-PUT
+        loser) and return normally; network failures, timeouts and 5xx
+        raise ``OSError`` so the retry policy can absorb them.
+        """
+        request = urllib.request.Request(
+            self.url + path, data=data or None, method=method,
+            headers=headers or {})
+        try:
+            with urllib.request.urlopen(
+                    request, timeout=self.timeout_s) as response:
+                return (response.status, dict(response.headers),
+                        response.read())
+        except urllib.error.HTTPError as error:
+            body = error.read()
+            if error.code in (404, 409, 400):
+                return error.code, dict(error.headers), body
+            raise OSError(
+                f"store service {method} {path}: "
+                f"http {error.code}") from error
+        except urllib.error.URLError as error:
+            raise OSError(
+                f"store service unreachable: {error.reason}") from error
+        except TimeoutError as error:
+            raise OSError("store service timed out") from error
+
+    def _with_retry(self, what: str, func):
+        """Retry transient failures, counting retries for obs."""
+        state = {"tried": 0}
+
+        def attempt():
+            if state["tried"]:
+                obs.counter("fabric.http.retry")
+            state["tried"] += 1
+            return func()
+
+        return self.policy.run(what, attempt, log=_LOG)
+
+    # -- primitives ------------------------------------------------------
+
+    def read(self, name: str) -> bytes | None:
+        def fetch():
+            mode = faults.fire("fabric.http.get")
+            if mode == "oserror":
+                raise OSError("injected network failure at "
+                              "fabric.http.get")
+            status, headers, body = self._request(
+                "GET", "/o/" + urllib.parse.quote(name))
+            if status == 404:
+                return None
+            if status != 200:
+                raise OSError(f"GET {name}: http {status}")
+            if mode == "corrupt":
+                body = body[:len(body) // 2]  # torn in transit
+            claimed = headers.get(SHA_HEADER)
+            if claimed is not None and \
+                    hashlib.sha256(body).hexdigest() != claimed:
+                raise OSError(f"GET {name}: body checksum mismatch")
+            return body
+
+        try:
+            data = self._with_retry(f"GET {name}", fetch)
+        except OSError:
+            return self._spool_read(name)
+        if data is None:
+            # Absent on the service: a spooled-but-unflushed write is
+            # still authoritative for this client.
+            data = self._spool_read(name)
+        # Either way the round trip succeeded, so the service is
+        # reachable again -- replay anything parked locally.
+        self._flush_spool()
+        return data
+
+    def write(self, name: str, data: bytes, *,
+              if_absent: bool = False) -> bool:
+        headers = {SHA_HEADER: hashlib.sha256(data).hexdigest(),
+                   "Content-Type": "application/octet-stream"}
+        if if_absent:
+            headers[IF_ABSENT_HEADER] = "1"
+
+        def put():
+            mode = faults.fire("fabric.http.put")
+            if mode == "oserror":
+                raise OSError("injected network failure at "
+                              "fabric.http.put")
+            status, _headers, _body = self._request(
+                "PUT", "/o/" + urllib.parse.quote(name), data=data,
+                headers=headers)
+            if status == 409:
+                return False
+            if status not in (200, 201):
+                raise OSError(f"PUT {name}: http {status}")
+            return True
+
+        try:
+            wrote = self._with_retry(f"PUT {name}", put)
+        except OSError as error:
+            if if_absent:
+                # Losing is the only safe answer when the arbiter is
+                # unreachable: mutual exclusion over availability.
+                _LOG.warning("conditional PUT %s failed (%s); "
+                             "treating as lost race", name, error)
+                return False
+            self._spool_write(name, data, error)
+            return True
+        if wrote:
+            self._flush_spool()
+        return wrote
+
+    def delete(self, name: str) -> bool:
+        def drop():
+            status, _h, _b = self._request(
+                "DELETE", "/o/" + urllib.parse.quote(name))
+            return status == 200
+
+        try:
+            return self._with_retry(f"DELETE {name}", drop)
+        except OSError:
+            return False
+
+    def list(self, prefix: str = "") -> list[ObjectStat]:
+        def fetch():
+            status, _h, body = self._request(
+                "GET", "/list?prefix=" + urllib.parse.quote(prefix))
+            if status != 200:
+                raise OSError(f"list: http {status}")
+            return [ObjectStat(name=row["name"], size=row["size"],
+                               mtime=row["mtime"])
+                    for row in json.loads(body.decode())]
+
+        return self._with_retry("LIST", fetch)
+
+    def quarantine(self, name: str, reason: str) -> bool:
+        def post():
+            status, _h, _b = self._request(
+                "POST", "/q/" + urllib.parse.quote(name),
+                data=reason.encode())
+            return status == 200
+
+        try:
+            return self._with_retry(f"QUARANTINE {name}", post)
+        except OSError:
+            return False
+
+    def ping(self) -> dict:
+        spooled = len(self._spool_entries())
+        start = time.monotonic()
+        try:
+            status, _h, body = self._request("GET", "/ping")
+            latency_ms = (time.monotonic() - start) * 1e3
+            payload = json.loads(body.decode()) if status == 200 \
+                else {"ok": False, "error": f"http {status}"}
+        except OSError as error:
+            return {"ok": False, "backend": "http", "url": self.url,
+                    "error": str(error), "degraded": True,
+                    "spooled": spooled}
+        payload.update({
+            "backend": "http", "url": self.url,
+            "latency_ms": round(latency_ms, 3),
+            # Healthy reachability with a non-empty spool is still
+            # degraded: acknowledged writes have not landed yet.
+            "degraded": spooled > 0,
+            "spooled": spooled,
+        })
+        return payload
+
+    def describe(self) -> str:
+        return self.url
+
+    # -- local spool -----------------------------------------------------
+
+    def _spool_entries(self) -> list[Path]:
+        try:
+            return sorted(path for path in self.spool_dir.iterdir()
+                          if path.suffix == ".json")
+        except OSError:
+            return []
+
+    def _spool_write(self, name: str, data: bytes,
+                     error: OSError) -> None:
+        """Park an unconditional write locally; flushed on reconnect."""
+        self.spool_dir.mkdir(parents=True, exist_ok=True)
+        self._spool_seq += 1
+        entry = {
+            "name": name,
+            "sha256": hashlib.sha256(data).hexdigest(),
+            "data": base64.b64encode(data).decode(),
+        }
+        # Lexicographic order == arrival order: flush replays the
+        # spool in the exact sequence the writes were acknowledged.
+        stamp = f"{time.time_ns():020d}-{os.getpid()}-{self._spool_seq:06d}"
+        fd, tmp = tempfile.mkstemp(prefix=".tmp-", dir=self.spool_dir)
+        with os.fdopen(fd, "w") as handle:
+            json.dump(entry, handle)
+        os.replace(tmp, self.spool_dir / f"{stamp}.json")
+        obs.counter("fabric.http.spooled")
+        _LOG.warning("store service unreachable (%s); spooled %s "
+                     "locally", error, name)
+
+    def _spool_read(self, name: str) -> bytes | None:
+        """Newest spooled bytes for a name (authoritative until
+        flushed)."""
+        for path in reversed(self._spool_entries()):
+            try:
+                entry = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            if entry.get("name") == name:
+                return base64.b64decode(entry["data"])
+        return None
+
+    def _flush_spool(self) -> int:
+        """Replay spooled writes oldest-first; stops on first failure."""
+        entries = self._spool_entries()
+        if not entries:
+            return 0
+        flushed = 0
+        for path in entries:
+            try:
+                entry = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                path.unlink(missing_ok=True)  # torn spool file
+                continue
+            data = base64.b64decode(entry["data"])
+            try:
+                status, _h, _b = self._request(
+                    "PUT",
+                    "/o/" + urllib.parse.quote(entry["name"]),
+                    data=data,
+                    headers={SHA_HEADER: entry["sha256"]})
+            except OSError:
+                break  # still unreachable; keep the remainder
+            if status not in (200, 201):
+                break
+            path.unlink(missing_ok=True)
+            flushed += 1
+        if flushed:
+            obs.counter("fabric.http.spool_flushed", flushed)
+            _LOG.info("flushed %d spooled store writes to %s",
+                      flushed, self.url)
+        return flushed

@@ -1,0 +1,197 @@
+"""Stdlib HTTP object service: one store root shared by N clients.
+
+``repro store serve --root R --port P`` runs this server; campaign
+workers point :class:`repro.fabric.remote.HttpBackend` at it.  The
+protocol is deliberately tiny -- five verbs over the backend
+primitives, JSON only where a structure is needed:
+
+=======  =====================  ========================================
+Verb     Path                   Semantics
+=======  =====================  ========================================
+GET      ``/ping``              health JSON (object count, root)
+GET      ``/o/<name>``          blob bytes; ``X-Repro-Sha256`` header
+                                carries the body checksum; 404 absent
+PUT      ``/o/<name>``          atomic write; ``X-Repro-Sha256``
+                                verified when sent (400 mismatch);
+                                ``X-Repro-If-Absent: 1`` makes it a
+                                conditional PUT -- **409 Conflict**
+                                tells exactly one loser of a race the
+                                blob already existed
+DELETE   ``/o/<name>``          remove; 404 when absent
+GET      ``/list?prefix=P``     JSON array of {name, size, mtime}
+POST     ``/q/<name>``          quarantine the blob (body = reason)
+=======  =====================  ========================================
+
+All writes go through :class:`repro.store.backend.FsBackend` on the
+server side, so they are exactly as atomic and durable as local-store
+writes -- the conditional PUT is an ``os.link`` under the hood, which
+is what makes the lease ledger's steal arbitration race-free even with
+many service *processes* sharing one root.
+
+The server is a ``ThreadingHTTPServer``: each request gets a thread,
+and the backend primitives are single-syscall-atomic, so no extra
+locking is needed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, unquote, urlparse
+
+from repro.store.backend import FsBackend
+
+_LOG = logging.getLogger("repro.fabric")
+
+SHA_HEADER = "X-Repro-Sha256"
+IF_ABSENT_HEADER = "X-Repro-If-Absent"
+
+
+class StoreService(ThreadingHTTPServer):
+    """HTTP server bound to an :class:`FsBackend` store root."""
+
+    daemon_threads = True
+
+    def __init__(self, root, address=("127.0.0.1", 0)):
+        self.backend = FsBackend(root)
+        super().__init__(address, _Handler)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-store/1"
+    # Keep-alive matters: a campaign worker issues thousands of small
+    # requests; HTTP/1.1 reuses the connection (every response below
+    # carries an exact Content-Length).
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing --------------------------------------------------------
+
+    def log_message(self, fmt, *args):  # quiet by default
+        _LOG.debug("%s " + fmt, self.address_string(), *args)
+
+    def _send(self, status: int, body: bytes = b"",
+              content_type: str = "application/octet-stream",
+              headers: dict | None = None) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for key, value in (headers or {}).items():
+            self.send_header(key, value)
+        self.end_headers()
+        if body:
+            self.wfile.write(body)
+
+    def _send_json(self, status: int, payload) -> None:
+        self._send(status, json.dumps(payload).encode(),
+                   content_type="application/json")
+
+    def _object_name(self, prefix: str) -> str | None:
+        path = unquote(urlparse(self.path).path)
+        if not path.startswith(prefix):
+            return None
+        return path[len(prefix):]
+
+    def _read_body(self) -> bytes:
+        length = int(self.headers.get("Content-Length", "0"))
+        return self.rfile.read(length) if length else b""
+
+    @property
+    def _backend(self) -> FsBackend:
+        return self.server.backend
+
+    # -- verbs -----------------------------------------------------------
+
+    def do_GET(self):
+        parsed = urlparse(self.path)
+        if parsed.path == "/ping":
+            self._send_json(200, self._backend.ping())
+            return
+        if parsed.path == "/list":
+            prefix = parse_qs(parsed.query).get("prefix", [""])[0]
+            stats = [{"name": stat.name, "size": stat.size,
+                      "mtime": stat.mtime}
+                     for stat in self._backend.list(prefix)]
+            self._send_json(200, stats)
+            return
+        name = self._object_name("/o/")
+        if name is None:
+            self._send_json(404, {"error": "unknown route"})
+            return
+        try:
+            data = self._backend.read(name)
+        except ValueError as error:
+            self._send_json(400, {"error": str(error)})
+            return
+        if data is None:
+            self._send_json(404, {"error": "absent"})
+            return
+        self._send(200, data, headers={
+            SHA_HEADER: hashlib.sha256(data).hexdigest()})
+
+    def do_PUT(self):
+        name = self._object_name("/o/")
+        if name is None:
+            self._send_json(404, {"error": "unknown route"})
+            return
+        data = self._read_body()
+        claimed = self.headers.get(SHA_HEADER)
+        if claimed is not None \
+                and hashlib.sha256(data).hexdigest() != claimed:
+            # The body was torn in transit: refuse it so the client's
+            # retry (same checksum, fresh bytes) can land cleanly.
+            self._send_json(400, {"error": "body checksum mismatch"})
+            return
+        if_absent = self.headers.get(IF_ABSENT_HEADER) == "1"
+        try:
+            wrote = self._backend.write(name, data,
+                                        if_absent=if_absent)
+        except ValueError as error:
+            self._send_json(400, {"error": str(error)})
+            return
+        except OSError as error:  # disk full etc. -> client retries
+            self._send_json(500, {"error": str(error)})
+            return
+        if not wrote:
+            self._send_json(409, {"error": "exists"})
+            return
+        self._send_json(201, {"ok": True})
+
+    def do_DELETE(self):
+        name = self._object_name("/o/")
+        if name is None:
+            self._send_json(404, {"error": "unknown route"})
+            return
+        try:
+            existed = self._backend.delete(name)
+        except ValueError as error:
+            self._send_json(400, {"error": str(error)})
+            return
+        self._send_json(200 if existed else 404, {"ok": existed})
+
+    def do_POST(self):
+        name = self._object_name("/q/")
+        if name is None:
+            self._send_json(404, {"error": "unknown route"})
+            return
+        reason = self._read_body().decode("utf-8", "replace")
+        try:
+            moved = self._backend.quarantine(name, reason)
+        except ValueError as error:
+            self._send_json(400, {"error": str(error)})
+            return
+        if moved:
+            _LOG.warning("quarantined %s: %s", name, reason)
+        self._send_json(200 if moved else 404, {"ok": moved})
+
+
+def serve(root, host: str = "127.0.0.1",
+          port: int = 0) -> StoreService:
+    """Bind a store service (not yet serving; caller runs the loop).
+
+    ``port=0`` picks a free port -- read the real one from
+    ``service.server_address`` (the CLI prints it so scripts can
+    parse; the smoke test relies on this).
+    """
+    return StoreService(root, (host, port))

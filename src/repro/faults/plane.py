@@ -6,8 +6,16 @@ the runtime itself.  Every layer that can fail in production declares
 **named injection sites** (``store.object_write``,
 ``pool.worker_heartbeat``, ``native.compile``, ``campaign.unit_run``,
 ...) and asks the plane on each pass whether a fault should fire
-there.  A *schedule* -- parsed from ``REPRO_FAULTS`` or the CLI
-``--faults`` flag -- maps sites to fault modes::
+there.  The distributed fabric adds its network surface as first-class
+sites: ``fabric.http.put`` / ``fabric.http.get`` (one hit per HTTP
+attempt; ``oserror`` = unreachable, ``corrupt`` = torn response body),
+``fabric.lease.renew`` (a heartbeat that cannot reach the store) and
+``fabric.worker.kill.w<i>`` (SIGKILL worker *i* mid-lease; the site is
+per-worker because decisions are pure functions of (seed, site, hit)
+-- one shared name would kill every worker at the same hit -- and
+``fabric.worker.kill*`` still targets the family).  A *schedule* --
+parsed from ``REPRO_FAULTS`` or the CLI ``--faults`` flag -- maps
+sites to fault modes::
 
     REPRO_FAULTS="seed=7;store.object_write:torn@p=0.1;pool.worker_heartbeat:kill@after=3"
 

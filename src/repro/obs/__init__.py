@@ -11,6 +11,7 @@ aggregate tables.
 from repro.obs.export import (  # noqa: F401
     category_of,
     counter_totals,
+    fabric_split,
     pool_split,
     read_trace,
     render_stats,

@@ -206,6 +206,44 @@ def pool_split(records: list[dict]) -> dict[str, float] | None:
             "compute_ms": compute / 1e3}
 
 
+def fabric_split(records: list[dict]) -> dict | None:
+    """Lease-fabric aggregates: batch latency, steals, HTTP health.
+
+    ``fabric.batch`` spans cover a held lease from acquisition to
+    done-marker; stolen batches are broken out so steal latency (how
+    long recovering a dead peer's work actually took) is visible next
+    to first-claim latency.  Returns None when the trace has no
+    fabric activity.
+    """
+    first_ms = steal_ms = 0.0
+    first_n = steal_n = 0
+    for record in spans(records):
+        if record["name"] != "fabric.batch":
+            continue
+        if record.get("a", {}).get("stolen"):
+            steal_n += 1
+            steal_ms += record["dur"] / 1e3
+        else:
+            first_n += 1
+            first_ms += record["dur"] / 1e3
+    totals = counter_totals(records)
+    fabric_counters = {name: value for name, value in totals.items()
+                       if name.startswith("fabric.")}
+    if not (first_n or steal_n or fabric_counters):
+        return None
+    return {
+        "batches": first_n + steal_n,
+        "first_claims": first_n,
+        "first_claim_ms": first_ms,
+        "steals": steal_n,
+        "steal_ms": steal_ms,
+        "queue_polls": totals.get("fabric.worker.poll", 0),
+        "http_retries": totals.get("fabric.http.retry", 0),
+        "spooled_writes": totals.get("fabric.http.spooled", 0),
+        "workers_died": totals.get("fabric.worker.died", 0),
+    }
+
+
 def render_stats(records: list[dict], limit: int = 20) -> str:
     """Aggregate text report: spans, counters, pool utilization."""
     lines = []
@@ -247,4 +285,18 @@ def render_stats(records: list[dict], limit: int = 20) -> str:
                      f"compute {split['compute_ms']:.2f} ms, "
                      f"queue wait {split['queue_wait_ms']:.2f} ms "
                      f"(utilization {busy:.1%})")
+    fabric = fabric_split(records)
+    if fabric is not None:
+        lines.append("")
+        lines.append(
+            f"fabric: {fabric['batches']} leased batch(es) -- "
+            f"{fabric['first_claims']} first-claim "
+            f"({fabric['first_claim_ms']:.2f} ms), "
+            f"{fabric['steals']} stolen "
+            f"({fabric['steal_ms']:.2f} ms)")
+        lines.append(
+            f"        {fabric['queue_polls']:.0f} idle poll(s), "
+            f"{fabric['http_retries']:.0f} http retries, "
+            f"{fabric['spooled_writes']:.0f} spooled write(s), "
+            f"{fabric['workers_died']:.0f} worker death(s)")
     return "\n".join(lines)

@@ -271,7 +271,14 @@ class SharedPool:
         self._registry[key] = obj
         if self._alive() and not self._stale:
             for conn in self._conns:
-                conn.send(("set", key, obj))
+                try:
+                    conn.send(("set", key, obj))
+                except OSError:
+                    # The worker died mid-broadcast (SIGKILL races the
+                    # send).  The object is already in the registry, so
+                    # marking the pool stale makes the next `run`
+                    # respawn workers that inherit it by fork.
+                    self._stale = True
 
     # -- execution --------------------------------------------------------
 

@@ -8,6 +8,8 @@ repeated invocations -- and campaign worker processes -- reuse instead
 of recompute.
 """
 
+from repro.store.backend import FsBackend, ObjectStat, StoreBackend
+from repro.store.retry import RetryPolicy
 from repro.store.schema import (
     KINDS,
     artifact_from_json,
@@ -20,7 +22,11 @@ from repro.store.store import ResultStore, StoreEntry, default_root
 
 __all__ = [
     "KINDS",
+    "FsBackend",
+    "ObjectStat",
     "ResultStore",
+    "RetryPolicy",
+    "StoreBackend",
     "StoreEntry",
     "artifact_from_json",
     "artifact_to_json",

@@ -1,0 +1,207 @@
+"""Store backends: where content-addressed objects physically live.
+
+:class:`repro.store.store.ResultStore` owns the *semantics* of the
+store -- envelope format, key hashing, checksum verification, schema
+staleness, quarantine policy -- while a :class:`StoreBackend` owns the
+*bytes*: named blobs under a root, with five primitives every backend
+must provide:
+
+* ``read(name)``                  -- the blob, or None;
+* ``write(name, data, if_absent)``-- atomic write; with ``if_absent``
+  the write is a **conditional PUT**: exactly one of any number of
+  racing writers wins (the fabric's lease-steal arbitration primitive);
+* ``delete(name)``                -- remove, True if it existed;
+* ``list(prefix)``                -- blob stats under a name prefix;
+* ``quarantine(name, reason)``    -- move a poisoned blob aside,
+  keeping it for forensics.
+
+``name`` is a relative POSIX-style path (``objects/ab/<sha>.json``,
+``leases/<batch>/g000001``); backends map it to a filesystem path or a
+URL.  :class:`FsBackend` is the v1 filesystem implementation the store
+always had; :class:`repro.fabric.remote.HttpBackend` speaks the same
+protocol to a shared object service so N hosts can share one store.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+import posixpath
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+
+def fsync_enabled() -> bool:
+    return os.environ.get("REPRO_STORE_NO_FSYNC") != "1"
+
+
+def fsync_dir(path: Path) -> None:
+    """fsync a directory so a just-renamed entry survives a crash."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystems
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def validate_name(name: str) -> str:
+    """Reject names that escape the root (absolute, empty, ``..``)."""
+    if not name or name.startswith(("/", "\\")):
+        raise ValueError(f"bad object name {name!r}")
+    normalized = posixpath.normpath(name)
+    if normalized.startswith("..") or "\\" in normalized:
+        raise ValueError(f"bad object name {name!r}")
+    return normalized
+
+
+@dataclass(frozen=True)
+class ObjectStat:
+    """One backend blob: name, size, and modification time."""
+
+    name: str
+    size: int
+    mtime: float
+
+
+class StoreBackend(abc.ABC):
+    """Byte-level object storage under a root namespace."""
+
+    @abc.abstractmethod
+    def read(self, name: str) -> bytes | None:
+        """The blob's bytes, or None when absent/unreadable."""
+
+    @abc.abstractmethod
+    def write(self, name: str, data: bytes, *,
+              if_absent: bool = False) -> bool:
+        """Atomically write a blob; returns whether *this* call wrote.
+
+        With ``if_absent`` the write succeeds only when no blob of
+        that name exists -- atomically, so of N racing writers exactly
+        one sees True.  Without it the write replaces (last wins) and
+        always returns True.
+        """
+
+    @abc.abstractmethod
+    def delete(self, name: str) -> bool:
+        """Remove a blob; True if one existed."""
+
+    @abc.abstractmethod
+    def list(self, prefix: str = "") -> list[ObjectStat]:
+        """Stats of every blob whose name starts with ``prefix``."""
+
+    @abc.abstractmethod
+    def quarantine(self, name: str, reason: str) -> bool:
+        """Move a poisoned blob aside (kept for forensics)."""
+
+    @abc.abstractmethod
+    def ping(self) -> dict:
+        """Health probe: at least ``{"ok": bool, "backend": str}``."""
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """Human-readable location (a path or URL) for messages."""
+
+
+class FsBackend(StoreBackend):
+    """Filesystem objects under a root directory (the v1 backend).
+
+    Writes are atomic (temp file + ``os.replace``) and durable
+    (fsync of file and directory unless ``REPRO_STORE_NO_FSYNC=1``).
+    Conditional writes use ``os.link`` of the fsynced temp file --
+    hard-link creation fails with ``EEXIST`` exactly when the target
+    exists, which makes PUT-if-absent atomic across *processes and
+    hosts sharing the filesystem*, not merely across threads.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, name: str) -> Path:
+        return self.root / validate_name(name)
+
+    def read(self, name: str) -> bytes | None:
+        try:
+            return self._path(name).read_bytes()
+        except OSError:
+            return None
+
+    def write(self, name: str, data: bytes, *,
+              if_absent: bool = False) -> bool:
+        path = self._path(name)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(prefix=".tmp-", dir=path.parent)
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+                if fsync_enabled():
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            if if_absent:
+                try:
+                    os.link(tmp, path)
+                except FileExistsError:
+                    return False
+                finally:
+                    os.unlink(tmp)
+                    tmp = None
+            else:
+                os.replace(tmp, path)
+                tmp = None
+            if fsync_enabled():
+                # Persist the rename/link itself: without the
+                # directory fsync a machine crash can roll back an
+                # acknowledged write even though the data hit the
+                # platter.
+                fsync_dir(path.parent)
+            return True
+        finally:
+            if tmp is not None and os.path.exists(tmp):
+                os.unlink(tmp)
+
+    def delete(self, name: str) -> bool:
+        try:
+            self._path(name).unlink()
+        except OSError:
+            return False
+        return True
+
+    def list(self, prefix: str = "") -> list[ObjectStat]:
+        stats: list[ObjectStat] = []
+        base = len(str(self.root)) + 1
+        for path in sorted(self.root.rglob("*")):
+            if not path.is_file():
+                continue
+            name = str(path)[base:].replace(os.sep, "/")
+            if not name.startswith(prefix) \
+                    or path.name.startswith(".tmp-"):
+                continue
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            stats.append(ObjectStat(name=name, size=stat.st_size,
+                                    mtime=stat.st_mtime))
+        return stats
+
+    def quarantine(self, name: str, reason: str) -> bool:
+        path = self._path(name)
+        target = self.root / "quarantine" / path.name
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except OSError:
+            return False  # already gone (e.g. a racing reader)
+        return True
+
+    def ping(self) -> dict:
+        objects = sum(1 for _ in self.root.glob("objects/*/*.json"))
+        return {"ok": True, "backend": "fs", "root": str(self.root),
+                "objects": objects}
+
+    def describe(self) -> str:
+        return str(self.root)

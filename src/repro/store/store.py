@@ -1,35 +1,49 @@
-"""Content-addressed on-disk result store.
+"""Content-addressed result store over a pluggable object backend.
 
-Layout under the store root::
+Layout under a *filesystem* store root::
 
     manifest.jsonl           # append-only index cache: one entry/line
     .lock                    # flock serializing manifest writes
     objects/ab/abcdef...json # one envelope per artifact
+    quarantine/              # poisoned envelopes, kept for forensics
+    leases/                  # fabric work-lease ledger (raw blobs)
 
 An object's file name is the SHA-256 of the canonical JSON of its
 *key payload* -- a dict carrying the artifact kind, schema version,
 experiment, scale, seed and condition config -- so logically identical
 requests land on the same entry across invocations and processes.
 
+The store's byte-level I/O goes through a
+:class:`repro.store.backend.StoreBackend`: :class:`FsBackend` is the
+local directory layout above; :class:`repro.fabric.remote.HttpBackend`
+speaks the same five primitives to a shared object service
+(``repro store serve``), which is how N hosts share one store.  All
+envelope semantics -- checksums, schema staleness, quarantine -- are
+backend-independent and live here.
+
 Robustness rules:
 
 * Writes are **atomic**: the envelope is written to a temp file in the
-  same directory and ``os.replace``d into place, so a killed campaign
-  never leaves a half-written (and thus poisoned) entry -- at worst a
-  stray temp file that ``gc`` reclaims.
+  same directory and ``os.replace``d into place (the HTTP service does
+  the same server-side), so a killed campaign never leaves a
+  half-written (and thus poisoned) entry.
 * Reads are **paranoid**: an entry whose JSON does not parse, whose
   embedded key does not canonically match the request, whose artifact
   body fails its stored checksum, or whose schema version is stale is
   treated as a miss (never returned).  Corrupt objects are never
   silently skipped: they are **quarantined** -- moved to
   ``quarantine/`` under the store root with a logged reason -- so the
-  caller recomputes and the forensic evidence survives until ``gc``.
+  caller recomputes and the forensic evidence survives until ``gc``
+  reclaims it (after :data:`~ResultStore.TEMP_GRACE_S`, under
+  ``--max-bytes`` pressure, or on ``--all``).
 * Writes are **durable**: the object temp file and the manifest are
   fsynced (plus the containing directory after the rename), so an
   acknowledged ``put`` survives a crash of the machine, not only of
   the process.  ``REPRO_STORE_NO_FSYNC=1`` trades that away for speed.
 * Transient ``OSError``s on the write path are retried with bounded
-  exponential backoff before surfacing.
+  exponential backoff and deterministic seeded jitter
+  (:class:`repro.store.retry.RetryPolicy`; budget via
+  ``REPRO_STORE_RETRIES`` / ``REPRO_STORE_BACKOFF_S``).
 * The manifest is only an index *cache* and is append-only on the hot
   path: each ``put`` appends one line under an exclusive ``flock``
   (O(1), no read-modify-write for fork workers to corrupt); ``ls``
@@ -49,6 +63,9 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro import faults, obs
+from repro.store.backend import FsBackend, StoreBackend, fsync_dir, \
+    fsync_enabled
+from repro.store.retry import RetryPolicy
 from repro.store.schema import artifact_from_json, artifact_to_json, \
     current_schema
 from repro.store.serialize import canonical_json, key_hash
@@ -61,22 +78,6 @@ except ImportError:  # pragma: no cover - non-posix fallback
 FORMAT = "repro-store/1"
 
 _LOG = logging.getLogger("repro.store")
-
-
-def _fsync_enabled() -> bool:
-    return os.environ.get("REPRO_STORE_NO_FSYNC") != "1"
-
-
-def _fsync_dir(path: Path) -> None:
-    """fsync a directory so a just-renamed entry survives a crash."""
-    try:
-        fd = os.open(path, os.O_RDONLY)
-    except OSError:  # pragma: no cover - exotic filesystems
-        return
-    try:
-        os.fsync(fd)
-    finally:
-        os.close(fd)
 
 
 @dataclass(frozen=True)
@@ -106,22 +107,38 @@ def default_root() -> Path:
 
 
 class ResultStore:
-    """Content-addressed artifact store rooted at a directory."""
+    """Content-addressed artifact store over an object backend."""
 
-    #: Write-path OSError retry budget (attempts, not re-tries).
-    RETRY_ATTEMPTS = 3
-    RETRY_BACKOFF_S = 0.02
-
-    def __init__(self, root: str | Path):
-        self.root = Path(root)
-        self.objects = self.root / "objects"
-        self.quarantine_dir = self.root / "quarantine"
-        self.manifest_path = self.root / "manifest.jsonl"
-        self.objects.mkdir(parents=True, exist_ok=True)
+    def __init__(self, root: str | Path | None = None, *,
+                 backend: StoreBackend | None = None):
+        if backend is None:
+            if root is None:
+                raise ValueError("ResultStore needs a root or a backend")
+            backend = FsBackend(root)
+        self.backend = backend
+        self.retry = RetryPolicy.from_env()
+        self._fs = backend if isinstance(backend, FsBackend) else None
+        if self._fs is not None:
+            self.root: Path | str = self._fs.root
+            self.objects = self._fs.root / "objects"
+            self.quarantine_dir = self._fs.root / "quarantine"
+            self.manifest_path = self._fs.root / "manifest.jsonl"
+            self.objects.mkdir(parents=True, exist_ok=True)
+        else:
+            self.root = backend.describe()
+            self.objects = None
+            self.quarantine_dir = None
+            self.manifest_path = None
 
     @classmethod
     def default(cls) -> "ResultStore":
         return cls(default_root())
+
+    @classmethod
+    def remote(cls, url: str, **backend_kwargs) -> "ResultStore":
+        """A store served over HTTP by ``repro store serve``."""
+        from repro.fabric.remote import HttpBackend
+        return cls(backend=HttpBackend(url, **backend_kwargs))
 
     # -- keys and paths --------------------------------------------------
 
@@ -130,16 +147,25 @@ class ResultStore:
         """SHA-256 content address of a key payload."""
         return key_hash(payload)
 
+    @staticmethod
+    def _object_name(sha: str) -> str:
+        return f"objects/{sha[:2]}/{sha}.json"
+
     def _object_path(self, sha: str) -> Path:
+        assert self.objects is not None, "fs-only operation"
         return self.objects / sha[:2] / f"{sha}.json"
 
     # -- core operations -------------------------------------------------
 
-    def put(self, key_payload: dict, artifact, label: str = "") -> str:
+    def put(self, key_payload: dict, artifact, label: str = "",
+            if_absent: bool = False) -> str:
         """Store an artifact under its key; returns the content hash.
 
-        The envelope lands atomically (temp file + rename), then the
-        manifest index is updated under the store lock.
+        The envelope lands atomically, then the manifest index is
+        updated under the store lock (filesystem backends; the HTTP
+        service maintains its own root).  With ``if_absent`` the write
+        is conditional: an existing entry is left untouched -- the
+        fabric's duplicate-compute suppression.
         """
         kind = key_payload["kind"]
         with obs.span("store.put", kind=kind):
@@ -157,18 +183,20 @@ class ResultStore:
                 # envelope.
                 "body_sha256": key_hash(body),
             }
-            path = self._object_path(sha)
-            path.parent.mkdir(parents=True, exist_ok=True)
+            name = self._object_name(sha)
             text = json.dumps(envelope, separators=(",", ":"))
             self._retry("object write",
-                        lambda: self._write_object(path, text))
-            entry = self._entry_of(envelope, len(text))
-            self._retry("manifest append",
-                        lambda: self._manifest_add(entry))
+                        lambda: self._write_object(name, text,
+                                                   if_absent=if_absent))
+            if self._fs is not None:
+                entry = self._entry_of(envelope, len(text))
+                self._retry("manifest append",
+                            lambda: self._manifest_add(entry))
             obs.counter("store.put_bytes", len(text))
         return sha
 
-    def _write_object(self, path: Path, text: str) -> None:
+    def _write_object(self, name: str, text: str, *,
+                      if_absent: bool = False) -> None:
         mode = faults.fire("store.object_write")
         if mode == "oserror":
             raise OSError(
@@ -178,19 +206,11 @@ class ResultStore:
             # but half the payload is lost.  get() must catch this via
             # parse/checksum failure and quarantine the object.
             text = text[:len(text) // 2]
-        self._atomic_write(path, text)
+        self.backend.write(name, text.encode(), if_absent=if_absent)
 
     def _retry(self, what: str, func):
         """Run a write-path step, absorbing transient OSErrors."""
-        for attempt in range(self.RETRY_ATTEMPTS):
-            try:
-                return func()
-            except OSError as error:
-                if attempt == self.RETRY_ATTEMPTS - 1:
-                    raise
-                _LOG.warning("transient %s failure (%s); retrying",
-                             what, error)
-                time.sleep(self.RETRY_BACKOFF_S * (1 << attempt))
+        return self.retry.run(what, func, log=_LOG)
 
     def get(self, key_payload: dict):
         """Load the artifact stored under a key, or None on any miss.
@@ -216,28 +236,29 @@ class ResultStore:
                 return None  # stale-schema request: never served
         except KeyError:
             return None
-        path = self._object_path(self.key_of(key_payload))
-        if not path.exists():
+        name = self._object_name(self.key_of(key_payload))
+        data = self.backend.read(name)
+        if data is None:
             return None
         if faults.fire("store.object_read") == "corrupt":
-            self._quarantine(path, "injected read corruption")
+            self._quarantine(name, "injected read corruption")
             return None
-        envelope = self._read_envelope(path)
+        envelope = self._parse_envelope(data)
         if envelope is None:
-            self._quarantine(path, "unreadable or malformed envelope")
+            self._quarantine(name, "unreadable or malformed envelope")
             return None
         if canonical_json(envelope["key"]) != canonical_json(key_payload):
-            self._quarantine(path, "embedded key mismatches address")
+            self._quarantine(name, "embedded key mismatches address")
             return None
         body_sha = envelope.get("body_sha256")
         if body_sha is not None \
                 and key_hash(envelope["artifact"]) != body_sha:
-            self._quarantine(path, "artifact body checksum mismatch")
+            self._quarantine(name, "artifact body checksum mismatch")
             return None
         try:
             return artifact_from_json(kind, envelope["artifact"])
         except Exception as error:
-            self._quarantine(path,
+            self._quarantine(name,
                              f"artifact body failed to decode: {error}")
             return None
 
@@ -256,15 +277,16 @@ class ResultStore:
                 return False
         except KeyError:
             return False
-        path = self._object_path(self.key_of(key_payload))
-        if not path.exists():
+        name = self._object_name(self.key_of(key_payload))
+        data = self.backend.read(name)
+        if data is None:
             return False
-        envelope = self._read_envelope(path)
+        envelope = self._parse_envelope(data)
         if envelope is None:
-            self._quarantine(path, "unreadable or malformed envelope")
+            self._quarantine(name, "unreadable or malformed envelope")
             return False
         if canonical_json(envelope["key"]) != canonical_json(key_payload):
-            self._quarantine(path, "embedded key mismatches address")
+            self._quarantine(name, "embedded key mismatches address")
             return False
         return True
 
@@ -275,23 +297,16 @@ class ResultStore:
         (vanished objects never surface), so no index rewrite is
         needed here.
         """
-        try:
-            self._object_path(self.key_of(key_payload)).unlink()
-        except OSError:
-            return False
-        return True
+        return self.backend.delete(
+            self._object_name(self.key_of(key_payload)))
 
-    def _quarantine(self, path: Path, reason: str) -> None:
+    def _quarantine(self, name: str, reason: str) -> None:
         """Move a corrupt object aside, keeping it for forensics."""
-        target = self.quarantine_dir / path.name
-        try:
-            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
-            os.replace(path, target)
-        except OSError:
+        if not self.backend.quarantine(name, reason):
             return  # already gone (e.g. a racing reader moved it)
         obs.counter("store.quarantine")
         _LOG.warning("quarantined corrupt store object %s: %s",
-                     path.name, reason)
+                     name.rsplit("/", 1)[-1], reason)
 
     # -- manifest index --------------------------------------------------
 
@@ -310,7 +325,13 @@ class ResultStore:
         A dead on-disk object (stale schema, corrupted envelope) keeps
         triggering the reconcile scan until ``gc`` reclaims it --
         correctness over speed.
+
+        A *remote* store has no local manifest: the listing is built
+        by enumerating the service's objects and reading each envelope
+        (diagnostics-grade, not a hot path).
         """
+        if self._fs is None:
+            return self._ls_remote()
         if not self.manifest_path.exists():
             entries = self.rebuild_manifest()
         else:
@@ -328,6 +349,18 @@ class ResultStore:
                 entries = self.rebuild_manifest()
         return sorted(entries.values(),
                       key=lambda entry: entry.created_unix)
+
+    def _ls_remote(self) -> list[StoreEntry]:
+        entries: list[StoreEntry] = []
+        for stat in self.backend.list("objects/"):
+            data = self.backend.read(stat.name)
+            if data is None:
+                continue
+            envelope = self._parse_envelope(data)
+            if envelope is None:
+                continue
+            entries.append(self._entry_of(envelope, stat.size))
+        return sorted(entries, key=lambda entry: entry.created_unix)
 
     def rebuild_manifest(self) -> dict[str, StoreEntry]:
         """Regenerate the manifest by scanning the objects directory."""
@@ -351,8 +384,10 @@ class ResultStore:
 
     # -- garbage collection ----------------------------------------------
 
-    #: Temp files younger than this are presumed to belong to a live
-    #: writer mid-``_atomic_write`` and are left alone by ``gc``.
+    #: Temp files *and quarantined objects* younger than this are left
+    #: alone by the default ``gc`` pass: a young temp file may belong
+    #: to a live writer mid-``_atomic_write``, and young quarantine is
+    #: forensic evidence someone may still want to inspect.
     TEMP_GRACE_S = 3600.0
 
     def gc(self, *, remove_all: bool = False,
@@ -363,19 +398,22 @@ class ResultStore:
 
         The default pass removes only *dead* data: unparsable or
         self-inconsistent envelopes, entries with a stale schema
-        version, and temp files abandoned by killed writers (older
-        than :data:`TEMP_GRACE_S`; younger ones may belong to an
-        in-flight atomic write of a concurrent campaign worker).
-        ``remove_all`` drops every entry (optionally restricted to
-        ``kinds``).
+        version, temp files abandoned by killed writers and
+        quarantined objects that have outlived their forensic value
+        (both older than :data:`TEMP_GRACE_S`; younger temp files may
+        belong to an in-flight atomic write of a concurrent campaign
+        worker).  ``remove_all`` drops every entry (optionally
+        restricted to ``kinds``) and empties the quarantine.
 
         ``max_bytes`` adds a size-capped LRU pass *after* the
-        dead-data reclaim: while the surviving live objects still
-        exceed the cap, the oldest entries by ``created_unix`` are
-        evicted -- and only until the total drops to the cap, never
-        below it, so a gc racing a live campaign reclaims the minimum
-        necessary (evicted entries are recomputed on their next
-        resolve; everything newer stays a hit).
+        dead-data reclaim: while the surviving objects still exceed
+        the cap, entries are evicted -- and only until the total drops
+        to the cap, never below it, so a gc racing a live campaign
+        reclaims the minimum necessary (evicted entries are recomputed
+        on their next resolve; everything newer stays a hit).
+        Quarantined objects **count toward the cap** and are reclaimed
+        first, oldest first -- poisoned evidence is never worth a live
+        entry's eviction.
 
         ``pin_kinds`` weights the LRU pass by recompute cost: entries
         of a pinned kind (e.g. ``alu_characterization``, whose 1.5 MB
@@ -386,6 +424,10 @@ class ResultStore:
         single pinned entry), pinned entries are evicted too, oldest
         first, until the store fits.
         """
+        if self._fs is None:
+            raise RuntimeError(
+                "gc runs on the service host against its store root, "
+                "not through the HTTP backend")
         if max_bytes is not None and max_bytes < 0:
             raise ValueError("max_bytes must be non-negative")
         with obs.span("store.gc", remove_all=remove_all) as rec:
@@ -414,16 +456,28 @@ class ResultStore:
                 continue  # renamed/removed by its writer meanwhile
             freed += stat.st_size
             removed += 1
+        # Eviction candidates: (rank, age, path, size).  Rank orders
+        # the classes -- quarantine (0) before unpinned live entries
+        # (1) before pinned ones (2) -- and the byte-cap pass walks
+        # them in sorted order.
+        candidates: list[tuple[int, float, Path, int]] = []
         if self.quarantine_dir.exists():
-            for path in self.quarantine_dir.iterdir():
+            for path in sorted(self.quarantine_dir.iterdir()):
                 try:
-                    size = path.stat().st_size
-                    path.unlink()
+                    stat = path.stat()
                 except OSError:
                     continue
-                removed += 1
-                freed += size
-        live: list[tuple[bool, float, Path, int]] = []
+                if remove_all and kinds is None \
+                        or stat.st_mtime < cutoff:
+                    try:
+                        path.unlink()
+                    except OSError:
+                        continue
+                    removed += 1
+                    freed += stat.st_size
+                else:
+                    candidates.append((0, stat.st_mtime, path,
+                                       stat.st_size))
         for path in sorted(self.objects.glob("*/*.json")):
             try:
                 size = path.stat().st_size
@@ -444,29 +498,33 @@ class ResultStore:
                 removed += 1
                 freed += size
             else:
-                live.append((kind in pin_kinds, float((envelope or {}).get(
-                    "created_unix", 0.0)), path, size))
+                candidates.append((
+                    2 if kind in pin_kinds else 1,
+                    float((envelope or {}).get("created_unix", 0.0)),
+                    path, size))
         if max_bytes is not None:
-            evicted, evicted_bytes = self._evict_lru(live, max_bytes)
+            evicted, evicted_bytes = self._evict_lru(candidates,
+                                                     max_bytes)
             removed += evicted
             freed += evicted_bytes
         self.rebuild_manifest()
         return removed, freed
 
-    def _evict_lru(self, live: list[tuple[bool, float, Path, int]],
+    def _evict_lru(self, candidates: list[tuple[int, float, Path, int]],
                    max_bytes: int) -> tuple[int, int]:
-        """Evict oldest live entries until the total fits ``max_bytes``.
+        """Evict candidates until the total fits ``max_bytes``.
 
-        ``live`` carries (pinned, created_unix, path, size) of every
-        surviving object; the sort order (unpinned before pinned,
-        oldest first within each class, path as the deterministic
-        tie-break) *is* the eviction order.  Eviction stops the moment
-        the running total is at or under the cap.
+        ``candidates`` carries (rank, age, path, size) of every
+        surviving object -- quarantined files, then unpinned live
+        entries, then pinned ones; the sort order (rank, oldest first
+        within each rank, path as the deterministic tie-break) *is*
+        the eviction order.  Eviction stops the moment the running
+        total is at or under the cap.
         """
-        total = sum(size for _, _, _, size in live)
+        total = sum(size for _, _, _, size in candidates)
         removed = 0
         freed = 0
-        for _, _, path, size in sorted(live):
+        for _, _, path, size in sorted(candidates):
             if total <= max_bytes:
                 break
             try:
@@ -486,25 +544,25 @@ class ResultStore:
         try:
             with os.fdopen(fd, "w") as handle:
                 handle.write(text)
-                if _fsync_enabled():
+                if fsync_enabled():
                     handle.flush()
                     os.fsync(handle.fileno())
             os.replace(tmp, path)
-            if _fsync_enabled():
+            if fsync_enabled():
                 # Persist the rename itself: without the directory
                 # fsync a machine crash can roll back an acknowledged
                 # write even though the file data hit the platter.
-                _fsync_dir(path.parent)
+                fsync_dir(path.parent)
         except BaseException:
             if os.path.exists(tmp):
                 os.unlink(tmp)
             raise
 
-    @staticmethod
-    def _read_envelope(path: Path) -> dict | None:
+    @classmethod
+    def _parse_envelope(cls, data: bytes) -> dict | None:
         try:
-            envelope = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            envelope = json.loads(data.decode())
+        except (json.JSONDecodeError, UnicodeDecodeError):
             return None
         if not isinstance(envelope, dict) \
                 or envelope.get("format") != FORMAT \
@@ -512,6 +570,14 @@ class ResultStore:
                 or "artifact" not in envelope:
             return None
         return envelope
+
+    @classmethod
+    def _read_envelope(cls, path: Path) -> dict | None:
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return None
+        return cls._parse_envelope(data)
 
     @staticmethod
     def _self_consistent(envelope: dict, path: Path) -> bool:
@@ -555,7 +621,7 @@ class ResultStore:
         with self._lock():
             with open(self.manifest_path, "a") as handle:
                 handle.write(line)
-                if _fsync_enabled():
+                if fsync_enabled():
                     handle.flush()
                     os.fsync(handle.fileno())
 

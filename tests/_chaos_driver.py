@@ -26,9 +26,18 @@ SEED = 2016
 
 def main() -> int:
     store_dir = sys.argv[1]
-    parallel.configure_pool(2)
-    report = run_campaign("fig7", TINY, seed=SEED,
-                          store=ResultStore(store_dir), jobs=2)
+    if "--fabric-workers" in sys.argv:
+        # Lease-fabric dispatch: forked workers race for unit batches
+        # on the shared store (a directory here -- PUT-if-absent is
+        # os.link-atomic, so the ledger needs no HTTP service).
+        workers = int(sys.argv[sys.argv.index("--fabric-workers") + 1])
+        report = run_campaign("fig7", TINY, seed=SEED,
+                              store=ResultStore(store_dir),
+                              fabric_workers=workers)
+    else:
+        parallel.configure_pool(2)
+        report = run_campaign("fig7", TINY, seed=SEED,
+                              store=ResultStore(store_dir), jobs=2)
     sys.stdout.write(report.rendered)
     return 1 if report.failed else 0
 

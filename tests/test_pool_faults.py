@@ -24,6 +24,11 @@ def _echo(registry, value):
     return ("echo", value)
 
 
+@pool_task("faults_read_registry")
+def _read_registry(registry, key):
+    return registry.get(key)
+
+
 @pytest.fixture(autouse=True)
 def _clean_plane(monkeypatch):
     monkeypatch.delenv("REPRO_FAULTS", raising=False)
@@ -58,6 +63,36 @@ class TestWorkerLoss:
             pool._procs[0].join(timeout=2.0)
             assert pool.run("faults_echo", CALLS) == WANT
             assert pool.spawn_count == spawned + 1
+
+    def test_push_to_a_dying_worker_survives_the_broken_pipe(self):
+        # A worker SIGKILLed *concurrently* with a push_if_new
+        # broadcast (it still looks alive, but its pipe tears under
+        # the send) must not crash the parent: the broadcast absorbs
+        # the BrokenPipeError, marks the pool stale, and the respawned
+        # workers still see the pushed object (it rides the registry
+        # through the re-fork).  A worker already reaped is covered by
+        # the _alive() guard; this is the mid-send race the chaos
+        # schedules hit.
+        class _TornPipe:
+            def send(self, message):
+                raise BrokenPipeError(32, "Broken pipe")
+
+            def close(self):
+                pass
+
+        with SharedPool(2, heartbeat_s=10.0) as pool:
+            assert pool.run("faults_echo", CALLS) == WANT
+            # Keep the real conn referenced: dropping it would close
+            # the pipe, the worker would exit on EOF, and the
+            # _alive() guard would skip the broadcast entirely.
+            real = pool._conns[0]
+            pool._conns[0] = _TornPipe()
+            pool.push_if_new("pushed-key", {"value": 41})
+            assert pool._stale
+            real.close()  # let the bypassed worker exit on EOF
+            assert pool.run("faults_read_registry",
+                            [("pushed-key",)] * 2) == \
+                [{"value": 41}] * 2
 
     def test_persistent_kills_fall_back_to_serial(self, caplog):
         # Every worker SIGKILLs itself on its first message; the

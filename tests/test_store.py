@@ -204,8 +204,12 @@ class TestResultStore:
         path = store._object_path(store.key_of(_key()))
         path.write_text("{ not json")
         assert store.get(_key()) is None
+        # The poison was moved to quarantine (young → kept as
+        # forensic evidence across a default gc); the live index is
+        # already clean.
+        assert list(store.quarantine_dir.iterdir())
         removed, _ = store.gc()
-        assert removed == 1
+        assert removed == 0
         assert store.ls() == []
 
     def test_truncated_entry_reads_as_miss(self, tmp_path):
@@ -467,15 +471,37 @@ class TestFaultHardening:
                    for record in caplog.records)
 
     def test_gc_reclaims_quarantined_objects(self, tmp_path):
+        import os
+        import time as time_module
         from repro import faults
         faults.configure("store.object_write:torn@after=1")
         store = ResultStore(tmp_path / "store")
         store.put(_key(), _point())
         assert store.get(_key()) is None  # quarantined
         faults.reset()
+        # Young quarantine is forensic evidence: the default pass
+        # keeps it until it outlives the grace period.
+        removed, _ = store.gc()
+        assert removed == 0
+        assert list(store.quarantine_dir.iterdir())
+        old = time_module.time() - 2 * ResultStore.TEMP_GRACE_S
+        for path in store.quarantine_dir.iterdir():
+            os.utime(path, (old, old))
         removed, freed = store.gc()
         assert removed == 1
         assert freed > 0
+        assert not list(store.quarantine_dir.iterdir())
+
+    def test_gc_all_empties_quarantine_regardless_of_age(self,
+                                                         tmp_path):
+        from repro import faults
+        faults.configure("store.object_write:torn@after=1")
+        store = ResultStore(tmp_path / "store")
+        store.put(_key(), _point())
+        assert store.get(_key()) is None  # quarantined, still young
+        faults.reset()
+        removed, _ = store.gc(remove_all=True)
+        assert removed == 1
         assert not list(store.quarantine_dir.iterdir())
 
     def test_delete_removes_entry_and_index_line(self, tmp_path):
@@ -677,3 +703,222 @@ class TestPinnedEviction:
         assert removed == 1
         assert oldest.label == "char0"
         assert "char0" not in {entry.label for entry in store.ls()}
+
+
+class TestQuarantineByteCap:
+    """Quarantine bytes count toward --max-bytes and go first."""
+
+    def _poisoned_store(self, tmp_path):
+        """Three live aged entries + one quarantined object."""
+        from repro import faults
+        store = ResultStore(tmp_path / "store")
+        for index in range(3):
+            _aged_put(store, _key(seed=index), _point(f"p{index}"),
+                      f"p{index}", 1000.0 + index)
+        faults.configure("store.object_write:torn@times=1")
+        store.put(_key(seed=99), _point("poison"))
+        faults.reset()
+        assert store.get(_key(seed=99)) is None  # quarantined
+        quarantined = list(store.quarantine_dir.iterdir())
+        assert len(quarantined) == 1
+        return store, quarantined[0]
+
+    def test_quarantine_counts_toward_the_cap_and_goes_first(
+            self, tmp_path):
+        store, poison = self._poisoned_store(tmp_path)
+        live_total = sum(path.stat().st_size
+                         for path in store.objects.glob("*/*.json"))
+        # The cap fits every live entry but not the quarantine bytes
+        # on top: the quarantined object is sacrificed, no live entry
+        # is evicted in its stead.
+        removed, freed = store.gc(max_bytes=live_total)
+        assert removed == 1
+        assert freed >= poison.stat().st_size if poison.exists() \
+            else freed > 0
+        assert not list(store.quarantine_dir.iterdir())
+        assert {entry.label for entry in store.ls()} == \
+            {"p0", "p1", "p2"}
+
+    def test_quarantine_evicted_oldest_first(self, tmp_path):
+        import os
+        import time as time_module
+        from repro import faults
+        store = ResultStore(tmp_path / "store")
+        faults.configure("store.object_write:torn")
+        for index in range(2):
+            store.put(_key(seed=index), _point())
+            assert store.get(_key(seed=index)) is None
+        faults.reset()
+        old, new = sorted(store.quarantine_dir.iterdir(),
+                          key=lambda p: p.name)
+        # Both inside the forensic grace window -- only the byte-cap
+        # pass may touch them, oldest mtime first.
+        now = time_module.time()
+        os.utime(old, (now - 20.0, now - 20.0))
+        os.utime(new, (now - 10.0, now - 10.0))
+        total = sum(p.stat().st_size for p in (old, new))
+        removed, _ = store.gc(max_bytes=total - 1)
+        assert removed == 1
+        assert not old.exists() and new.exists()
+
+    def test_generous_cap_keeps_young_quarantine(self, tmp_path):
+        store, poison = self._poisoned_store(tmp_path)
+        removed, _ = store.gc(max_bytes=1 << 40)
+        assert removed == 0
+        assert poison.exists()
+
+
+class TestRetryPolicy:
+    """Exponential backoff with deterministic seeded jitter."""
+
+    def test_defaults(self, monkeypatch):
+        from repro.store.retry import RetryPolicy
+        monkeypatch.delenv("REPRO_STORE_RETRIES", raising=False)
+        monkeypatch.delenv("REPRO_STORE_BACKOFF_S", raising=False)
+        policy = RetryPolicy.from_env()
+        assert policy.attempts == 3
+        assert policy.backoff_s == 0.02
+
+    def test_env_overrides_and_bad_values_ignored(self, monkeypatch):
+        from repro.store.retry import RetryPolicy
+        monkeypatch.setenv("REPRO_STORE_RETRIES", "7")
+        monkeypatch.setenv("REPRO_STORE_BACKOFF_S", "0.5")
+        policy = RetryPolicy.from_env()
+        assert policy.attempts == 7 and policy.backoff_s == 0.5
+        monkeypatch.setenv("REPRO_STORE_RETRIES", "banana")
+        monkeypatch.setenv("REPRO_STORE_BACKOFF_S", "-3")
+        policy = RetryPolicy.from_env()
+        assert policy.attempts == 3      # unparsable -> default
+        assert policy.backoff_s == 0.0   # negative -> clamped
+
+    def test_backoff_is_exponential_and_jittered(self):
+        from repro.store.retry import RetryPolicy
+        policy = RetryPolicy(attempts=5, backoff_s=0.01, seed=0)
+        delays = [policy.delay_s("op", attempt) for attempt in range(4)]
+        for attempt, delay in enumerate(delays):
+            slot = 0.01 * (1 << attempt)
+            assert 0.5 * slot <= delay < 1.5 * slot
+        # Deterministic: the same (seed, key, attempt) sleeps
+        # identically; a different key de-correlates.
+        assert delays == [policy.delay_s("op", attempt)
+                          for attempt in range(4)]
+        assert policy.delay_s("other", 0) != delays[0]
+
+    def test_run_retries_then_reraises(self):
+        from repro.store.retry import RetryPolicy
+        policy = RetryPolicy(attempts=3, backoff_s=0.0)
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            raise OSError("always")
+
+        with pytest.raises(OSError, match="always"):
+            policy.run("flaky", flaky, sleep=lambda _s: None)
+        assert len(calls) == 3
+
+    def test_run_succeeds_after_transient_failure(self):
+        from repro.store.retry import RetryPolicy
+        policy = RetryPolicy(attempts=3, backoff_s=0.0)
+        state = {"n": 0}
+
+        def once():
+            state["n"] += 1
+            if state["n"] == 1:
+                raise OSError("transient")
+            return "ok"
+
+        slept = []
+        assert policy.run("once", once,
+                          sleep=slept.append) == "ok"
+        assert len(slept) == 1
+
+    def test_store_respects_env_budget(self, tmp_path, monkeypatch):
+        # REPRO_STORE_RETRIES=1 -> a single transient failure is fatal.
+        from repro import faults
+        monkeypatch.setenv("REPRO_STORE_RETRIES", "1")
+        faults.reset()
+        faults.configure("store.object_write:oserror@times=1")
+        store = ResultStore(tmp_path / "store")
+        try:
+            with pytest.raises(OSError, match="injected"):
+                store.put(_key(), _point())
+        finally:
+            faults.reset()
+
+
+class TestFsBackend:
+    """Byte-level backend primitives, incl. conditional PUT."""
+
+    def test_round_trip_and_delete(self, tmp_path):
+        from repro.store.backend import FsBackend
+        backend = FsBackend(tmp_path / "b")
+        assert backend.read("objects/ab/x.json") is None
+        assert backend.write("objects/ab/x.json", b"payload")
+        assert backend.read("objects/ab/x.json") == b"payload"
+        assert backend.delete("objects/ab/x.json")
+        assert not backend.delete("objects/ab/x.json")
+
+    def test_put_if_absent_exactly_one_winner(self, tmp_path):
+        from repro.store.backend import FsBackend
+        backend = FsBackend(tmp_path / "b")
+        first = backend.write("leases/b0/g000001", b"owner-a",
+                              if_absent=True)
+        second = backend.write("leases/b0/g000001", b"owner-b",
+                               if_absent=True)
+        assert first and not second
+        assert backend.read("leases/b0/g000001") == b"owner-a"
+
+    def test_put_if_absent_race_across_processes(self, tmp_path):
+        # N concurrent claimants, one name: exactly one os.link wins.
+        import multiprocessing
+        from repro.store.backend import FsBackend
+        root = tmp_path / "b"
+        FsBackend(root)
+
+        def claim(index, results):
+            backend = FsBackend(root)
+            won = backend.write("leases/b0/g000001",
+                                f"owner-{index}".encode(),
+                                if_absent=True)
+            results.put((index, won))
+
+        ctx = multiprocessing.get_context("fork")
+        results = ctx.Queue()
+        procs = [ctx.Process(target=claim, args=(index, results))
+                 for index in range(4)]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join()
+        outcomes = dict(results.get() for _ in procs)
+        winners = [index for index, won in outcomes.items() if won]
+        assert len(winners) == 1
+        body = FsBackend(root).read("leases/b0/g000001")
+        assert body == f"owner-{winners[0]}".encode()
+
+    def test_list_by_prefix_skips_temp_files(self, tmp_path):
+        from repro.store.backend import FsBackend
+        backend = FsBackend(tmp_path / "b")
+        backend.write("objects/aa/1.json", b"x")
+        backend.write("leases/b0/g000001", b"y")
+        (tmp_path / "b" / "objects" / "aa" / ".tmp-zzz").write_text("t")
+        names = {stat.name for stat in backend.list("objects/")}
+        assert names == {"objects/aa/1.json"}
+        assert {stat.name for stat in backend.list()} == \
+            {"objects/aa/1.json", "leases/b0/g000001"}
+
+    def test_bad_names_rejected(self, tmp_path):
+        from repro.store.backend import FsBackend, validate_name
+        backend = FsBackend(tmp_path / "b")
+        for bad in ("", "/abs", "../escape", "a/../../b"):
+            with pytest.raises(ValueError):
+                backend.write(bad, b"x")
+        assert validate_name("objects/ab/x.json") == "objects/ab/x.json"
+
+    def test_ping_reports_object_count(self, tmp_path):
+        from repro.store.backend import FsBackend
+        backend = FsBackend(tmp_path / "b")
+        ping = backend.ping()
+        assert ping["ok"] and ping["backend"] == "fs"
+        assert ping["objects"] == 0
