@@ -43,6 +43,14 @@ BLOCK = int(os.environ.get("REPRO_BENCH_BLOCK", "512"))
 #: of sharding (workers serialize), not its scaling.
 POOL_WORKERS = 4
 
+#: Thread-shard width of the native-threads row, keyed to this box:
+#: the row means "what thread sharding buys *here*", so it uses every
+#: core up to the pool-row width.  On a 1-core container that is a
+#: degenerate 1-worker pool (``shard_columns`` answers None) and the
+#: row measures routing overhead -- the acceptance bar is parity with
+#: serial, scaling only appears next to ``cpu_count > 1``.
+THREAD_WORKERS = min(POOL_WORKERS, os.cpu_count() or 1)
+
 #: Native rows only exist where a working C compiler does; the JSON
 #: records availability + the compiler identity so ``bench-check``
 #: (and readers) can tell "no native on this machine" from "rows
@@ -85,6 +93,7 @@ def emit_summary():
         probe = native.probe_compiler() if NATIVE_AVAILABLE else None
         payload = {"block": BLOCK, "cpu_count": os.cpu_count(),
                    "pool_workers": POOL_WORKERS,
+                   "thread_workers": THREAD_WORKERS,
                    "native_available": NATIVE_AVAILABLE,
                    "native_compiler":
                        probe.version if probe is not None else None,
@@ -240,6 +249,52 @@ def test_propagate_block_native(benchmark, ctx, mnemonic, engine):
     _record(f"propagate[{mnemonic},sensitized,{tag}]", native_s,
             reference_s, serial_ms=round(serial_s * 1e3, 3),
             vs_serial=round(serial_s / native_s, 2))
+
+
+@needs_native
+@pytest.mark.parametrize("mnemonic", ["l.add", "l.mul"])
+def test_propagate_block_native_threads(benchmark, ctx, mnemonic):
+    """Thread-sharded native propagate vs the serial native engine.
+
+    The zero-IPC row: ``THREAD_WORKERS`` threads shard the block axis
+    over column views of one workspace while the fused C kernels
+    release the GIL -- no pipes, no pickling, no shared mappings.
+    ``vs_serial`` is the gain over the serial native engine;
+    ``cpu_count`` in the JSON qualifies it (1 core => the bar is
+    parity, the threads serialize).  Results must stay bit-identical
+    to serial, and warm calls must never respawn the threads.
+    """
+    alu = ctx.alu
+    a, b = _operand_block()
+    prev, new = (a[:BLOCK], b[:BLOCK]), (a[1:], b[1:])
+
+    def run():
+        return alu.propagate(mnemonic, prev, new, 0.7, "sensitized",
+                             engine="compiled-native")
+
+    run()  # warm plan, descriptor, kernels and workspace
+    serial_s = _time_best(run)
+    values_s, arrivals_s = run()
+    reference_s = _time_best(
+        lambda: alu.propagate(mnemonic, prev, new, 0.7, "sensitized",
+                              engine="reference"))
+    pool = parallel.configure_thread_pool(THREAD_WORKERS)
+    try:
+        run()  # spawn the threads outside the timed region
+        benchmark(run)
+        values_t, arrivals_t = run()
+        # A 1-worker pool never shards, so it never spawns either.
+        assert pool.spawn_count == (1 if THREAD_WORKERS > 1 else 0)
+    finally:
+        parallel.shutdown_thread_pool()
+    assert np.array_equal(values_t, values_s)
+    assert np.array_equal(arrivals_t, arrivals_s)
+    threads_s = benchmark.stats.stats.min
+    _record(f"propagate[{mnemonic},sensitized,native-threads]",
+            threads_s, reference_s,
+            serial_ms=round(serial_s * 1e3, 3),
+            vs_serial=round(serial_s / threads_s, 2),
+            workers=THREAD_WORKERS)
 
 
 @needs_native

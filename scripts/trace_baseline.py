@@ -82,16 +82,28 @@ def main() -> int:
     tops = [s for s in spans if s["name"] == "circuit.propagate"
             and s.get("a", {}).get("engine") == engine]
     stage_us = {"propagate.stimulus": 0.0, "propagate.extract": 0.0}
+    kernel_us = 0.0
+    modes = set()
     total_us = sum(s["dur"] for s in tops)
     for top in tops:
         for child in by_parent.get(top["id"], []):
             if child["name"] in stage_us:
                 stage_us[child["name"]] += child["dur"]
+            elif child["name"] == "propagate.kernel":
+                kernel_us += child["dur"]
+                modes.add(child.get("a", {}).get("mode"))
     share = sum(stage_us.values()) / total_us if total_us else 0.0
     print(f"serial {engine} l.mul propagate, {len(tops)} calls:")
     print(f"  stimulus+extract share of whole call: {share:6.1%}  "
           f"(stimulus {stage_us['propagate.stimulus'] / total_us:.1%},"
           f" extract {stage_us['propagate.extract'] / total_us:.1%})")
+    if modes == {"native-fused"}:
+        # One repro_run crossing carries stimulus + levels + extract;
+        # everything around it is the remaining Python wall (stimulus
+        # word packing, validation, workspace lookup, span overhead).
+        residual = (total_us - kernel_us) / total_us if total_us else 0.0
+        print(f"  fused single-crossing path: python wall around the "
+              f"repro_run call {residual:6.1%}")
 
     tasks = [s for s in spans if s["name"] == "pool.task"]
     dispatches = [s for s in spans if s["name"] == "pool.dispatch"]

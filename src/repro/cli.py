@@ -116,6 +116,15 @@ def _add_store(parser: argparse.ArgumentParser,
                              "them for sharded propagate blocks, "
                              "pooled Monte-Carlo trials and campaign "
                              "unit shards (default: no pool)")
+    parser.add_argument("--shard-threads", type=int, default=None,
+                        metavar="N",
+                        help="thread-shard pool size for native "
+                             "engines: shard each propagate's block "
+                             "axis over N in-process threads (the C "
+                             "kernels release the GIL; zero pipes, "
+                             "zero pickling).  Native engines then "
+                             "never use the fork pool; numpy engines "
+                             "still do (default: no thread pool)")
     parser.add_argument("--timing-dtype", default="float64",
                         choices=("float64", "float32"),
                         help="settle-pipeline dtype of the DTA "
@@ -377,6 +386,11 @@ def main(argv: list[str] | None = None) -> int:
 
     if getattr(args, "pool_workers", None):
         parallel.configure_pool(args.pool_workers)
+    if getattr(args, "shard_threads", None):
+        # Thread shards serve native engines only; forked campaign/DTA
+        # workers rebuild a same-width pool on first use (threads do
+        # not survive fork), so one flag governs the process tree.
+        parallel.configure_thread_pool(args.shard_threads)
     timing_dtype = getattr(args, "timing_dtype", "float64")
     engine = getattr(args, "engine", None)
     if engine is not None:
@@ -610,6 +624,20 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"{'':16s} {'':8s}   cache dir "
                       f"{status['cache_dir']} (numpy engines serve "
                       f"this dtype instead)")
+        # Thread-shard substrate: always available (stdlib threads);
+        # what varies per build is whether Python code overlaps too.
+        tpool = parallel.get_thread_pool()
+        configured = f"configured, {tpool.workers} worker(s)" \
+            if tpool is not None else "off (--shard-threads N)"
+        print(f"{'thread-shards':16s} {'':8s} available: native "
+              f"engines shard over in-process threads [{configured}]")
+        if parallel.free_threaded():
+            print(f"{'':16s} {'':8s}   free-threaded CPython "
+                  f"(Py_GIL_DISABLED): python around the kernels "
+                  f"overlaps too")
+        else:
+            print(f"{'':16s} {'':8s}   GIL build: only the C kernel "
+                  f"portions overlap (they release the GIL)")
         if analysis.bounds_check_enabled():
             print(f"{'oracle':16s} {'':8s} ACTIVE: every propagate "
                   f"checked against the static STA envelope "

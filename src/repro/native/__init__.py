@@ -38,17 +38,28 @@ from repro.native.build import (
     masked_reason,
     probe_compiler,
 )
-from repro.native.lowering import NativeDesc, native_desc, run_propagate
+from repro.native.lowering import (
+    BusTables,
+    NativeDesc,
+    bus_tables,
+    native_desc,
+    run_extract,
+    run_fused,
+    run_propagate,
+    run_stimulus,
+)
 from repro.native.source import KERNEL_ABI, render_source, source_hash
 
 __all__ = [
     "BuildResult",
+    "BusTables",
     "CompilerProbe",
     "KERNEL_ABI",
     "Kernels",
     "NATIVE_ENGINES",
     "NativeBuildError",
     "NativeDesc",
+    "bus_tables",
     "cache_dir",
     "clear_runtime_failure",
     "engine_for",
@@ -63,7 +74,10 @@ __all__ = [
     "probe_compiler",
     "record_runtime_failure",
     "render_source",
+    "run_extract",
+    "run_fused",
     "run_propagate",
+    "run_stimulus",
     "runtime_failure",
     "set_backend",
     "source_hash",

@@ -86,23 +86,272 @@ def native_desc(plan) -> NativeDesc:
     return desc
 
 
-def _common_stride(ws) -> int:
-    """Shared row stride (elements) of a workspace's state matrices.
+class BusTables:
+    """Flat per-bit stimulus/extract tables for one circuit's buses.
+
+    Each bus bit becomes one ``(row, word, shift)`` record: ``row`` is
+    the bit's net renumbered through ``plan.rows``, ``word`` the index
+    of its bus in the packed ``(n_buses, N)`` uint64 stimulus/result
+    matrix, ``shift`` its position inside that word.  The tables are
+    what lets ``repro_stimulus`` / ``repro_extract`` cross the
+    Python/C wall once per call instead of once per bus.
+
+    Buses wider than 64 bits cannot pack into one word; callers must
+    check :attr:`packable` and keep the numpy path for such circuits
+    (the numpy ``ints_from_bits`` shares the same 64-bit ceiling).
+    """
+
+    def __init__(self, plan, input_buses: dict, output_buses: dict) -> None:
+        #: Structural identity: ``plan.output_bus`` can add buses
+        #: without recompiling the plan, so the cache in
+        #: :func:`bus_tables` keys on this, not on plan identity.
+        self.key = (
+            tuple((name, tuple(nets)) for name, nets in input_buses.items()),
+            tuple((name, tuple(nets)) for name, nets in output_buses.items()),
+        )
+        widths = [len(nets) for nets in input_buses.values()]
+        widths += [len(nets) for nets in output_buses.values()]
+        self.packable = all(w <= 64 for w in widths)
+        rows = plan.rows
+
+        def flat(buses):
+            bit_row, bit_word, bit_shift = [], [], []
+            for word, nets in enumerate(buses.values()):
+                for shift, net in enumerate(nets):
+                    bit_row.append(int(rows[net]))
+                    bit_word.append(word)
+                    bit_shift.append(shift)
+            return (np.array(bit_row, dtype=np.int64),
+                    np.array(bit_word, dtype=np.int64),
+                    np.array(bit_shift, dtype=np.int64))
+
+        self.in_rows, self.in_word, self.in_shift = flat(input_buses)
+        self.out_rows, self.out_word, self.out_shift = flat(output_buses)
+        #: Base pointers of the table arrays, computed once: the
+        #: arrays live as long as this object, and ``.ctypes.data``
+        #: rebuilds a ctypes accessor on every read (~1.5 us each,
+        #: three reads per fused stage otherwise).
+        self.in_ptrs = (self.in_rows.ctypes.data,
+                        self.in_word.ctypes.data,
+                        self.in_shift.ctypes.data)
+        self.out_ptrs = (self.out_rows.ctypes.data,
+                         self.out_word.ctypes.data,
+                         self.out_shift.ctypes.data)
+        self.n_in_bits = len(self.in_rows)
+        self.n_out_bits = len(self.out_rows)
+        self.n_out_buses = len(output_buses)
+        self.out_names = list(output_buses)
+        self.out_widths = [len(nets) for nets in output_buses.values()]
+        #: Per-bus offset into the dense (n_out_bits, N) arrival matrix.
+        self.out_offsets = np.concatenate(
+            ([0], np.cumsum(self.out_widths)))[:-1].tolist() \
+            if self.out_widths else []
+
+
+def bus_tables(plan, input_buses: dict, output_buses: dict) -> BusTables:
+    """The plan's bus tables (cached on the plan, keyed by structure).
+
+    ``input_buses`` / ``output_buses`` map bus name to its ordered net
+    list (LSB first), in the circuit's canonical bus order -- the same
+    order the packed stimulus/result word matrices use.
+    """
+    cached = getattr(plan, "_native_bus_tables", None)
+    key = (
+        tuple((name, tuple(nets)) for name, nets in input_buses.items()),
+        tuple((name, tuple(nets)) for name, nets in output_buses.items()),
+    )
+    if cached is None or cached.key != key:
+        cached = BusTables(plan, input_buses, output_buses)
+        plan._native_bus_tables = cached
+    return cached
+
+
+def _packed_words(words: np.ndarray, n_cols: int, what: str) -> int:
+    """Validate a packed ``(n_buses, N)`` uint64 matrix; row stride."""
+    if (words.dtype != np.uint64 or words.ndim != 2
+            or words.shape[1] != n_cols
+            or not words.flags.c_contiguous):
+        raise ValueError(f"{what} words must be C-contiguous "
+                         f"(n_buses, {n_cols}) uint64")
+    return words.shape[1]
+
+
+def run_stimulus(plan, ws, tables: BusTables, prev_words: np.ndarray,
+                 new_words: np.ndarray, arrival: float, fill_prev: bool,
+                 kernels: Kernels | None = None) -> None:
+    """Seed constants + input rows of ``ws`` straight from packed words.
+
+    Replaces the numpy stimulus stage: unpacks ``prev_words`` /
+    ``new_words`` (``(n_buses, N)`` uint64, one row per input bus in
+    table order) into the workspace value planes, computing events and
+    arrival-seeded settles in the same pass, and seeds the constant
+    rows 0/1.  ``fill_prev`` additionally stores the previous values
+    into ``ws.prev`` (the value-change engine's input contract).
+    """
+    if not tables.packable:
+        raise ValueError("bus wider than 64 bits cannot use the fused "
+                         "stimulus path")
+    if kernels is None:
+        kernels = load_kernels(_dtype_name(ws))
+    n_cols = ws.n_vectors
+    words_stride = _packed_words(prev_words, n_cols, "prev stimulus")
+    _packed_words(new_words, n_cols, "new stimulus")
+    stride, new_ptr, events_ptr, settles_ptr, prev_ptr = \
+        _layout(ws, fill_prev)
+    cached = getattr(ws, "_native_arrival", None)
+    if cached is None:
+        buf = np.empty(1, dtype=ws.timing_dtype)
+        cached = (buf, buf.ctypes.data)
+        ws._native_arrival = cached
+    arr, arr_ptr = cached
+    arr[0] = arrival
+    kernels.stimulus(tables.n_in_bits, *tables.in_ptrs,
+                     prev_words.ctypes.data, new_words.ctypes.data,
+                     words_stride, arr_ptr, int(fill_prev),
+                     prev_ptr, new_ptr, events_ptr,
+                     settles_ptr, stride, n_cols)
+
+
+def run_extract(plan, ws, tables: BusTables, glitch_model: str,
+                kernels: Kernels | None = None):
+    """Gather every output bus out of ``ws`` in one C pass.
+
+    Returns ``(outputs, arrivals)``: per-bus packed uint64 vectors and
+    per-bus ``(width, N)`` arrival matrices, views into two buffers
+    freshly allocated per call (callers may retain them).  Matches the
+    numpy extraction bit-for-bit: sensitized arrivals are the raw
+    settle rows masked by events, value-change arrivals are the
+    already-masked settle rows.
+    """
+    if not tables.packable:
+        raise ValueError("bus wider than 64 bits cannot use the fused "
+                         "extract path")
+    if kernels is None:
+        kernels = load_kernels(_dtype_name(ws))
+    n_cols = ws.n_vectors
+    stride, new_ptr, events_ptr, settles_ptr, _ = _layout(ws, False)
+    out_words = np.empty((tables.n_out_buses, n_cols), dtype=np.uint64)
+    out_arrivals = np.empty((tables.n_out_bits, n_cols),
+                            dtype=ws.timing_dtype)
+    kernels.extract(tables.n_out_bits, *tables.out_ptrs,
+                    tables.n_out_buses, new_ptr, events_ptr,
+                    settles_ptr, stride,
+                    int(glitch_model == "sensitized"), n_cols,
+                    out_words.ctypes.data, out_arrivals.ctypes.data)
+    outputs = {}
+    arrivals = {}
+    for i, (name, width, off) in enumerate(
+            zip(tables.out_names, tables.out_widths, tables.out_offsets)):
+        outputs[name] = out_words[i]
+        arrivals[name] = out_arrivals[off:off + width]
+    return outputs, arrivals
+
+
+def run_fused(plan, ws, tables: BusTables, prev_words: np.ndarray,
+              new_words: np.ndarray, arrival: float, delays: np.ndarray,
+              glitch_model: str, kernels: Kernels):
+    """Whole propagate in one library call (``repro_run``).
+
+    Stimulus unpack, every level, and output extraction happen inside
+    a single ctypes crossing: the serial native path's Python wall
+    reduces to output-buffer allocation and dict assembly, and the
+    output rows are still cache-hot from the last level when the
+    extract pass reads them.  Same contract as running the three
+    stage kernels back to back (the C side *is* that composition).
+    Shard and degrade paths keep the individual kernels: a shard
+    extracts nothing, and a mid-call engine switch needs the seams.
+    """
+    if not tables.packable:
+        raise ValueError("bus wider than 64 bits cannot use the fused "
+                         "path")
+    n_cols = ws.n_vectors
+    words_stride = _packed_words(prev_words, n_cols, "prev stimulus")
+    _packed_words(new_words, n_cols, "new stimulus")
+    value_change = glitch_model != "sensitized"
+    stride, new_ptr, events_ptr, settles_ptr, prev_ptr = \
+        _layout(ws, value_change)
+    desc = native_desc(plan)
+    rowed = desc.delays_rowed(np.asarray(delays, dtype=float),
+                              ws.timing_dtype)
+    cached = getattr(ws, "_native_arrival", None)
+    if cached is None:
+        buf = np.empty(1, dtype=ws.timing_dtype)
+        cached = (buf, buf.ctypes.data)
+        ws._native_arrival = cached
+    arr, arr_ptr = cached
+    arr[0] = arrival
+    out_words = np.empty((tables.n_out_buses, n_cols), dtype=np.uint64)
+    out_arrivals = np.empty((tables.n_out_bits, n_cols),
+                            dtype=ws.timing_dtype)
+    kernels.run(tables.n_in_bits, *tables.in_ptrs,
+                prev_words.ctypes.data, new_words.ctypes.data,
+                words_stride, arr_ptr,
+                desc.n_ops, desc.family.ctypes.data,
+                desc.lo.ctypes.data, desc.hi.ctypes.data,
+                desc.ins_off.ctypes.data, desc.ins.ctypes.data,
+                desc.flags.ctypes.data, desc.gate_row0,
+                rowed.ctypes.data,
+                tables.n_out_bits, *tables.out_ptrs,
+                tables.n_out_buses, out_words.ctypes.data,
+                out_arrivals.ctypes.data,
+                int(value_change), prev_ptr, new_ptr, events_ptr,
+                settles_ptr, stride, n_cols)
+    outputs = {}
+    arrivals = {}
+    for i, (name, width, off) in enumerate(
+            zip(tables.out_names, tables.out_widths, tables.out_offsets)):
+        outputs[name] = out_words[i]
+        arrivals[name] = out_arrivals[off:off + width]
+    return outputs, arrivals
+
+
+def _dtype_name(ws) -> str:
+    """Kernel-library dtype name for a workspace's timing dtype."""
+    if ws.timing_dtype == np.float64:
+        return "float64"
+    if ws.timing_dtype == np.float32:
+        return "float32"
+    raise ValueError(
+        f"no native kernel for timing dtype {ws.timing_dtype}")
+
+
+def _layout(ws, need_prev: bool) -> tuple:
+    """Shared row stride + base pointers of ``ws``'s state matrices.
 
     Serial workspaces are plain C-contiguous ``(n_nets, N)`` blocks;
     pool shard views are column slices whose rows keep the parent
     width as stride.  Either way all matrices must agree and columns
     must be unit-stride -- the kernels address ``base + row * stride +
     col``.
+
+    Returns ``(stride, new_ptr, events_ptr, settles_ptr, prev_ptr)``
+    (``prev_ptr`` is None unless ``need_prev``).  ``.ctypes.data``
+    rebuilds a ctypes accessor on every read (~1.5 us, several reads
+    per fused stage), and one workspace serves every call of a DTA
+    sweep -- so the derived layout is cached on the workspace and
+    revalidated by plane identity: a reallocated plane (or a fresh
+    per-call ShardView) misses and re-derives.
     """
     new, events, settles = ws.new, ws.events, ws.settles
+    prev = ws.prev if need_prev else None
+    cached = getattr(ws, "_native_layout", None)
+    if (cached is not None and cached[0] is new and cached[1] is events
+            and cached[2] is settles
+            and (not need_prev or cached[3] is prev)):
+        return cached[4]
     stride = new.strides[0] // new.itemsize
     if (events.strides[0] // events.itemsize != stride
             or settles.strides[0] // settles.itemsize != stride
             or new.strides[1] != new.itemsize
             or settles.strides[1] != settles.itemsize):
         raise ValueError("workspace matrices disagree on layout")
-    return stride
+    if prev is not None and prev.strides[0] // prev.itemsize != stride:
+        raise ValueError("workspace matrices disagree on layout")
+    layout = (stride, new.ctypes.data, events.ctypes.data,
+              settles.ctypes.data,
+              prev.ctypes.data if prev is not None else None)
+    ws._native_layout = (new, events, settles, prev, layout)
+    return layout
 
 
 def run_propagate(plan, ws, delays: np.ndarray, glitch_model: str,
@@ -115,31 +364,23 @@ def run_propagate(plan, ws, delays: np.ndarray, glitch_model: str,
     the caller, sensitized settle rows left raw, value-change settle
     rows stored masked.
     """
-    if ws.timing_dtype == np.float64:
-        dtype_name = "float64"
-    elif ws.timing_dtype == np.float32:
-        dtype_name = "float32"
-    else:
-        raise ValueError(
-            f"no native kernel for timing dtype {ws.timing_dtype}")
+    dtype_name = _dtype_name(ws)
     desc = native_desc(plan)
     if not desc.n_ops:
         return  # gate-less plan: nothing to run, nothing to compile
     if kernels is None:
         kernels = load_kernels(dtype_name)
     rowed = desc.delays_rowed(np.asarray(delays, dtype=float), ws.timing_dtype)
-    stride = _common_stride(ws)
+    value_change = glitch_model != "sensitized"
+    stride, new_ptr, events_ptr, settles_ptr, prev_ptr = \
+        _layout(ws, value_change)
     args = (desc.n_ops, desc.family.ctypes.data, desc.lo.ctypes.data,
             desc.hi.ctypes.data, desc.ins_off.ctypes.data,
             desc.ins.ctypes.data, desc.flags.ctypes.data, desc.gate_row0)
-    if glitch_model == "sensitized":
-        kernels.sensitized(*args, ws.new.ctypes.data,
-                           ws.events.ctypes.data, ws.settles.ctypes.data,
-                           rowed.ctypes.data, stride, ws.n_vectors)
-    else:
-        prev = ws.prev
-        if prev.strides[0] // prev.itemsize != stride:
-            raise ValueError("workspace matrices disagree on layout")
-        kernels.value_change(*args, prev.ctypes.data, ws.new.ctypes.data,
-                             ws.events.ctypes.data, ws.settles.ctypes.data,
+    if value_change:
+        kernels.value_change(*args, prev_ptr, new_ptr,
+                             events_ptr, settles_ptr,
                              rowed.ctypes.data, stride, ws.n_vectors)
+    else:
+        kernels.sensitized(*args, new_ptr, events_ptr, settles_ptr,
+                           rowed.ctypes.data, stride, ws.n_vectors)

@@ -330,6 +330,64 @@ class Circuit:
         assert n_vectors is not None
         return planes, n_vectors
 
+    def _stimulus_words(self, inputs: dict[str, np.ndarray]) -> \
+            tuple[np.ndarray, int]:
+        """Validate bus stimulus and pack it into one uint64 matrix.
+
+        Row ``i`` is the ``(N,)`` integer stimulus of the ``i``-th
+        input bus in canonical bus order.  The fused native stimulus
+        kernel unpacks bits straight from these words into the
+        workspace planes, so the numpy bit-plane stage
+        (:meth:`_stimulus_planes`) never materializes on that path.
+        """
+        missing = set(self._input_buses) - set(inputs)
+        if missing:
+            raise CircuitError(f"missing stimulus for inputs {sorted(missing)}")
+        extra = set(inputs) - set(self._input_buses)
+        if extra:
+            raise CircuitError(f"unknown input buses {sorted(extra)}")
+        n_vectors = None
+        stacked = []
+        for name in self._input_buses:
+            stimulus = np.atleast_1d(np.asarray(inputs[name]))
+            if n_vectors is None:
+                n_vectors = stimulus.shape[0]
+            elif stimulus.shape[0] != n_vectors:
+                raise CircuitError("stimulus arrays differ in length")
+            stacked.append(stimulus.astype(np.uint64, copy=False))
+        assert n_vectors is not None
+        words = np.empty((len(stacked), n_vectors), dtype=np.uint64)
+        for i, row in enumerate(stacked):
+            words[i] = row
+        return words, n_vectors
+
+    def _planes_from_words(self, words: np.ndarray) \
+            -> dict[str, np.ndarray]:
+        """Rebuild per-bus bit planes from packed stimulus words.
+
+        Only runs on the native-degrade path (first kernel touch of
+        the process failed after validation already consumed the
+        inputs as packed words).
+        """
+        return {name: bits_from_ints(words[i], len(bus.nets))
+                for i, (name, bus) in enumerate(self._input_buses.items())}
+
+    def _seed_workspace(self, ws, rows, prev_planes, new_planes,
+                        sensitized: bool, arrival: float) -> None:
+        """Numpy stimulus stage: scatter planes, seed events/settles."""
+        if not sensitized:
+            # Sensitized masks only read current-cycle values; the
+            # previous-cycle value network exists only here.
+            self._fill_matrix(prev_planes, ws.prev, rows)
+        self._fill_matrix(new_planes, ws.new, rows)
+        ws.events[:2] = False
+        ws.settles[:2] = 0.0
+        for name, bus in self._input_buses.items():
+            bus_rows = rows[bus.nets]
+            changed = prev_planes[name] != new_planes[name]
+            ws.events[bus_rows] = changed
+            ws.settles[bus_rows] = changed * arrival
+
     def _prepare_inputs(self, inputs: dict[str, np.ndarray]) -> \
             tuple[list[np.ndarray | None], int]:
         """Map bus-name -> int-array stimulus onto per-net bit planes."""
@@ -507,12 +565,25 @@ class Circuit:
         :class:`CircuitError` here -- silent fallback happens one
         level up, in :func:`repro.native.engine_for`.
 
-        The three pipeline stages carry their own telemetry spans
+        Native engines run *fused*: stimulus word-unpacking and
+        output-bus extraction happen inside the C library too.  The
+        serial native path is ONE library call (``repro_run``:
+        stimulus -> every level -> extract in a single Python/C
+        crossing); sharded and degraded calls run the stage kernels
+        (``repro_stimulus`` / ``repro_extract``) around the sharded
+        middle.  Routing: when a thread-shard pool is configured,
+        native engines shard their block axis over in-process threads
+        (the kernels release the GIL -- zero pipes, zero pickling) and
+        the fork pool is never engaged for them; numpy engines keep
+        the fork ``SharedPool``, which also still serves native work
+        when only it is configured.
+
+        The staged pipeline carries per-stage telemetry spans
         (``propagate.stimulus`` / ``propagate.kernel`` /
         ``propagate.extract``) so "where did the time go" inside one
-        call is answerable from a trace instead of hand-inserted
-        timers -- the numpy stages around the native kernel are a
-        ROADMAP-level optimization target.
+        call is answerable from a trace; the fused serial path emits a
+        single ``propagate.kernel`` span (mode ``native-fused``) --
+        there are no Python-side stages left to time.
         """
         if native:
             reason = native_mod.unavailable_reason()
@@ -524,46 +595,138 @@ class Circuit:
         with obs.span("circuit.propagate", circuit=self.name,
                       engine=engine_name,
                       glitch_model=glitch_model) as top:
-            with obs.span("propagate.stimulus"):
+            sensitized = glitch_model == "sensitized"
+            arrival = float(input_arrival)
+            plan = self.plan
+            rows = plan.rows
+            tables = None
+            if native:
+                tables = native_mod.bus_tables(
+                    plan,
+                    {name: bus.nets
+                     for name, bus in self._input_buses.items()},
+                    {name: bus.nets
+                     for name, bus in self._output_buses.items()})
+            fused = native and tables.packable
+            pool = None
+            thread_pool = parallel.get_thread_pool() if native else None
+            kernels = None
+            if native:
+                # Resolve the dlopened library once per call: the
+                # ensure step re-hashes the kernel source (~0.1 ms),
+                # which would otherwise be paid by every fused stage.
+                # The first touch of a process can still fail behind a
+                # passing probe (compile or dlopen rot): latch the
+                # degrade and run this call numpy end to end --
+                # bit-identical at f64, same relaxed contract at f32.
+                try:
+                    kernels = native_mod.load_kernels(
+                        "float32" if timing_dtype == np.float32
+                        else "float64")
+                except native_mod.NativeBuildError as error:
+                    native_mod.record_runtime_failure(str(error))
+                    native = False
+                    fused = False
+                    thread_pool = None
+            # Call setup -- validation, shard routing and workspace
+            # lookup -- happens outside the stage spans so the traced
+            # stimulus/extract durations measure the stages themselves
+            # (the ROADMAP ceiling analysis reads them as such).
+            delays = np.asarray(delays, dtype=float)
+            prev_planes = new_planes = None
+            if fused:
+                prev_words, n_prev = self._stimulus_words(prev_inputs)
+                new_words, n_new = self._stimulus_words(new_inputs)
+            else:
                 prev_planes, n_prev = self._stimulus_planes(prev_inputs)
                 new_planes, n_new = self._stimulus_planes(new_inputs)
-                if n_prev != n_new:
-                    raise CircuitError(
-                        "prev/new stimulus lengths differ")
-                delays = np.asarray(delays, dtype=float)
-                plan = self.plan
-                rows = plan.rows
+            if n_prev != n_new:
+                raise CircuitError(
+                    "prev/new stimulus lengths differ")
+            if thread_pool is not None:
+                thread_shards = thread_pool.shard_columns(n_new)
+                shards = None
+            else:
+                thread_shards = None
                 pool = parallel.get_pool()
                 shards = pool.shard_columns(n_new) \
                     if pool is not None else None
-                ws = self._workspace(n_new, timing_dtype,
-                                     shared=shards is not None)
-                sensitized = glitch_model == "sensitized"
-                if not sensitized:
-                    # Sensitized masks only read current-cycle values;
-                    # the previous-cycle value network exists only here.
-                    self._fill_matrix(prev_planes, ws.prev, rows)
-                self._fill_matrix(new_planes, ws.new, rows)
-                ws.events[:2] = False
-                ws.settles[:2] = 0.0
-                arrival = float(input_arrival)
-                for name, bus in self._input_buses.items():
-                    bus_rows = rows[bus.nets]
-                    changed = prev_planes[name] != new_planes[name]
-                    ws.events[bus_rows] = changed
-                    ws.settles[bus_rows] = changed * arrival
+            ws = self._workspace(n_new, timing_dtype,
+                                 shared=shards is not None)
+            if fused and thread_shards is None and shards is None:
+                # Serial native path: the whole propagate -- stimulus
+                # unpack, every level, output extraction -- is ONE
+                # library call (``repro_run``), so no per-stage
+                # stimulus/extract spans are emitted: there is no
+                # Python-side stage work left to measure, only this
+                # single crossing.  Sharded runs and mid-call engine
+                # degrades keep the staged pipeline below (a shard
+                # extracts nothing; a degrade switches engines at a
+                # stage seam).
+                top.set(n_vectors=n_new)
+                with obs.span("propagate.kernel", mode="native-fused"):
+                    return native_mod.run_fused(
+                        plan, ws, tables, prev_words, new_words,
+                        arrival, delays, glitch_model, kernels)
+            with obs.span("propagate.stimulus",
+                          mode="native" if fused else "numpy") as stim:
+                if fused:
+                    try:
+                        native_mod.run_stimulus(
+                            plan, ws, tables, prev_words, new_words,
+                            arrival, fill_prev=not sensitized,
+                            kernels=kernels)
+                    except native_mod.NativeBuildError as error:
+                        # The first kernel touch of the process can
+                        # still fail (compile or dlopen rot behind a
+                        # passing probe): latch the degrade and finish
+                        # this call numpy end to end -- bit-identical
+                        # at f64, same relaxed contract at f32.
+                        native_mod.record_runtime_failure(str(error))
+                        fused = False
+                        native = False
+                        thread_shards = None
+                        stim.set(mode="numpy-degraded")
+                        prev_planes = self._planes_from_words(prev_words)
+                        new_planes = self._planes_from_words(new_words)
+                if not fused:
+                    self._seed_workspace(ws, rows, prev_planes,
+                                         new_planes, sensitized, arrival)
             top.set(n_vectors=n_new)
-            mode = "pooled" if shards is not None \
-                else ("native" if native else "numpy")
+            if thread_shards is not None:
+                mode = "threads"
+            elif shards is not None:
+                mode = "pooled"
+            else:
+                mode = "native" if native else "numpy"
             with obs.span("propagate.kernel", mode=mode):
-                if shards is not None:
+                if thread_shards is not None:
+                    try:
+                        self._propagate_threaded(thread_pool, plan, ws,
+                                                 delays, glitch_model,
+                                                 thread_shards, kernels)
+                    except native_mod.NativeBuildError as error:
+                        # Column writes are idempotent: the serial
+                        # numpy engine recomputes every gate row over
+                        # the full width, overwriting any partial
+                        # shard output.
+                        native_mod.record_runtime_failure(str(error))
+                        fused = False
+                        if sensitized:
+                            plan_mod.propagate_sensitized(plan, ws,
+                                                          delays)
+                        else:
+                            plan_mod.propagate_value_change(plan, ws,
+                                                            delays)
+                elif shards is not None:
                     self._propagate_pooled(pool, plan, ws, delays,
                                            glitch_model, shards,
                                            native=native)
                 elif native:
                     try:
                         native_mod.run_propagate(plan, ws, delays,
-                                                 glitch_model)
+                                                 glitch_model,
+                                                 kernels=kernels)
                     except native_mod.NativeBuildError as error:
                         # Runtime failure behind a passing probe
                         # (compile or dlopen broke mid-run): latch the
@@ -571,6 +734,7 @@ class Circuit:
                         # the same plan/workspace -- bit-identical at
                         # f64, same relaxed contract at f32.
                         native_mod.record_runtime_failure(str(error))
+                        fused = False
                         if sensitized:
                             plan_mod.propagate_sensitized(plan, ws,
                                                           delays)
@@ -581,20 +745,58 @@ class Circuit:
                     plan_mod.propagate_sensitized(plan, ws, delays)
                 else:
                     plan_mod.propagate_value_change(plan, ws, delays)
-            with obs.span("propagate.extract"):
-                outputs = {}
-                out_arrivals = {}
-                for name, bus in self._output_buses.items():
-                    bus_rows = rows[bus.nets]
-                    outputs[name] = ints_from_bits(ws.new[bus_rows])
-                    if sensitized:
-                        # Settle rows are raw arrivals; event-mask on
-                        # the way out.
-                        out_arrivals[name] = ws.settles[bus_rows] \
-                            * ws.events[bus_rows]
-                    else:
-                        out_arrivals[name] = ws.settles[bus_rows]
+            with obs.span("propagate.extract",
+                          mode="native" if fused else "numpy"):
+                if fused:
+                    try:
+                        outputs, out_arrivals = native_mod.run_extract(
+                            plan, ws, tables, glitch_model,
+                            kernels=kernels)
+                    except native_mod.NativeBuildError as error:
+                        native_mod.record_runtime_failure(str(error))
+                        fused = False
+                if not fused:
+                    outputs = {}
+                    out_arrivals = {}
+                    for name, bus in self._output_buses.items():
+                        bus_rows = rows[bus.nets]
+                        outputs[name] = ints_from_bits(ws.new[bus_rows])
+                        if sensitized:
+                            # Settle rows are raw arrivals; event-mask
+                            # on the way out.
+                            out_arrivals[name] = ws.settles[bus_rows] \
+                                * ws.events[bus_rows]
+                        else:
+                            out_arrivals[name] = ws.settles[bus_rows]
         return outputs, out_arrivals
+
+    def _propagate_threaded(self, thread_pool, plan, ws, delays,
+                            glitch_model, shards, kernels) -> None:
+        """Shard one native propagate's block axis over threads.
+
+        Threads share the address space, so nothing is registered or
+        pushed anywhere: every shard runs the fused C kernels over a
+        column-sliced view of the *same* workspace, and the ctypes
+        calls release the GIL so shards genuinely overlap (and will
+        scale further on free-threaded CPython).  The descriptor and
+        the per-row delay tile are materialized here, once, before
+        fan-out (the caller already resolved ``kernels``) -- worker
+        threads never touch the lazy caches, so there is nothing to
+        race.
+        """
+        desc = native_mod.native_desc(plan)
+        desc.delays_rowed(delays, ws.timing_dtype)
+        # Touch the lazily-allocated planes in the dispatching thread.
+        _ = (ws.events, ws.settles)
+        if glitch_model != "sensitized":
+            _ = ws.prev
+
+        def shard(lo: int, hi: int) -> None:
+            native_mod.run_propagate(plan, plan_mod.ShardView(ws, lo, hi),
+                                     delays, glitch_model,
+                                     kernels=kernels)
+
+        thread_pool.run(shard, shards)
 
     def _propagate_pooled(self, pool, plan, ws, delays, glitch_model,
                           shards, native: bool = False) -> None:

@@ -452,7 +452,15 @@ def _gather(matrix: np.ndarray, ins: np.ndarray,
     """
     if scratch is None:
         return matrix[ins]
+    # Shard-boundary guard: a non-contiguous source or destination
+    # would silently take numpy's buffered slow path.  Callers gate
+    # the scratch path on the matrix's contiguity, so tripping this
+    # means a new call site routed a column-sliced view here.
+    assert matrix.flags.c_contiguous, \
+        "np.take(out=) fast path needs a C-contiguous source"
     out = scratch[:len(ins)]
+    assert out.flags.c_contiguous, \
+        "np.take(out=) fast path needs a C-contiguous destination"
     np.take(matrix, ins, axis=0, out=out, mode="clip")
     return out
 

@@ -18,13 +18,18 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro import native, parallel
+from repro import faults, native, parallel
 from repro.bench.suite import build_kernel
 from repro.fi.base import FaultInjector
 from repro.mc.runner import run_point, run_trial, trial_seeds
 from repro.netlist.circuit import Circuit, CircuitError
 from repro.netlist.gates import GATE_KINDS, arity_of
-from repro.netlist.plan import F32_ATOL, F32_RTOL
+from repro.netlist.plan import (
+    F32_ATOL,
+    F32_RTOL,
+    ShardView,
+    propagate_sensitized,
+)
 from repro.sim.cpu import Cpu
 from repro.sim.machine import MachineConfig
 
@@ -67,6 +72,22 @@ def _pool(workers: int, min_shard_vectors: int = 1):
             workers, min_shard_vectors=min_shard_vectors)
     finally:
         parallel.shutdown_pool()
+
+
+@contextlib.contextmanager
+def _thread_pool(workers: int, min_shard_vectors: int = 1):
+    """Process-global thread-shard pool for one test body.
+
+    Unlike :func:`_pool`, ``workers=1`` *does* install a (degenerate,
+    serial) pool -- that is the thread pool's documented contract, and
+    the sweeps below include it so the routing code runs even when no
+    sharding happens.
+    """
+    try:
+        yield parallel.configure_thread_pool(
+            workers, min_shard_vectors=min_shard_vectors)
+    finally:
+        parallel.shutdown_thread_pool()
 
 
 # ---------------------------------------------------------------------------
@@ -411,6 +432,191 @@ def test_pooled_propagate_survives_pool_reconfiguration():
         _, again = circuit.propagate(prev, new, delays, 1.0,
                                      engine="compiled")
     assert np.array_equal(again["y"], serial["y"])
+
+
+# ---------------------------------------------------------------------------
+# Thread-sharded native engine (zero-IPC block-axis sharding)
+# ---------------------------------------------------------------------------
+
+@needs_native
+@given(random_circuits(), st.sampled_from([1, 2, 4]))
+@settings(max_examples=15, deadline=None)
+def test_native_thread_sharded_identical_to_serial(case, workers):
+    """Thread-sharded native propagate: invisible at any worker count.
+
+    f64 shards must be bit-identical to the serial native engine (and
+    native-f64 is bit-identical to compiled-f64, so transitively to
+    the numpy engine too); f32 shards are bit-identical to the serial
+    f32 engine and stay within the relaxed-identity contract against
+    float64 -- sharding never changes results, only the dtype
+    contract does.
+    """
+    circuit, prev, new, delays, arrival = case
+    serial = {
+        (glitch_model, engine): circuit.propagate(
+            prev, new, delays, arrival, glitch_model, engine=engine)
+        for glitch_model in ("sensitized", "value-change")
+        for engine in ("compiled", "compiled-native", "native-f32")
+    }
+    with _thread_pool(workers):
+        for glitch_model in ("sensitized", "value-change"):
+            for engine in ("compiled-native", "native-f32"):
+                out_t, arr_t = circuit.propagate(
+                    prev, new, delays, arrival, glitch_model,
+                    engine=engine)
+                out_s, arr_s = serial[(glitch_model, engine)]
+                assert np.array_equal(out_t["y"], out_s["y"]), \
+                    (glitch_model, engine, workers)
+                assert np.array_equal(arr_t["y"], arr_s["y"]), \
+                    (glitch_model, engine, workers)
+            # Cross-dtype anchors (so bit-identity above transitively
+            # pins the sharded runs): native-f64 bit-identical to the
+            # numpy engine, f32 within F32_RTOL/F32_ATOL of it.
+            _, arr64 = serial[(glitch_model, "compiled")]
+            assert np.array_equal(
+                serial[(glitch_model, "compiled-native")][1]["y"],
+                arr64["y"])
+            np.testing.assert_allclose(
+                serial[(glitch_model, "native-f32")][1]["y"],
+                arr64["y"], rtol=F32_RTOL, atol=F32_ATOL,
+                err_msg=str((glitch_model, workers)))
+
+
+@needs_native
+def test_thread_sharded_edge_shapes():
+    """Width-1 buses, single gates and single vectors under threads.
+
+    Four workers with ``min_shard_vectors=1`` force real sharding on
+    tiny blocks (and degenerate one-column shards); a single-vector
+    block must fall back to serial via ``shard_columns -> None``.
+    """
+    single = Circuit("thread-single")
+    a = single.input_bus("a", 1)[0]
+    b = single.input_bus("b", 1)[0]
+    single.output_bus("y", [single.gate("XOR2", a, b)])
+    one_delay = np.array([3.0])
+    rng = np.random.default_rng(13)
+    cases = []
+    for n_vectors in (1, 4, 7):
+        blocks = [{name: rng.integers(0, 2, n_vectors, dtype=np.uint64)
+                   for name in ("a", "b")} for _ in range(2)]
+        cases.append((single, blocks[0], blocks[1], one_delay))
+    wide, prev, new = _wide_xor_chain()
+    cases.append((wide, prev, new, np.full(wide.n_gates, 2.0)))
+    for circuit, prev, new, delays in cases:
+        for glitch_model in ("sensitized", "value-change"):
+            out_s, arr_s = circuit.propagate(prev, new, delays, 1.5,
+                                             glitch_model,
+                                             engine="compiled-native")
+            with _thread_pool(4):
+                out_t, arr_t = circuit.propagate(
+                    prev, new, delays, 1.5, glitch_model,
+                    engine="compiled-native")
+            assert np.array_equal(out_t["y"], out_s["y"]), \
+                (circuit.name, glitch_model)
+            assert np.array_equal(arr_t["y"], arr_s["y"]), \
+                (circuit.name, glitch_model)
+
+
+@needs_native
+def test_thread_shard_fault_heals_byte_identical():
+    """An injected ``threads.shard`` fault heals serially, invisibly.
+
+    The first shard dispatch trips; the pool re-runs that column
+    range in the dispatching thread.  Column writes are idempotent
+    and disjoint, so the healed call must be byte-identical to both
+    the unfaulted sharded run and the serial engine.
+    """
+    circuit, prev, new = _wide_xor_chain()
+    delays = np.full(circuit.n_gates, 2.0)
+    out_s, arr_s = circuit.propagate(prev, new, delays, 1.0,
+                                     engine="compiled-native")
+    try:
+        plane = faults.configure("threads.shard:raise@after=1")
+        with _thread_pool(4):
+            out_h, arr_h = circuit.propagate(prev, new, delays, 1.0,
+                                             engine="compiled-native")
+        assert [(r["site"], r["mode"]) for r in plane.fired] \
+            == [("threads.shard", "raise")]
+    finally:
+        faults.reset()
+    assert np.array_equal(out_h["y"], out_s["y"])
+    assert np.array_equal(arr_h["y"], arr_s["y"])
+
+
+@needs_native
+def test_thread_routed_native_skips_fork_pool():
+    """Native engines never engage the fork pool when threads exist.
+
+    With both pools configured, a native propagate must leave the
+    fork pool unspawned and its registry free of netlist keys (no
+    stale shared-workspace registrations to leak); a numpy-engine
+    propagate in the same process still routes to the fork pool.
+    """
+    circuit, prev, new = _wide_xor_chain()
+    delays = np.full(circuit.n_gates, 2.0)
+    out_s, arr_s = circuit.propagate(prev, new, delays, 1.0,
+                                     engine="compiled-native")
+    with _pool(2) as pool, _thread_pool(2):
+        out_t, arr_t = circuit.propagate(prev, new, delays, 1.0,
+                                         engine="compiled-native")
+        assert pool.spawn_count == 0
+        assert not any(str(key[0]).startswith("netlist")
+                       for key in pool._registry)
+        circuit.propagate(prev, new, delays, 1.0, engine="compiled")
+        assert any(key[0] == "netlist-ws" for key in pool._registry)
+    assert np.array_equal(out_t["y"], out_s["y"])
+    assert np.array_equal(arr_t["y"], arr_s["y"])
+
+
+def test_pool_reconfigure_drops_workspace_registrations():
+    """A fresh fork pool starts with an empty registry.
+
+    Shared-workspace registrations belong to one pool generation;
+    reconfiguring must not leak them into the next pool (the circuit
+    re-registers lazily on the next pooled propagate).
+    """
+    circuit, prev, new = _wide_xor_chain()
+    delays = np.full(circuit.n_gates, 2.0)
+    with _pool(2) as pool:
+        circuit.propagate(prev, new, delays, 1.0, engine="compiled")
+        assert any(key[0] == "netlist-ws" for key in pool._registry)
+    with _pool(2) as fresh:
+        assert fresh._registry == {}
+        circuit.propagate(prev, new, delays, 1.0, engine="compiled")
+        assert any(key[0] == "netlist-ws" for key in fresh._registry)
+
+
+def test_gather_scratch_fast_path_contiguity(monkeypatch):
+    """The ``np.take(out=)`` gather fast path stays contiguous.
+
+    numpy silently buffers (copies the whole source, measured ~90x)
+    when either side of ``np.take(out=)`` is non-contiguous.  A
+    full-width serial propagate must hit the fast path with both
+    sides C-contiguous; a column-sliced shard view must never reach
+    ``out=`` at all (it keeps the fancy-index gather).
+    """
+    circuit, prev, new = _wide_xor_chain()
+    delays = np.full(circuit.n_gates, 2.0)
+    real_take = np.take
+    out_calls = []
+
+    def spy(a, indices, axis=None, out=None, mode="raise"):
+        if out is not None:
+            out_calls.append((a.flags.c_contiguous,
+                              out.flags.c_contiguous))
+        return real_take(a, indices, axis=axis, out=out, mode=mode)
+
+    monkeypatch.setattr(np, "take", spy)
+    circuit.propagate(prev, new, delays, 1.0, engine="compiled")
+    assert out_calls, "serial propagate no longer uses np.take(out=)"
+    assert all(src and dst for src, dst in out_calls)
+    out_calls.clear()
+    ws = circuit._workspaces[(160, "<f8", False)]
+    propagate_sensitized(circuit.plan, ShardView(ws, 0, 80),
+                         np.asarray(delays, dtype=float))
+    assert not out_calls, \
+        "a column-sliced shard view reached the np.take(out=) path"
 
 
 def test_plan_invalidated_by_gate_add():
